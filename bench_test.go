@@ -1,0 +1,66 @@
+// Benchmark entry points, one per reproduced table/figure of the paper's
+// evaluation (§V). Each iteration regenerates the figure at a reduced scale
+// and reports its headline number as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// sweeps the entire evaluation. For full-resolution tables use
+// cmd/dido-bench, which prints the paper-style rows.
+package dido_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// benchScale keeps -bench=. affordable (the full sweep regenerates 16
+// figures); cmd/dido-bench uses DefaultScale for the real tables.
+func benchScale() bench.Scale {
+	sc := bench.QuickScale()
+	sc.MemBytes = 2 << 20
+	sc.Batches = 6
+	sc.WarmBatches = 2
+	sc.MaxBatch = 1 << 12
+	return sc
+}
+
+// runFig runs one registered experiment per iteration and reports metric
+// (the value of tab.Mean(col) on the first returned table) under name.
+func runFig(b *testing.B, id string, col int, metric string) {
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	sc := benchScale()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		tabs := e.Run(sc)
+		if len(tabs) == 0 || len(tabs[0].Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+		last = tabs[0].Mean(col)
+	}
+	b.ReportMetric(last, metric)
+}
+
+func BenchmarkFig04StageTimes(b *testing.B)      { runFig(b, "fig4", 2, "readsend_us") }
+func BenchmarkFig05GPUUtilization(b *testing.B)  { runFig(b, "fig5", 0, "gpu_util") }
+func BenchmarkFig06IndexOpShares(b *testing.B)   { runFig(b, "fig6", 3, "update_share") }
+func BenchmarkFig09CostModelError(b *testing.B)  { runFig(b, "fig9", 0, "err_pct") }
+func BenchmarkFig10OptimalityGap(b *testing.B)   { runFig(b, "fig10", 1, "best_over_dido") }
+func BenchmarkFig11DIDOvsMegaKV(b *testing.B)    { runFig(b, "fig11", 2, "speedup") }
+func BenchmarkFig12Utilization(b *testing.B)     { runFig(b, "fig12", 0, "dido_gpu_util") }
+func BenchmarkFig13IndexAssignment(b *testing.B) { runFig(b, "fig13", 2, "speedup") }
+func BenchmarkFig14DynamicPipeline(b *testing.B) { runFig(b, "fig14", 2, "speedup") }
+func BenchmarkFig15WorkStealing(b *testing.B)    { runFig(b, "fig15", 2, "speedup") }
+func BenchmarkFig16AbsoluteThroughput(b *testing.B) {
+	runFig(b, "fig16", 3, "discrete_over_dido")
+}
+func BenchmarkFig17PricePerformance(b *testing.B) { runFig(b, "fig17", 3, "dido_over_discrete") }
+func BenchmarkFig18EnergyEfficiency(b *testing.B) { runFig(b, "fig18", 2, "dido_kops_per_w") }
+func BenchmarkFig19LatencyBudgets(b *testing.B)   { runFig(b, "fig19", 2, "improvement_1000us_pct") }
+func BenchmarkFig20AdaptationTrace(b *testing.B)  { runFig(b, "fig20", 1, "trace_mops") }
+func BenchmarkFig21FluctuationCycles(b *testing.B) {
+	runFig(b, "fig21", 1, "speedup")
+}

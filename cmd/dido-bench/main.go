@@ -1,0 +1,81 @@
+// Command dido-bench regenerates the DIDO paper's evaluation figures on the
+// simulated APU.
+//
+// Usage:
+//
+//	dido-bench list                 # list available experiments
+//	dido-bench all                  # run every experiment
+//	dido-bench fig11 fig15          # run specific experiments
+//	dido-bench -quick fig11         # reduced scale (fast smoke run)
+//	dido-bench -mem 33554432 -batches 50 fig9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run at the reduced smoke-test scale")
+	mem := flag.Int64("mem", 0, "override arena bytes per system")
+	batches := flag.Int("batches", 0, "override measured batches per run")
+	seed := flag.Uint64("seed", 0, "override random seed")
+	flag.Parse()
+
+	sc := bench.DefaultScale()
+	if *quick {
+		sc = bench.QuickScale()
+	}
+	if *mem > 0 {
+		sc.MemBytes = *mem
+	}
+	if *batches > 0 {
+		sc.Batches = *batches
+	}
+	if *seed > 0 {
+		sc.Seed = *seed
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if args[0] == "list" {
+		for _, e := range bench.Registry() {
+			fmt.Printf("  %-7s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	if args[0] == "all" {
+		for _, e := range bench.Registry() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = args
+	}
+
+	for _, id := range ids {
+		e, ok := bench.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try: dido-bench list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		fmt.Printf("running %s: %s ...\n", e.ID, e.Title)
+		for _, tab := range e.Run(sc) {
+			tab.Fprint(os.Stdout)
+		}
+		fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dido-bench [-quick] [-mem N] [-batches N] [-seed N] list|all|<figID>...")
+}

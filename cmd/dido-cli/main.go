@@ -1,0 +1,94 @@
+// Command dido-cli is a small client for dido-server.
+//
+// Usage:
+//
+//	dido-cli -addr 127.0.0.1:11311 set user:1 '{"name":"ada"}'
+//	dido-cli -addr 127.0.0.1:11311 get user:1
+//	dido-cli -addr 127.0.0.1:11311 del user:1
+//	dido-cli -addr 127.0.0.1:11311 ping      # round-trip latency check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:11311", "server UDP address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	c, err := dido.Dial(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	switch args[0] {
+	case "get":
+		need(args, 2)
+		v, ok, err := c.Get([]byte(args[1]))
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			fmt.Println("(not found)")
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", v)
+	case "set":
+		need(args, 3)
+		if err := c.Set([]byte(args[1]), []byte(args[2])); err != nil {
+			fatal(err)
+		}
+		fmt.Println("OK")
+	case "del":
+		need(args, 2)
+		existed, err := c.Delete([]byte(args[1]))
+		if err != nil {
+			fatal(err)
+		}
+		if existed {
+			fmt.Println("deleted")
+		} else {
+			fmt.Println("(not found)")
+			os.Exit(1)
+		}
+	case "ping":
+		key := []byte("__dido_ping__")
+		start := time.Now()
+		if err := c.Set(key, []byte("pong")); err != nil {
+			fatal(err)
+		}
+		if _, _, err := c.Get(key); err != nil {
+			fatal(err)
+		}
+		c.Delete(key)
+		fmt.Printf("round trips ok in %v\n", time.Since(start))
+	default:
+		usage()
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dido-cli [-addr host:port] get <key> | set <key> <value> | del <key> | ping")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command dido-loadgen drives a dido-server with one of the paper's 24
+// standard workloads over UDP, batching queries per frame the way the
+// evaluation does (§V-A), and reports achieved throughput.
+//
+// Usage:
+//
+//	dido-loadgen -addr 127.0.0.1:11311 -workload K16-G95-S -duration 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:11311", "server UDP address")
+	wl := flag.String("workload", "K16-G95-U", "standard workload name (see README)")
+	dur := flag.Duration("duration", 10*time.Second, "run duration")
+	batch := flag.Int("batch", 128, "queries per frame")
+	pop := flag.Uint64("population", 100000, "key population")
+	warm := flag.Bool("warm", true, "pre-load the population before measuring")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	spec, ok := workload.SpecByName(*wl)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q; options:\n", *wl)
+		for _, s := range workload.StandardSpecs() {
+			fmt.Fprintf(os.Stderr, "  %s\n", s.Name)
+		}
+		os.Exit(2)
+	}
+
+	c, err := dido.Dial(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dial:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	gen := workload.NewGenerator(spec, *pop, *seed)
+	if *warm {
+		fmt.Printf("warming %d keys...\n", *pop)
+		val := make([]byte, spec.ValueSize)
+		var buf []byte
+		var qs []dido.Query
+		for i := uint64(1); i <= *pop; i++ {
+			buf = gen.KeyAt(i, nil)
+			qs = append(qs, dido.Query{Op: dido.OpSet, Key: buf, Value: val})
+			if len(qs) >= *batch {
+				if _, err := c.Do(qs); err != nil {
+					fmt.Fprintln(os.Stderr, "warm:", err)
+					os.Exit(1)
+				}
+				qs = qs[:0]
+			}
+		}
+		if len(qs) > 0 {
+			c.Do(qs)
+		}
+	}
+
+	fmt.Printf("running %s for %v (batch %d)...\n", spec.Name, *dur, *batch)
+	deadline := time.Now().Add(*dur)
+	var sent, hits, misses uint64
+	start := time.Now()
+	for time.Now().Before(deadline) {
+		qs := gen.Batch(*batch)
+		resps, err := c.Do(qs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "do:", err)
+			os.Exit(1)
+		}
+		sent += uint64(len(qs))
+		for i, r := range resps {
+			if qs[i].Op != dido.OpGet {
+				continue
+			}
+			if r.Status == dido.StatusOK {
+				hits++
+			} else {
+				misses++
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("sent %d queries in %v: %.1f KOPS, GET hit rate %.3f\n",
+		sent, elapsed.Round(time.Millisecond),
+		float64(sent)/elapsed.Seconds()/1000,
+		float64(hits)/float64(maxU(hits+misses, 1)))
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+// Command dido-server runs the real (non-simulated) in-memory key-value
+// store as a UDP server speaking the batched binary protocol.
+//
+// Usage:
+//
+//	dido-server -addr 127.0.0.1:11311 -mem 268435456
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:11311", "UDP listen address (binary batched protocol)")
+	textAddr := flag.String("text", "", "optional TCP listen address for the memcached ASCII protocol")
+	mem := flag.Int64("mem", 256<<20, "key-value arena bytes")
+	statsEvery := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
+	flag.Parse()
+
+	st := dido.NewStore(dido.StoreConfig{MemoryBytes: *mem})
+	srv := dido.NewServer(st)
+
+	go func() {
+		if err := srv.Serve(*addr); err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+	}()
+	// Wait for bind so the printed address is real.
+	for srv.Addr() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	log.Printf("dido-server listening on %s (arena %d MB)", srv.Addr(), *mem>>20)
+
+	var textSrv *dido.TextServer
+	if *textAddr != "" {
+		textSrv = dido.NewTextServer(st)
+		go func() {
+			if err := textSrv.Serve(*textAddr); err != nil {
+				log.Fatalf("text serve: %v", err)
+			}
+		}()
+		for textSrv.Addr() == nil {
+			time.Sleep(time.Millisecond)
+		}
+		log.Printf("memcached ASCII protocol on %s (tcp)", textSrv.Addr())
+	}
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				s := st.Stats()
+				log.Printf("served=%d live=%d hits=%d misses=%d evictions=%d load=%.2f",
+					srv.Served(), s.LiveObjects, s.Hits, s.Misses, s.Evictions, s.IndexLoadFactor)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	if textSrv != nil {
+		textSrv.Close()
+	}
+	srv.Close()
+}

@@ -1,0 +1,76 @@
+// Costexplorer: ask the APU-aware cost model to rank every pipeline
+// configuration for a chosen workload, printing the paper-style pipeline
+// notation, the solved batch size, and the predicted throughput — a direct
+// window into §IV's "finding the optimal pipeline configuration".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/apu"
+	"repro/internal/costmodel"
+	"repro/internal/cuckoo"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "K16-G95-S", "standard workload name")
+	top := flag.Int("top", 10, "how many configurations to print")
+	latency := flag.Duration("latency", time.Millisecond, "average latency budget")
+	flag.Parse()
+
+	spec, ok := workload.SpecByName(*wl)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+
+	prof := task.Profile{
+		N:                8192,
+		GetRatio:         spec.GetRatio,
+		KeySize:          float64(spec.KeySize),
+		ValueSize:        float64(spec.ValueSize),
+		Skew:             spec.Skew,
+		Population:       workload.PopulationForMemory(spec, 1908<<20),
+		EvictionRate:     1,
+		AvgInsertBuckets: 2,
+		SearchProbes:     cuckoo.SearchProbesTheoretical(2),
+		WireQueryBytes:   float64(spec.KeySize) + 12,
+		RVInstr:          1800,
+		SDInstr:          1800,
+		RVUnitNanos:      650,
+		SDUnitNanos:      650,
+	}
+
+	planner := costmodel.NewPlanner(apu.KaveriPlatform(), *latency/3)
+	best, all := planner.Best(prof)
+
+	sort.Slice(all, func(i, j int) bool {
+		return all[i].ThroughputOPS > all[j].ThroughputOPS
+	})
+
+	fmt.Printf("workload %s on the Kaveri APU, latency budget %v\n", spec.Name, *latency)
+	fmt.Printf("cache-hit portion P (Zipf analysis) = %.3f\n\n", planner.CacheHitPortion(prof))
+	fmt.Printf("%-4s %-58s %8s %10s\n", "#", "pipeline", "batch", "pred MOPS")
+	for i, p := range all {
+		if i >= *top {
+			break
+		}
+		marker := " "
+		if p.Config == best.Config {
+			marker = "*"
+		}
+		fmt.Printf("%-4d %-58s %8d %9.2f%s\n",
+			i+1, p.Config.String(), p.Batch, p.ThroughputOPS/1e6, marker)
+	}
+	fmt.Printf("...\n%-4s %-58s %8d %9.2f\n", "last",
+		all[len(all)-1].Config.String(), all[len(all)-1].Batch,
+		all[len(all)-1].ThroughputOPS/1e6)
+	fmt.Printf("\nbest/worst predicted ratio: %.1fx (Fig 10's error bars come from this spread)\n",
+		best.ThroughputOPS/all[len(all)-1].ThroughputOPS)
+}

@@ -1,0 +1,139 @@
+// Socialcache: emulate the two Facebook Memcached workload classes the paper
+// motivates with (§II-C1, citing Atikoglu et al., SIGMETRICS 2012):
+//
+//   - USR: user-account status — tiny 2-byte values, overwhelmingly GETs.
+//   - ETC: general cache — wide value-size spread, mixed GET/SET.
+//
+// Both run against the real store through the UDP server/client pair,
+// proving the full protocol path end-to-end in one process.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	st := dido.NewStore(dido.StoreConfig{MemoryBytes: 32 << 20})
+	srv := dido.NewServer(st)
+	go srv.Serve("127.0.0.1:0")
+	for srv.Addr() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	defer srv.Close()
+	fmt.Printf("server on %s\n", srv.Addr())
+
+	c, err := dido.Dial(srv.Addr().String())
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	runUSR(c)
+	runETC(c)
+
+	s := st.Stats()
+	fmt.Printf("\nstore after both workloads: live=%d hits=%d misses=%d evictions=%d\n",
+		s.LiveObjects, s.Hits, s.Misses, s.Evictions)
+}
+
+// runUSR emulates the USR pool: 2-byte status values, ~99% GET.
+func runUSR(c *dido.Client) {
+	fmt.Println("\n== USR: user-account status (2-byte values, 99% GET) ==")
+	rng := rand.New(rand.NewSource(1))
+	const users = 20000
+
+	var batch []dido.Query
+	for u := 0; u < users; u++ {
+		batch = append(batch, dido.Query{
+			Op:    dido.OpSet,
+			Key:   fmt.Appendf(nil, "usr:%06d", u),
+			Value: []byte{byte(rng.Intn(2)), 0},
+		})
+		if len(batch) == 256 {
+			mustDo(c, batch)
+			batch = batch[:0]
+		}
+	}
+	mustDo(c, batch)
+
+	start := time.Now()
+	var ops, hits int
+	for time.Since(start) < time.Second {
+		qs := make([]dido.Query, 0, 256)
+		for i := 0; i < 256; i++ {
+			u := rng.Intn(users)
+			if rng.Float64() < 0.99 {
+				qs = append(qs, dido.Query{Op: dido.OpGet, Key: fmt.Appendf(nil, "usr:%06d", u)})
+			} else {
+				qs = append(qs, dido.Query{Op: dido.OpSet, Key: fmt.Appendf(nil, "usr:%06d", u), Value: []byte{1, 0}})
+			}
+		}
+		resps := mustDo(c, qs)
+		ops += len(qs)
+		for i, r := range resps {
+			if qs[i].Op == dido.OpGet && r.Status == dido.StatusOK {
+				hits++
+			}
+		}
+	}
+	fmt.Printf("USR: %d ops in 1s (%.0f KOPS), hit rate %.3f\n",
+		ops, float64(ops)/1000, float64(hits)/float64(ops))
+}
+
+// runETC emulates the ETC pool: value sizes spread from tens of bytes to
+// ~10 KB (half under 1 KB, half 1-10 KB, per the paper's description).
+func runETC(c *dido.Client) {
+	fmt.Println("\n== ETC: general cache (wide value-size spread, 75% GET) ==")
+	rng := rand.New(rand.NewSource(2))
+	const objects = 4000
+
+	valueSize := func() int {
+		if rng.Float64() < 0.5 {
+			return 30 + rng.Intn(970) // < 1 KB
+		}
+		return 1000 + rng.Intn(9000) // 1-10 KB
+	}
+
+	for o := 0; o < objects; o++ {
+		val := make([]byte, valueSize())
+		q := []dido.Query{{Op: dido.OpSet, Key: fmt.Appendf(nil, "etc:%05d", o), Value: val}}
+		mustDo(c, q)
+	}
+
+	start := time.Now()
+	var ops int
+	var bytesMoved int
+	for time.Since(start) < time.Second {
+		qs := make([]dido.Query, 0, 16)
+		for i := 0; i < 16; i++ {
+			o := rng.Intn(objects)
+			if rng.Float64() < 0.75 {
+				qs = append(qs, dido.Query{Op: dido.OpGet, Key: fmt.Appendf(nil, "etc:%05d", o)})
+			} else {
+				qs = append(qs, dido.Query{Op: dido.OpSet, Key: fmt.Appendf(nil, "etc:%05d", o), Value: make([]byte, valueSize())})
+			}
+		}
+		resps := mustDo(c, qs)
+		ops += len(qs)
+		for _, r := range resps {
+			bytesMoved += len(r.Value)
+		}
+	}
+	fmt.Printf("ETC: %d ops in 1s (%.0f KOPS), %.1f MB served\n",
+		ops, float64(ops)/1000, float64(bytesMoved)/(1<<20))
+}
+
+func mustDo(c *dido.Client, qs []dido.Query) []dido.Response {
+	if len(qs) == 0 {
+		return nil
+	}
+	resps, err := c.Do(qs)
+	if err != nil {
+		panic(err)
+	}
+	return resps
+}

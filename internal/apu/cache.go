@@ -1,0 +1,114 @@
+package apu
+
+import "container/list"
+
+// LRUCache simulates a device's last-level cache at object granularity: the
+// pipeline simulator asks it whether a key-value object read would hit. It
+// accounts capacity in bytes so that large values displace more of the cache,
+// reproducing the paper's observation that skewed workloads keep the hot set
+// cached and relieve memory-bandwidth contention (§V-C "Impact of Key
+// Popularity").
+//
+// LRUCache is not safe for concurrent use.
+type LRUCache struct {
+	capacity int64
+	used     int64
+	order    *list.List // front = most recently used
+	items    map[uint64]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key  uint64
+	size int64
+}
+
+// NewLRUCache returns a cache with the given byte capacity.
+func NewLRUCache(capacity int64) *LRUCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &LRUCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[uint64]*list.Element),
+	}
+}
+
+// Access simulates touching object key of the given size. It returns true on
+// a hit. On a miss the object is inserted, evicting least-recently-used
+// entries as needed. Objects larger than the whole cache are never cached.
+func (c *LRUCache) Access(key uint64, size int64) bool {
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		// Size may have changed (value overwritten); adjust accounting.
+		ent := el.Value.(*cacheEntry)
+		if ent.size != size {
+			c.used += size - ent.size
+			ent.size = size
+			c.evictOverflow()
+		}
+		return true
+	}
+	c.misses++
+	if size > c.capacity {
+		return false
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, size: size})
+	c.items[key] = el
+	c.used += size
+	c.evictOverflow()
+	return false
+}
+
+// Contains reports whether key is cached, without updating recency or stats.
+func (c *LRUCache) Contains(key uint64) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Invalidate removes key from the cache (e.g. the object was deleted).
+func (c *LRUCache) Invalidate(key uint64) {
+	if el, ok := c.items[key]; ok {
+		c.removeElement(el)
+	}
+}
+
+func (c *LRUCache) evictOverflow() {
+	for c.used > c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			return
+		}
+		c.removeElement(back)
+	}
+}
+
+func (c *LRUCache) removeElement(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	c.order.Remove(el)
+	delete(c.items, ent.key)
+	c.used -= ent.size
+}
+
+// Len returns the number of cached objects.
+func (c *LRUCache) Len() int { return c.order.Len() }
+
+// UsedBytes returns the bytes currently cached.
+func (c *LRUCache) UsedBytes() int64 { return c.used }
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (c *LRUCache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// ResetStats zeroes the hit/miss counters without evicting anything.
+func (c *LRUCache) ResetStats() {
+	c.hits, c.misses = 0, 0
+}

@@ -1,0 +1,29 @@
+package apu
+
+// rng is a tiny deterministic xorshift64* generator. The timing model needs
+// reproducible noise without pulling math/rand state that tests elsewhere
+// might share.
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed uint64) rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return rng{state: seed}
+}
+
+func (r *rng) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}

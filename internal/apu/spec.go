@@ -1,0 +1,227 @@
+// Package apu models a coupled CPU-GPU chip (an AMD Kaveri A10-7850K APU by
+// default): the two processors, their caches, the shared memory system, and
+// the CPU↔GPU interference that arises when both issue memory traffic at
+// once.
+//
+// This package is the reproduction's substitute for the physical APU the DIDO
+// paper runs on (see DESIGN.md §2). It is the *ground truth* timing model used
+// by the pipeline simulator. DIDO's planner deliberately does NOT use this
+// package; it uses the closed-form cost model in internal/costmodel, so that
+// the planner's predictions can disagree with "reality" the way the paper's
+// cost model disagrees with its hardware (Fig 9).
+//
+// The model captures the architectural mechanisms the paper's results hinge
+// on:
+//
+//   - CPU: few fast cores, large L2, hardware prefetching of sequential
+//     accesses, memory-latency bound on random accesses.
+//   - GPU: many slow lanes grouped into 64-wide wavefronts, deep
+//     latency-hiding when occupancy is high, terrible efficiency on small
+//     batches (idle lanes + fixed kernel-launch overhead) — the effect behind
+//     Fig 6.
+//   - Shared memory: a single DDR3 bandwidth pool; concurrent traffic from
+//     both devices slows each down (µ factor, paper Eq 2), with the GPU
+//     hurting the CPU more than vice versa.
+package apu
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind distinguishes the two processor types of a coupled architecture.
+type Kind int
+
+const (
+	// CPU is a latency-oriented processor.
+	CPU Kind = iota
+	// GPU is a throughput-oriented processor.
+	GPU
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case CPU:
+		return "CPU"
+	case GPU:
+		return "GPU"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// DeviceSpec describes one processor of the coupled chip.
+type DeviceSpec struct {
+	Name string
+	Kind Kind
+
+	// Cores is the number of CPU cores, or compute units for a GPU.
+	Cores int
+	// LanesPerCore is 1 for CPUs; the wavefront width (shaders per CU) for
+	// GPUs. The Kaveri GPU has 64 shaders per CU.
+	LanesPerCore int
+	// ClockHz is the core clock.
+	ClockHz float64
+	// IPC is the theoretical peak instructions per cycle per core (per lane
+	// for GPUs), as used by the paper's Eq 1.
+	IPC float64
+
+	// CacheBytes is the last-level cache available to this device.
+	CacheBytes int64
+	// CacheLineBytes is the cache line size.
+	CacheLineBytes int
+	// CacheLatency is the latency of one L2 cache access.
+	CacheLatency time.Duration
+	// MemLatency is the latency of one random access to shared memory.
+	MemLatency time.Duration
+
+	// For GPUs only: latency hiding and batch behaviour.
+
+	// MaxWavesInFlight is how many wavefronts a compute unit can interleave
+	// to hide memory latency. Effective random-access latency divides by the
+	// number of resident waves (up to this limit).
+	MaxWavesInFlight int
+	// KernelLaunch is the fixed cost of launching one kernel (batch).
+	KernelLaunch time.Duration
+
+	// For CPUs only: sequential prefetch efficiency. When an access stream is
+	// sequential, this fraction of would-be memory accesses are served at
+	// cache latency instead (hardware prefetcher hit rate).
+	PrefetchHitRate float64
+}
+
+// WavefrontWidth returns the SIMT width of the device (1 for CPUs).
+func (d *DeviceSpec) WavefrontWidth() int {
+	if d.Kind == CPU {
+		return 1
+	}
+	return d.LanesPerCore
+}
+
+// TotalLanes returns Cores × LanesPerCore.
+func (d *DeviceSpec) TotalLanes() int { return d.Cores * d.LanesPerCore }
+
+// CycleTime returns the duration of one clock cycle.
+func (d *DeviceSpec) CycleTime() time.Duration {
+	return time.Duration(float64(time.Second) / d.ClockHz)
+}
+
+// MemorySpec describes the shared memory system of the coupled chip.
+type MemorySpec struct {
+	// TotalBytes is the memory usable for key-value data. The Kaveri
+	// evaluation platform exposes 1908 MB of CPU/GPU shared allocations
+	// (paper §V-A).
+	TotalBytes int64
+	// BandwidthBytesPerSec is the peak shared bandwidth (dual-channel
+	// DDR3-1333 ≈ 21.3 GB/s).
+	BandwidthBytesPerSec float64
+	// GPURandomAccessesPerSec caps the rate at which the memory system
+	// serves *random* line-granularity accesses from the GPU's massively
+	// parallel request stream (DRAM row misses dominate; effective random
+	// throughput is a small fraction of streaming bandwidth). This floor is
+	// what bounds the GPU index-operation stage at scale — the paper's
+	// Fig 4 Index Operation stage (≈174 µs for a K8 batch) is governed by
+	// it, not by compute.
+	GPURandomAccessesPerSec float64
+}
+
+// Platform is a complete coupled CPU-GPU chip description.
+type Platform struct {
+	CPU    DeviceSpec
+	GPU    DeviceSpec
+	Memory MemorySpec
+	// PriceUSD and TDPWatts parameterize the price-performance (Fig 17) and
+	// energy-efficiency (Fig 18) experiments.
+	PriceUSD float64
+	TDPWatts float64
+}
+
+// KaveriPlatform returns the AMD A10-7850K configuration used throughout the
+// paper's evaluation: 4 CPU cores @ 3.7 GHz, 8 GPU compute units × 64 shaders
+// @ 720 MHz, shared DDR3-1333, 95 W TDP. The APU's 2014 launch price was
+// ~173 USD; the paper states the discrete platform's processors cost 25× the
+// APU's.
+func KaveriPlatform() Platform {
+	return Platform{
+		CPU: DeviceSpec{
+			Name:            "Kaveri-CPU(Steamroller x4)",
+			Kind:            CPU,
+			Cores:           4,
+			LanesPerCore:    1,
+			ClockHz:         3.7e9,
+			IPC:             2, // sustained, not marketing peak
+			CacheBytes:      4 << 20,
+			CacheLineBytes:  64,
+			CacheLatency:    8 * time.Nanosecond,
+			MemLatency:      85 * time.Nanosecond,
+			PrefetchHitRate: 0.85,
+		},
+		GPU: DeviceSpec{
+			Name:             "Kaveri-GPU(GCN 8CU)",
+			Kind:             GPU,
+			Cores:            8,
+			LanesPerCore:     64,
+			ClockHz:          720e6,
+			IPC:              1,
+			CacheBytes:       512 << 10,
+			CacheLineBytes:   64,
+			CacheLatency:     40 * time.Nanosecond,
+			MemLatency:       320 * time.Nanosecond,
+			MaxWavesInFlight: 10,
+			KernelLaunch:     8 * time.Microsecond,
+		},
+		Memory: MemorySpec{
+			TotalBytes:              1908 << 20,
+			BandwidthBytesPerSec:    21.3e9,
+			GPURandomAccessesPerSec: 200e6, // DDR3 random-line service rate
+		},
+		PriceUSD: 173,
+		TDPWatts: 95,
+	}
+}
+
+// DiscretePlatform returns a discrete CPU-GPU configuration approximating the
+// Mega-KV paper's testbed (2× Intel E5-2650v2 + 2× NVIDIA GTX 780) for the
+// cross-architecture comparisons of Figs 16-18. PCIe transfer costs are
+// modeled separately by the megakv package's discrete mode.
+func DiscretePlatform() Platform {
+	return Platform{
+		CPU: DeviceSpec{
+			Name:            "E5-2650v2 x2",
+			Kind:            CPU,
+			Cores:           16,
+			LanesPerCore:    1,
+			ClockHz:         2.6e9,
+			IPC:             2.5,
+			CacheBytes:      40 << 20,
+			CacheLineBytes:  64,
+			CacheLatency:    12 * time.Nanosecond,
+			MemLatency:      90 * time.Nanosecond,
+			PrefetchHitRate: 0.9,
+		},
+		GPU: DeviceSpec{
+			Name:             "GTX780 x2",
+			Kind:             GPU,
+			Cores:            24, // 12 SMX x2
+			LanesPerCore:     192,
+			ClockHz:          863e6,
+			IPC:              1,
+			CacheBytes:       3 << 20,
+			CacheLineBytes:   128,
+			CacheLatency:     30 * time.Nanosecond,
+			MemLatency:       250 * time.Nanosecond,
+			MaxWavesInFlight: 16,
+			KernelLaunch:     5 * time.Microsecond,
+		},
+		Memory: MemorySpec{
+			TotalBytes:              64 << 30,
+			BandwidthBytesPerSec:    2 * 288e9, // GDDR5 per card
+			GPURandomAccessesPerSec: 1.4e9,     // GDDR5, many channels/banks
+		},
+		// Paper §V-E: the discrete platform's processors cost 25× the APU.
+		PriceUSD: 25 * 173,
+		// TDP: 2×95 W CPUs + 2×250 W GPUs.
+		TDPWatts: 2*95 + 2*250,
+	}
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/dido"
+	"repro/internal/megakv"
+	"repro/internal/workload"
+)
+
+// Fig13 isolates flexible index operation assignment: the pipeline shape is
+// pinned to Mega-KV's ([RV,PP,MM]CPU→[IN]GPU→[KC,RD,WR,SD]CPU, stealing off)
+// and only the Insert/Delete placement may vary; the baseline forces all
+// index ops to the GPU. Paper: +37% average over 14 of 16 workloads (95%
+// GET: +56%; 50% GET: +10%).
+func Fig13(sc Scale) []*Table {
+	t := &Table{
+		ID:      "fig13",
+		Title:   "Speedup from flexible index operation assignment (pipeline pinned)",
+		Columns: []string{"Baseline_MOPS", "Flexible_MOPS", "Speedup"},
+		Notes: []string{
+			"paper: avg +37%; ~+56% on 95% GET, ~+10% on 50% GET",
+		},
+	}
+	var names []string
+	for _, n := range sortedSpecNames() {
+		spec, _ := workload.SpecByName(n)
+		if spec.GetRatio == 0.95 || spec.GetRatio == 0.5 {
+			names = append(names, n)
+		}
+	}
+	for _, name := range names {
+		spec, _ := workload.SpecByName(name)
+
+		base := runWorkload(buildOpts(sc, time.Millisecond), megakv.NewCoupled, spec, sc)
+
+		opts := buildOpts(sc, time.Millisecond)
+		opts.DisableDynamicPipeline = true
+		opts.DisableWorkStealing = true
+		flex := runWorkload(opts, dido.New, spec, sc)
+
+		if base.ThroughputMOPS <= 0 {
+			continue
+		}
+		t.Add(name, base.ThroughputMOPS, flex.ThroughputMOPS,
+			flex.ThroughputMOPS/base.ThroughputMOPS)
+	}
+	t.Notes = append(t.Notes, "measured mean speedup = "+fmtF(t.Mean(2))+"x")
+	return []*Table{t}
+}
+
+// fig14Workloads are the nine read-intensive workloads for which the paper's
+// DIDO picks a different pipeline shape than Mega-KV (§V-D2).
+func fig14Workloads() []string {
+	return []string{
+		"K8-G100-U", "K8-G100-S", "K8-G95-U", "K8-G95-S",
+		"K16-G100-U", "K16-G100-S", "K16-G95-U", "K16-G95-S",
+		"K32-G100-S",
+	}
+}
+
+// Fig14 isolates dynamic pipeline partitioning: with index assignment
+// already flexible (and stealing off in both arms), free the pipeline shape
+// and compare against the pinned Mega-KV shape. Paper: +69% average on the
+// nine workloads.
+func Fig14(sc Scale) []*Table {
+	t := &Table{
+		ID:      "fig14",
+		Title:   "Speedup from dynamic pipeline partitioning (on top of flexible index ops)",
+		Columns: []string{"Pinned_MOPS", "Dynamic_MOPS", "Speedup"},
+		Notes:   []string{"paper: avg +69% on these nine read-intensive workloads"},
+	}
+	for _, name := range fig14Workloads() {
+		spec, _ := workload.SpecByName(name)
+
+		pinnedOpts := buildOpts(sc, time.Millisecond)
+		pinnedOpts.DisableDynamicPipeline = true
+		pinnedOpts.DisableWorkStealing = true
+		pinned := runWorkload(pinnedOpts, dido.New, spec, sc)
+
+		dynOpts := buildOpts(sc, time.Millisecond)
+		dynOpts.DisableWorkStealing = true
+		dyn := runWorkload(dynOpts, dido.New, spec, sc)
+
+		if pinned.ThroughputMOPS <= 0 {
+			continue
+		}
+		t.Add(name, pinned.ThroughputMOPS, dyn.ThroughputMOPS,
+			dyn.ThroughputMOPS/pinned.ThroughputMOPS)
+	}
+	t.Notes = append(t.Notes, "measured mean speedup = "+fmtF(t.Mean(2))+"x")
+	return []*Table{t}
+}
+
+// Fig15 isolates work stealing: full DIDO vs DIDO with stealing removed from
+// the search space, across all 24 workloads. Paper: +15.7% average, larger
+// on small key-value sizes (K8 +28%, K16 +16%, K32 +12%, K128 +6%).
+func Fig15(sc Scale) []*Table {
+	t := &Table{
+		ID:      "fig15",
+		Title:   "Speedup from work stealing (full DIDO vs no-stealing DIDO)",
+		Columns: []string{"NoSteal_MOPS", "Steal_MOPS", "Speedup"},
+		Notes: []string{
+			"paper: avg +15.7%; K8 +28%, K16 +16%, K32 +12%, K128 +6%",
+		},
+	}
+	for _, name := range sortedSpecNames() {
+		spec, _ := workload.SpecByName(name)
+
+		noOpts := buildOpts(sc, time.Millisecond)
+		noOpts.DisableWorkStealing = true
+		noSteal := runWorkload(noOpts, dido.New, spec, sc)
+
+		full := runWorkload(buildOpts(sc, time.Millisecond), dido.New, spec, sc)
+
+		if noSteal.ThroughputMOPS <= 0 {
+			continue
+		}
+		t.Add(name, noSteal.ThroughputMOPS, full.ThroughputMOPS,
+			full.ThroughputMOPS/noSteal.ThroughputMOPS)
+	}
+	t.Notes = append(t.Notes, "measured mean speedup = "+fmtF(t.Mean(2))+"x")
+	return []*Table{t}
+}

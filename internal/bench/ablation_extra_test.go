@@ -1,0 +1,108 @@
+package bench
+
+import "testing"
+
+func TestAblStealGranularityShape(t *testing.T) {
+	tab := AblStealGranularity(quick())[0]
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// 64 should be at or near the optimum: no chunk size may beat it by
+	// more than ~10% (the paper's §III-B3 granularity claim).
+	var at64 float64
+	for _, r := range tab.Rows {
+		if r.Label == "64" {
+			at64 = r.Values[1]
+		}
+	}
+	if at64 <= 0 {
+		t.Fatal("missing 64-chunk row")
+	}
+	var tailRisk bool
+	for _, r := range tab.Rows {
+		if r.Values[1] < at64*0.95 {
+			t.Fatalf("chunk %s beats 64 by >5%%: %v vs %v", r.Label, r.Values[1], at64)
+		}
+		if r.Values[0] > 64 && r.Values[1] > at64*1.1 {
+			tailRisk = true
+		}
+	}
+	// Sub-wavefront chunks strand GPU lanes: strictly much worse.
+	if tab.Rows[0].Values[1] < at64*1.5 {
+		t.Fatalf("sub-wavefront chunk should be >=1.5x worse: %v vs %v",
+			tab.Rows[0].Values[1], at64)
+	}
+	// And at least one larger granularity shows tail-stranding risk, the
+	// reason to stop at the wavefront width.
+	if !tailRisk {
+		t.Fatal("no large-chunk tail-stranding observed; sweep uninformative")
+	}
+}
+
+func TestAblMuGridErrorShrinks(t *testing.T) {
+	tab := AblMuGrid(quick())[0]
+	if len(tab.Rows) < 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	first := tab.Rows[0].Values[1]
+	last := tab.Rows[len(tab.Rows)-1].Values[1]
+	if last >= first {
+		t.Fatalf("finer grid should shrink max error: %v → %v", first, last)
+	}
+	if last > 5 {
+		t.Fatalf("32-level grid max error %v%% too large", last)
+	}
+}
+
+func TestAblCuckooProbesShape(t *testing.T) {
+	tab := AblCuckooProbes(quick())[0]
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	lowLoad := tab.Rows[0].Values[1]
+	highLoad := tab.Rows[len(tab.Rows)-1].Values[1]
+	if lowLoad < 1.5 || lowLoad > 2.5 {
+		t.Fatalf("low-load insert buckets = %v, want ~2", lowLoad)
+	}
+	if highLoad < lowLoad {
+		t.Fatal("insert cost should not fall with load factor")
+	}
+	// Amortized O(1) holds through the store's operating range (the index is
+	// sized for 0.85 load); the blowup beyond 0.9 is the finding this
+	// ablation reports.
+	var at08 float64
+	for _, r := range tab.Rows {
+		if r.Values[0] == 0.8 {
+			at08 = r.Values[1]
+		}
+	}
+	if at08 > 8 {
+		t.Fatalf("insert buckets at 0.8 load = %v, want amortized O(1)", at08)
+	}
+	if highLoad < 2*at08 {
+		t.Fatalf("expected visible displacement blowup past 0.9 load: %v vs %v", highLoad, at08)
+	}
+}
+
+func TestAblPlannerProbesNearInterval(t *testing.T) {
+	tab := AblPlannerProbes(quick())[0]
+	for _, r := range tab.Rows {
+		ratio := r.Values[1]
+		if ratio < 0.4 || ratio > 1.6 {
+			t.Fatalf("%s: Tmax/interval = %v, affine solve badly off", r.Label, ratio)
+		}
+	}
+}
+
+func TestAblLatencyPercentilesOrdered(t *testing.T) {
+	tab := AblLatencyPercentiles(quick())[0]
+	for _, r := range tab.Rows {
+		avg, p50, p99 := r.Values[0], r.Values[1], r.Values[2]
+		if p99 < p50 {
+			t.Fatalf("%s: p99 %v < p50 %v", r.Label, p99, p50)
+		}
+		if avg <= 0 {
+			t.Fatalf("%s: no latency measured", r.Label)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quick returns the cheapest scale that still exhibits the paper's shapes.
+func quick() Scale { return QuickScale() }
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	want := []string{
+		"fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "fig12",
+		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+		"fig19", "fig20", "fig21",
+		"abl-steal", "abl-mugrid", "abl-cuckoo", "abl-latency", "abl-planner",
+	}
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Fatalf("registry[%d] = %s, want %s", i, reg[i].ID, id)
+		}
+		if reg[i].Run == nil || reg[i].Title == "" {
+			t.Fatalf("registry entry %s incomplete", id)
+		}
+	}
+	if _, ok := ByID("FIG11"); !ok {
+		t.Fatal("ByID should be case-insensitive")
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Fatal("bogus id resolved")
+	}
+}
+
+func TestTablePrinting(t *testing.T) {
+	tab := &Table{ID: "t", Title: "Test", Columns: []string{"A", "B"}}
+	tab.Add("row1", 1.5, 2.5)
+	tab.Add("row2", 3, 4)
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"t", "Test", "A", "B", "row1", "1.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tab.Mean(0) != 2.25 {
+		t.Fatalf("mean = %v", tab.Mean(0))
+	}
+	if tab.Mean(5) != 0 {
+		t.Fatal("out-of-range mean should be 0")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tabs := Fig4(quick())
+	tab := tabs[0]
+	if len(tab.Rows) != 4 {
+		t.Fatalf("fig4 rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		np, idx, rs := r.Values[0], r.Values[1], r.Values[2]
+		if np <= 0 || idx <= 0 || rs <= 0 {
+			t.Fatalf("%s: nonpositive stage time %v", r.Label, r.Values)
+		}
+		// Fig 4's shape: Read&Send dominates network processing everywhere.
+		if rs <= np {
+			t.Fatalf("%s: Read&Send (%v) should exceed NetworkProc (%v)", r.Label, rs, np)
+		}
+	}
+	// Index stage time shrinks from K8 to K128 (smaller batches).
+	if tab.Rows[0].Values[1] <= tab.Rows[3].Values[1] {
+		t.Fatalf("index stage should shrink with KV size: %v vs %v",
+			tab.Rows[0].Values[1], tab.Rows[3].Values[1])
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	tab := Fig5(quick())[0]
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// GPU utilization falls with key-value size; large-KV util is low.
+	first := tab.Rows[0].Values[0]
+	last := tab.Rows[3].Values[0]
+	if last >= first {
+		t.Fatalf("GPU util should fall with KV size: %v → %v", first, last)
+	}
+	if last > 0.4 {
+		t.Fatalf("K128 GPU util = %v, want severe underutilization", last)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tab := Fig6(quick())[0]
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		sum := r.Values[0] + r.Values[1] + r.Values[2]
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("%s: shares sum to %v", r.Label, sum)
+		}
+		// The paper's finding: 5% of ops (updates) eat a disproportionate
+		// share of GPU time — well above their 5% op share.
+		if r.Values[3] < 0.15 {
+			t.Fatalf("%s: update share %v too small to reproduce Fig 6", r.Label, r.Values[3])
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	sc := quick()
+	tab := Fig11(sc)[0]
+	if len(tab.Rows) != 24 {
+		t.Fatalf("rows = %d, want 24", len(tab.Rows))
+	}
+	var below float64
+	for _, r := range tab.Rows {
+		if r.Values[2] < 0.95 {
+			below++
+		}
+	}
+	// DIDO should win or tie essentially everywhere.
+	if below > 3 {
+		t.Fatalf("DIDO lost on %v of 24 workloads", below)
+	}
+	if tab.Mean(2) < 1.1 {
+		t.Fatalf("mean speedup = %v, want clearly > 1", tab.Mean(2))
+	}
+}
+
+func TestFig20Trace(t *testing.T) {
+	tab := Fig20(quick())[0]
+	if len(tab.Rows) < 5 {
+		t.Fatalf("trace too short: %d points", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r.Values[1] <= 0 {
+			t.Fatalf("nonpositive throughput in trace at %v", r.Values[0])
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/apu"
+	"repro/internal/dido"
+	"repro/internal/megakv"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+// fig4Datasets are the motivation experiment's four data sets (§II-C1): note
+// the 32-byte-key set uses a 512-byte value here, unlike the benchmark's 256.
+func fig4Datasets() []workload.Spec {
+	return []workload.Spec{
+		workload.NewSpec(8, 8, 0.95, workload.ZipfYCSB),
+		workload.NewSpec(16, 64, 0.95, workload.ZipfYCSB),
+		workload.NewSpec(32, 512, 0.95, workload.ZipfYCSB),
+		workload.NewSpec(128, 1024, 0.95, workload.ZipfYCSB),
+	}
+}
+
+// Fig4 reproduces the per-stage execution times of Mega-KV (Coupled) with
+// the 300 µs periodic scheduling cap: Network Processing stays light, Read &
+// Send Value pins at the cap, and Index Operation shrinks as objects grow
+// (paper: 25-42 µs / 174→97 µs / ≈300 µs).
+func Fig4(sc Scale) []*Table {
+	t := &Table{
+		ID:      "fig4",
+		Title:   "Mega-KV (Coupled) stage execution time, 95% GET zipf(0.99), µs",
+		Columns: []string{"NetworkProc_us", "IndexOp_us", "ReadSend_us"},
+		Notes: []string{
+			"paper: NP 25-42µs; Index 174µs (K8) dropping to 97µs (K128); Read&Send = 300µs cap",
+		},
+	}
+	for _, spec := range fig4Datasets() {
+		opts := buildOpts(sc, 900*time.Microsecond) // 3 stages × 300 µs
+		res := runWorkload(opts, megakv.NewCoupled, spec, sc)
+		t.Add(spec.Name,
+			us(res.StageMean[0]), us(res.StageMean[1]), us(res.StageMean[2]))
+	}
+	return []*Table{t}
+}
+
+// Fig5 reproduces Mega-KV's GPU utilization on the same four workloads
+// (paper: up to 51% on small KV, down to 12% on large).
+func Fig5(sc Scale) []*Table {
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Mega-KV (Coupled) GPU utilization",
+		Columns: []string{"GPUUtil"},
+		Notes:   []string{"paper: 51% at K8 falling to 12% at K128"},
+	}
+	for _, spec := range fig4Datasets() {
+		opts := buildOpts(sc, 900*time.Microsecond)
+		res := runWorkload(opts, megakv.NewCoupled, spec, sc)
+		t.Add(spec.Name, res.GPUUtilization)
+	}
+	return []*Table{t}
+}
+
+// Fig6 reproduces the normalized GPU execution time of Search, Insert and
+// Delete kernels as the update batch grows from 1000 to 5000 (with 19×
+// searches, the 95:5 ratio): the 5% updates eat 35-56% of GPU time because
+// small kernels strand the GPU's lanes.
+func Fig6(sc Scale) []*Table {
+	t := &Table{
+		ID:      "fig6",
+		Title:   "Normalized GPU execution time of index operations (95% GET batch)",
+		Columns: []string{"Search", "Insert", "Delete", "UpdateShare"},
+		Notes: []string{
+			"paper: Insert 26.8% and Delete 20.4% of GPU time on average (35-56% combined)",
+		},
+	}
+	model := apu.NewModel(apu.KaveriPlatform(), 0, sc.Seed)
+	prof := task.Profile{
+		GetRatio:         0.95,
+		KeySize:          16,
+		ValueSize:        64,
+		EvictionRate:     1,
+		AvgInsertBuckets: 2,
+		SearchProbes:     1.5,
+	}
+	for _, updates := range []int{1000, 2000, 3000, 4000, 5000} {
+		searches := 19 * updates
+		mk := func(id task.ID, n int) time.Duration {
+			d := task.ForTask(id, withN(prof, n*20), task.Placement{})
+			w := apu.Work{
+				N:                     n,
+				InstrPerQuery:         d.Instr,
+				MemAccessesPerQuery:   d.MemAccesses,
+				CacheAccessesPerQuery: d.CacheAccesses,
+				SeqBytesPerQuery:      d.SeqBytes,
+				GPUSerialFrac:         d.GPUSerialFrac,
+			}
+			return model.TaskTime(apu.GPU, w, 0)
+		}
+		ts := mk(task.INSearch, searches)
+		ti := mk(task.INInsert, updates)
+		td := mk(task.INDelete, updates)
+		total := ts + ti + td
+		t.Add(
+			itoa(updates),
+			ts.Seconds()/total.Seconds(),
+			ti.Seconds()/total.Seconds(),
+			td.Seconds()/total.Seconds(),
+			(ti+td).Seconds()/total.Seconds(),
+		)
+	}
+	return []*Table{t}
+}
+
+func withN(p task.Profile, n int) task.Profile {
+	p.N = n
+	return p
+}
+
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+var _ = dido.Options{}

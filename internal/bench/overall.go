@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/dido"
+	"repro/internal/megakv"
+	"repro/internal/workload"
+)
+
+// Fig11 reproduces the headline comparison: DIDO's throughput speedup over
+// Mega-KV (Coupled) across all 24 workloads (paper: up to 3.0×, average
+// 1.81×; gains shrink with key-value size and are largest at 95% GET).
+func Fig11(sc Scale) []*Table {
+	t := &Table{
+		ID:      "fig11",
+		Title:   "DIDO speedup over Mega-KV (Coupled), 24 workloads",
+		Columns: []string{"MegaKV_MOPS", "DIDO_MOPS", "Speedup"},
+		Notes: []string{
+			"paper: avg 1.81x, max 3.0x; K8/K16 improvements >> K32/K128; G95 > G100 > G50",
+		},
+	}
+	for _, name := range sortedSpecNames() {
+		spec, _ := workload.SpecByName(name)
+		mega := runWorkload(buildOpts(sc, time.Millisecond), megakv.NewCoupled, spec, sc)
+		didoRes := runWorkload(buildOpts(sc, time.Millisecond), dido.New, spec, sc)
+		if mega.ThroughputMOPS <= 0 {
+			continue
+		}
+		t.Add(name, mega.ThroughputMOPS, didoRes.ThroughputMOPS,
+			didoRes.ThroughputMOPS/mega.ThroughputMOPS)
+	}
+	t.Notes = append(t.Notes, "measured mean speedup = "+fmtF(t.Mean(2))+"x")
+	return []*Table{t}
+}
+
+// fig12Workloads are the four utilization workloads (K*-G95-S, matching the
+// Fig 5 motivation set but from the benchmark matrix).
+func fig12Workloads() []string {
+	return []string{"K8-G95-S", "K16-G95-S", "K32-G95-S", "K128-G95-S"}
+}
+
+// Fig12 reproduces the utilization comparison: DIDO lifts GPU utilization to
+// 57-89% (1.8× Mega-KV's) and CPU utilization by ~43% on average.
+func Fig12(sc Scale) []*Table {
+	t := &Table{
+		ID:    "fig12",
+		Title: "CPU and GPU utilization: DIDO vs Mega-KV (Coupled)",
+		Columns: []string{
+			"DIDO_GPU", "MegaKV_GPU", "DIDO_CPU", "MegaKV_CPU",
+		},
+		Notes: []string{
+			"paper: DIDO GPU util 57-89% (1.8x Mega-KV); DIDO CPU util up to 79%",
+		},
+	}
+	for _, name := range fig12Workloads() {
+		spec, _ := workload.SpecByName(name)
+		mega := runWorkload(buildOpts(sc, time.Millisecond), megakv.NewCoupled, spec, sc)
+		didoRes := runWorkload(buildOpts(sc, time.Millisecond), dido.New, spec, sc)
+		t.Add(name,
+			didoRes.GPUUtilization, mega.GPUUtilization,
+			didoRes.CPUUtilization, mega.CPUUtilization)
+	}
+	return []*Table{t}
+}

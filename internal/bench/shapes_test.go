@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// Shape tests for the remaining figures: each asserts the qualitative
+// finding the paper reports, at quick scale.
+
+func TestFig9ErrorBand(t *testing.T) {
+	tab := Fig9(quick())[0]
+	if len(tab.Rows) != 24 {
+		t.Fatalf("rows = %d, want 24", len(tab.Rows))
+	}
+	var sumAbs, maxAbs float64
+	for _, r := range tab.Rows {
+		a := abs(r.Values[0])
+		sumAbs += a
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	mean := sumAbs / float64(len(tab.Rows))
+	// Paper: avg 7.7%, max 14.2%. Accept the same order of magnitude; the
+	// model must be neither suspiciously exact nor useless.
+	if mean > 15 {
+		t.Fatalf("mean |error| = %.1f%%, cost model too inaccurate", mean)
+	}
+	if maxAbs < 0.5 {
+		t.Fatalf("max |error| = %.2f%%, suspiciously exact (planner peeking at ground truth?)", maxAbs)
+	}
+}
+
+func TestFig10DIDONearOptimal(t *testing.T) {
+	tab := Fig10(quick())[0]
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		best, worst := r.Values[1], r.Values[2]
+		// Paper: optimal only ~6.6% above DIDO on average; worst much lower.
+		if best > 1.6 {
+			t.Fatalf("%s: best config %.2fx DIDO — adaptation picked a poor plan", r.Label, best)
+		}
+		if worst > best {
+			t.Fatalf("%s: worst (%v) above best (%v)", r.Label, worst, best)
+		}
+	}
+	meanBest := tab.Mean(1)
+	if meanBest > 1.35 {
+		t.Fatalf("mean optimality gap %.2fx too large (paper: 1.066x)", meanBest)
+	}
+}
+
+func TestFig12DIDOLiftsUtilization(t *testing.T) {
+	tab := Fig12(quick())[0]
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	var didoBetterGPU int
+	for _, r := range tab.Rows {
+		didoGPU, megaGPU := r.Values[0], r.Values[1]
+		if didoGPU >= megaGPU {
+			didoBetterGPU++
+		}
+	}
+	if didoBetterGPU < 3 {
+		t.Fatalf("DIDO improved GPU utilization on only %d/4 workloads", didoBetterGPU)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	tab := Fig13(quick())[0]
+	if len(tab.Rows) != 16 {
+		t.Fatalf("rows = %d, want 16 (G95+G50)", len(tab.Rows))
+	}
+	var g95, g50 []float64
+	for _, r := range tab.Rows {
+		if strings.Contains(r.Label, "G95") {
+			g95 = append(g95, r.Values[2])
+		} else {
+			g50 = append(g50, r.Values[2])
+		}
+	}
+	if mean(g95) <= mean(g50) {
+		t.Fatalf("index assignment should help G95 (%v) more than G50 (%v) — paper: +56%% vs +10%%",
+			mean(g95), mean(g50))
+	}
+	if mean(g95) < 1.05 {
+		t.Fatalf("G95 mean speedup %.3f too small", mean(g95))
+	}
+	// G50 may be near-neutral but must not collapse.
+	if mean(g50) < 0.9 {
+		t.Fatalf("G50 mean speedup %.3f — flexible assignment hurt badly", mean(g50))
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	tab := Fig14(quick())[0]
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(tab.Rows))
+	}
+	if m := tab.Mean(2); m < 1.1 {
+		t.Fatalf("dynamic pipeline mean speedup %.3f, want clearly > 1 (paper: +69%%)", m)
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	tab := Fig15(quick())[0]
+	if len(tab.Rows) != 24 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	losses := 0
+	for _, r := range tab.Rows {
+		if r.Values[2] < 0.9 {
+			losses++
+		}
+	}
+	if losses > 4 {
+		t.Fatalf("work stealing lost >10%% on %d/24 workloads", losses)
+	}
+	// Gains shrink with key-value size (paper: K8 +28% → K128 +6%).
+	var k8s, k128s []float64
+	for _, r := range tab.Rows {
+		if strings.HasPrefix(r.Label, "K8-") {
+			k8s = append(k8s, r.Values[2])
+		}
+		if strings.HasPrefix(r.Label, "K128-") {
+			k128s = append(k128s, r.Values[2])
+		}
+	}
+	if mean(k8s) < mean(k128s)-0.05 {
+		t.Fatalf("stealing gain should not grow with KV size: K8 %v vs K128 %v", mean(k8s), mean(k128s))
+	}
+}
+
+func TestFig16DiscreteDominates(t *testing.T) {
+	tab := Fig16(quick())[0]
+	if len(tab.Rows) != 12 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		discrete, coupled, dido := r.Values[0], r.Values[1], r.Values[2]
+		if discrete <= dido {
+			t.Fatalf("%s: discrete (%v) should beat DIDO (%v) on absolute MOPS", r.Label, discrete, dido)
+		}
+		if dido <= coupled*0.95 {
+			t.Fatalf("%s: DIDO (%v) should not lose to Mega-KV coupled (%v)", r.Label, dido, coupled)
+		}
+	}
+}
+
+func TestFig17DIDOWinsPricePerformance(t *testing.T) {
+	tab := Fig17(quick())[0]
+	wins := 0
+	for _, r := range tab.Rows {
+		if r.Values[3] > 1 {
+			wins++
+		}
+	}
+	// Paper: DIDO wins on all 12; allow an outlier or two at quick scale.
+	if wins < 9 {
+		t.Fatalf("DIDO won price-performance on only %d/12 workloads", wins)
+	}
+}
+
+func TestFig18EnergyRows(t *testing.T) {
+	tab := Fig18(quick())[0]
+	if len(tab.Rows) != 12 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		for c, v := range r.Values {
+			if v <= 0 {
+				t.Fatalf("%s col %d: nonpositive efficiency", r.Label, c)
+			}
+		}
+	}
+}
+
+func TestFig19PositiveImprovements(t *testing.T) {
+	tab := Fig19(quick())[0]
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	var sum float64
+	var n int
+	for _, r := range tab.Rows {
+		for _, v := range r.Values {
+			sum += v
+			n++
+		}
+	}
+	if sum/float64(n) < 0 {
+		t.Fatalf("mean improvement %.1f%% negative across budgets", sum/float64(n))
+	}
+}
+
+func TestFig21SpeedupGrowsWithCycle(t *testing.T) {
+	tab := Fig21(quick())[0]
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	short := tab.Rows[0].Values[1]
+	long := tab.Rows[len(tab.Rows)-1].Values[1]
+	if long < short-0.1 {
+		t.Fatalf("speedup should not shrink with cycle length: %v → %v (paper: 1.58 → 1.79)", short, long)
+	}
+	if long < 1 {
+		t.Fatalf("long-cycle speedup %v < 1", long)
+	}
+}
+
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}

@@ -1,0 +1,30 @@
+// Package core is the paper's primary contribution — the DIDO system: an
+// in-memory key-value store with dynamic pipeline executions on coupled
+// CPU-GPU architectures (Zhang et al., ICDE 2017).
+//
+// The implementation lives in the sibling packages and is assembled by
+// internal/dido; this package re-exports the assembled system under the
+// repository's canonical "core" path:
+//
+//	internal/pipeline  — the eight-task dynamic pipeline (§III)
+//	internal/costmodel — the APU-aware cost model, Eq 1-4 (§IV)
+//	internal/profiler  — the workload profiler and 10% trigger (§III-A)
+//	internal/dido      — the adaptation loop closing the three together
+//
+// Use New (or the module root's public facade) to build a system.
+package core
+
+import idido "repro/internal/dido"
+
+// System is the assembled DIDO system (see internal/dido).
+type System = idido.System
+
+// Options configures a System.
+type Options = idido.Options
+
+// New builds a DIDO system from opts.
+func New(opts Options) *System { return idido.New(opts) }
+
+// DefaultOptions returns the paper's evaluation setup at the given arena
+// size.
+func DefaultOptions(memBytes int64) Options { return idido.DefaultOptions(memBytes) }

@@ -1,0 +1,13 @@
+package core
+
+import "testing"
+
+func TestCoreFacadeBuildsSystem(t *testing.T) {
+	sys := New(DefaultOptions(4 << 20))
+	if sys == nil || sys.Store == nil || sys.Planner == nil {
+		t.Fatal("core facade produced an incomplete system")
+	}
+	if sys.CurrentConfig().GPUDepth != 1 {
+		t.Fatal("initial configuration should be Mega-KV's shape")
+	}
+}

@@ -1,0 +1,218 @@
+// Package gpu provides a SIMT-style executor that stands in for the APU's
+// integrated GPU (see DESIGN.md §2). Work is executed in 64-lane wavefronts
+// by a gang of goroutines, one per compute unit, so that the execution
+// *semantics* of the paper's OpenCL kernels — lockstep chunks, whole-wavefront
+// scheduling, idle lanes on ragged batches — are real even though the silicon
+// is not.
+//
+// The package also implements the paper's work-stealing substrate (§III-B3):
+// a tag array over a batch of queries, where each tag guards one
+// wavefront-sized chunk of 64 queries and is claimed with an atomic
+// compare-exchange by whichever processor (CPU or GPU worker) gets there
+// first.
+package gpu
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// WavefrontWidth is the number of lanes that execute in lockstep; 64 on AMD
+// GCN hardware, and the work-stealing granularity the paper chooses.
+const WavefrontWidth = 64
+
+// Executor runs kernels over index ranges in wavefront chunks using a fixed
+// gang of worker goroutines (one per simulated compute unit). It is safe for
+// concurrent use by one submitter at a time per Run call; multiple Run calls
+// may not overlap.
+type Executor struct {
+	cus int
+}
+
+// NewExecutor returns an executor with the given number of compute units.
+func NewExecutor(computeUnits int) *Executor {
+	if computeUnits < 1 {
+		computeUnits = 1
+	}
+	return &Executor{cus: computeUnits}
+}
+
+// ComputeUnits returns the gang size.
+func (e *Executor) ComputeUnits() int { return e.cus }
+
+// Run executes kernel(i) for every i in [0, n) in wavefront-sized chunks
+// distributed dynamically across compute units. It blocks until all lanes
+// complete.
+func (e *Executor) Run(n int, kernel func(i int)) {
+	if n <= 0 {
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := e.cus
+	chunks := (n + WavefrontWidth - 1) / WavefrontWidth
+	if workers > chunks {
+		workers = chunks
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				start := c * WavefrontWidth
+				end := start + WavefrontWidth
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					kernel(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TagArray coordinates work stealing over one batch: tag i guards queries
+// [64·i, 64·(i+1)) (paper §III-B3). Both the CPU-side and GPU-side workers
+// claim chunks with ClaimNext; the atomic swap guarantees each chunk is
+// processed exactly once.
+type TagArray struct {
+	tags  []atomic.Uint32
+	n     int
+	chunk int
+}
+
+// Tag states.
+const (
+	tagFree uint32 = iota
+	tagClaimed
+)
+
+// NewTagArray returns a tag array covering n queries at the paper's
+// wavefront-width granularity (64 queries per chunk).
+func NewTagArray(n int) *TagArray {
+	return NewTagArrayChunked(n, WavefrontWidth)
+}
+
+// NewTagArrayChunked returns a tag array with an explicit chunk size. The
+// paper argues 64 (the wavefront width) is the best granularity; the
+// work-stealing ablation bench sweeps this parameter to check.
+func NewTagArrayChunked(n, chunk int) *TagArray {
+	if n < 0 {
+		n = 0
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	chunks := (n + chunk - 1) / chunk
+	return &TagArray{tags: make([]atomic.Uint32, chunks), n: n, chunk: chunk}
+}
+
+// Chunks returns the number of chunks guarded by the array.
+func (t *TagArray) Chunks() int { return len(t.tags) }
+
+// Claim attempts to claim chunk c, reporting success.
+func (t *TagArray) Claim(c int) bool {
+	if c < 0 || c >= len(t.tags) {
+		return false
+	}
+	return t.tags[c].CompareAndSwap(tagFree, tagClaimed)
+}
+
+// ClaimNext claims the next free chunk scanning from the given direction.
+// fromEnd=false scans 0→N (the GPU's natural order); fromEnd=true scans N→0,
+// which the CPU uses so the two processors meet in the middle and conflict
+// only on the last contended chunk. It returns the query range and false when
+// nothing is left.
+func (t *TagArray) ClaimNext(fromEnd bool) (start, end int, ok bool) {
+	n := len(t.tags)
+	if fromEnd {
+		for c := n - 1; c >= 0; c-- {
+			if t.Claim(c) {
+				return t.rangeOf(c), t.rangeEnd(c), true
+			}
+		}
+	} else {
+		for c := 0; c < n; c++ {
+			if t.Claim(c) {
+				return t.rangeOf(c), t.rangeEnd(c), true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+func (t *TagArray) rangeOf(c int) int { return c * t.chunk }
+func (t *TagArray) rangeEnd(c int) int {
+	end := (c + 1) * t.chunk
+	if end > t.n {
+		end = t.n
+	}
+	return end
+}
+
+// Remaining counts unclaimed chunks.
+func (t *TagArray) Remaining() int {
+	var n int
+	for i := range t.tags {
+		if t.tags[i].Load() == tagFree {
+			n++
+		}
+	}
+	return n
+}
+
+// CoRun processes all n queries with a GPU gang and an optional set of CPU
+// workers stealing from the same tag array. It returns the number of queries
+// processed by each side. This is the execution core of the paper's work
+// stealing: both sides grab 64-query sets, marked via atomics, until the
+// batch drains.
+func CoRun(n int, gpuCUs, cpuWorkers int, kernel func(i int)) (gpuDone, cpuDone int) {
+	return CoRunChunked(n, WavefrontWidth, gpuCUs, cpuWorkers, kernel)
+}
+
+// CoRunChunked is CoRun with an explicit stealing granularity.
+func CoRunChunked(n, chunk int, gpuCUs, cpuWorkers int, kernel func(i int)) (gpuDone, cpuDone int) {
+	tags := NewTagArrayChunked(n, chunk)
+	var gpuCount, cpuCount atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < gpuCUs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start, end, ok := tags.ClaimNext(false)
+				if !ok {
+					return
+				}
+				for i := start; i < end; i++ {
+					kernel(i)
+				}
+				gpuCount.Add(int64(end - start))
+			}
+		}()
+	}
+	for w := 0; w < cpuWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start, end, ok := tags.ClaimNext(true)
+				if !ok {
+					return
+				}
+				for i := start; i < end; i++ {
+					kernel(i)
+				}
+				cpuCount.Add(int64(end - start))
+			}
+		}()
+	}
+	wg.Wait()
+	return int(gpuCount.Load()), int(cpuCount.Load())
+}

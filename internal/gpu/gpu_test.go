@@ -1,0 +1,142 @@
+package gpu
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestExecutorCoversAllIndices(t *testing.T) {
+	e := NewExecutor(4)
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 4096} {
+		seen := make([]atomic.Int32, max(n, 1))
+		e.Run(n, func(i int) { seen[i].Add(1) })
+		for i := 0; i < n; i++ {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d executed %d times", n, i, got)
+			}
+		}
+	}
+}
+
+func TestExecutorMinimumOneCU(t *testing.T) {
+	e := NewExecutor(0)
+	if e.ComputeUnits() != 1 {
+		t.Fatalf("CUs = %d, want 1", e.ComputeUnits())
+	}
+	var count atomic.Int32
+	e.Run(10, func(i int) { count.Add(1) })
+	if count.Load() != 10 {
+		t.Fatal("single-CU run incomplete")
+	}
+}
+
+func TestTagArrayChunks(t *testing.T) {
+	for _, tc := range []struct{ n, chunks int }{
+		{0, 0}, {1, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3}, {-5, 0},
+	} {
+		ta := NewTagArray(tc.n)
+		if got := ta.Chunks(); got != tc.chunks {
+			t.Fatalf("n=%d: chunks = %d, want %d", tc.n, got, tc.chunks)
+		}
+	}
+}
+
+func TestTagArrayClaimOnce(t *testing.T) {
+	ta := NewTagArray(256)
+	if !ta.Claim(0) {
+		t.Fatal("first claim failed")
+	}
+	if ta.Claim(0) {
+		t.Fatal("double claim succeeded")
+	}
+	if ta.Claim(-1) || ta.Claim(99) {
+		t.Fatal("out-of-range claim succeeded")
+	}
+	if got := ta.Remaining(); got != 3 {
+		t.Fatalf("remaining = %d, want 3", got)
+	}
+}
+
+func TestClaimNextDirections(t *testing.T) {
+	ta := NewTagArray(192) // 3 chunks
+	s, e, ok := ta.ClaimNext(false)
+	if !ok || s != 0 || e != 64 {
+		t.Fatalf("forward claim = [%d,%d) ok=%v", s, e, ok)
+	}
+	s, e, ok = ta.ClaimNext(true)
+	if !ok || s != 128 || e != 192 {
+		t.Fatalf("backward claim = [%d,%d) ok=%v", s, e, ok)
+	}
+	s, e, ok = ta.ClaimNext(false)
+	if !ok || s != 64 || e != 128 {
+		t.Fatalf("middle claim = [%d,%d) ok=%v", s, e, ok)
+	}
+	if _, _, ok := ta.ClaimNext(false); ok {
+		t.Fatal("claim on drained array succeeded")
+	}
+}
+
+func TestClaimNextRaggedTail(t *testing.T) {
+	ta := NewTagArray(100) // chunks: [0,64), [64,100)
+	_, _, _ = ta.ClaimNext(false)
+	s, e, ok := ta.ClaimNext(false)
+	if !ok || s != 64 || e != 100 {
+		t.Fatalf("tail chunk = [%d,%d) ok=%v", s, e, ok)
+	}
+}
+
+func TestCoRunProcessesExactlyOnce(t *testing.T) {
+	const n = 10000
+	seen := make([]atomic.Int32, n)
+	gpuDone, cpuDone := CoRun(n, 4, 2, func(i int) { seen[i].Add(1) })
+	if gpuDone+cpuDone != n {
+		t.Fatalf("done = %d + %d != %d", gpuDone, cpuDone, n)
+	}
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("index %d executed %d times", i, seen[i].Load())
+		}
+	}
+	if gpuDone == 0 || cpuDone == 0 {
+		t.Logf("one side did all the work (gpu=%d cpu=%d); acceptable but unusual", gpuDone, cpuDone)
+	}
+}
+
+func TestCoRunGPUOnly(t *testing.T) {
+	const n = 1000
+	var count atomic.Int32
+	gpuDone, cpuDone := CoRun(n, 2, 0, func(i int) { count.Add(1) })
+	if gpuDone != n || cpuDone != 0 || count.Load() != n {
+		t.Fatalf("gpu=%d cpu=%d count=%d", gpuDone, cpuDone, count.Load())
+	}
+}
+
+func TestCoRunProperty(t *testing.T) {
+	f := func(n16 uint16, cus, cpus uint8) bool {
+		n := int(n16) % 2000
+		g := int(cus)%4 + 1
+		c := int(cpus) % 3
+		seen := make([]atomic.Int32, max(n, 1))
+		gd, cd := CoRun(n, g, c, func(i int) { seen[i].Add(1) })
+		if gd+cd != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if seen[i].Load() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,186 @@
+// Package netsim models the network front-end of the key-value store for the
+// simulated experiments: per-query receive/send unit costs (the RV and SD
+// tasks, which the paper pins to the CPU and estimates with profiled unit
+// costs, §IV-B), frame batching, and an in-memory loopback link used by
+// integration tests.
+//
+// Two cost profiles mirror the paper's §V-E distinction between Linux-kernel
+// networking (what DIDO uses; "which overhead is huge") and a DPDK-style
+// user-space driver (what Mega-KV (Discrete) uses on 8-byte-key workloads).
+// A third profile represents the no-network mode the paper uses for the
+// larger-key Fig 16 comparisons ("read packets from local memory").
+package netsim
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// CostProfile gives the per-query CPU cost of the RV and SD tasks.
+type CostProfile struct {
+	Name string
+	// RVPerQuery is the per-query cost of receiving+delivering a packet.
+	RVPerQuery time.Duration
+	// SDPerQuery is the per-query cost of handing a response to the NIC.
+	SDPerQuery time.Duration
+	// InstrPerQueryRV/SD approximate the instruction footprint, used by the
+	// cost model's Eq 1 for these tasks.
+	InstrPerQueryRV float64
+	InstrPerQuerySD float64
+}
+
+// KernelNetworking models Linux-kernel UDP I/O (paper: DIDO's evaluation
+// mode). Per-query cost is small despite syscall overhead because the
+// evaluation batches queries "in an Ethernet frame as many as possible"
+// (§V-A): a 64 KB datagram carries ~2000 small queries, amortizing the
+// ~5 µs kernel path to a few ns per query — which is how Mega-KV's Network
+// Processing stage measures only 25-42 µs per 300 µs batch (Fig 4).
+func KernelNetworking() CostProfile {
+	return CostProfile{
+		Name:            "kernel",
+		RVPerQuery:      4 * time.Nanosecond,
+		SDPerQuery:      4 * time.Nanosecond,
+		InstrPerQueryRV: 15,
+		InstrPerQuerySD: 15,
+	}
+}
+
+// DPDKNetworking models a user-space NIC driver (Mega-KV (Discrete)'s mode
+// for 8-byte-key workloads): no syscalls, polled rings.
+func DPDKNetworking() CostProfile {
+	return CostProfile{
+		Name:            "dpdk",
+		RVPerQuery:      2 * time.Nanosecond,
+		SDPerQuery:      2 * time.Nanosecond,
+		InstrPerQueryRV: 5,
+		InstrPerQuerySD: 5,
+	}
+}
+
+// NoNetworking models reading packets from local memory (the mode both
+// systems use for the larger-key Fig 16 comparisons).
+func NoNetworking() CostProfile {
+	return CostProfile{
+		Name:            "none",
+		RVPerQuery:      1 * time.Nanosecond,
+		SDPerQuery:      1 * time.Nanosecond,
+		InstrPerQueryRV: 2,
+		InstrPerQuerySD: 2,
+	}
+}
+
+// Batcher packs queries into frames of at most MaxFrameBytes, the way the
+// evaluation batches queries into Ethernet frames (§V-A).
+type Batcher struct {
+	buf     []byte
+	queries []proto.Query
+	bytes   int
+	frames  [][]byte
+}
+
+// Add appends q to the current frame, flushing to a new frame when the size
+// limit would be exceeded.
+func (b *Batcher) Add(q proto.Query) {
+	qLen := proto.EncodedQueryLen(q)
+	if b.bytes+qLen > proto.MaxFrameBytes-64 || len(b.queries) >= 0xFFFF {
+		b.Flush()
+	}
+	b.queries = append(b.queries, q)
+	b.bytes += qLen
+}
+
+// Flush finalizes the current frame, if any.
+func (b *Batcher) Flush() {
+	if len(b.queries) == 0 {
+		return
+	}
+	frame := proto.EncodeFrame(nil, b.queries)
+	b.frames = append(b.frames, frame)
+	b.queries = b.queries[:0]
+	b.bytes = 0
+	b.buf = b.buf[:0]
+}
+
+// Frames returns and clears the accumulated frames.
+func (b *Batcher) Frames() [][]byte {
+	b.Flush()
+	out := b.frames
+	b.frames = nil
+	return out
+}
+
+// Loopback is an in-memory bidirectional link with bounded queues, used by
+// integration tests to drive a server pipeline without sockets.
+type Loopback struct {
+	mu       sync.Mutex
+	toServer [][]byte
+	toClient [][]byte
+	dropped  uint64
+	limit    int
+}
+
+// NewLoopback returns a loopback link with the given per-direction queue
+// limit (0 means unbounded).
+func NewLoopback(limit int) *Loopback {
+	return &Loopback{limit: limit}
+}
+
+// ClientSend enqueues a frame toward the server; it reports false (drop) when
+// the queue is full, as a real NIC ring would.
+func (l *Loopback) ClientSend(frame []byte) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.limit > 0 && len(l.toServer) >= l.limit {
+		l.dropped++
+		return false
+	}
+	l.toServer = append(l.toServer, frame)
+	return true
+}
+
+// ServerRecv dequeues up to max frames destined to the server.
+func (l *Loopback) ServerRecv(max int) [][]byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.toServer)
+	if max > 0 && n > max {
+		n = max
+	}
+	out := l.toServer[:n:n]
+	l.toServer = l.toServer[n:]
+	return out
+}
+
+// ServerSend enqueues a response frame toward the client.
+func (l *Loopback) ServerSend(frame []byte) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.limit > 0 && len(l.toClient) >= l.limit {
+		l.dropped++
+		return false
+	}
+	l.toClient = append(l.toClient, frame)
+	return true
+}
+
+// ClientRecv dequeues up to max frames destined to the client.
+func (l *Loopback) ClientRecv(max int) [][]byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.toClient)
+	if max > 0 && n > max {
+		n = max
+	}
+	out := l.toClient[:n:n]
+	l.toClient = l.toClient[n:]
+	return out
+}
+
+// Dropped returns the number of frames dropped to full queues.
+func (l *Loopback) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}

@@ -1,0 +1,217 @@
+package pipeline
+
+import (
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Source produces batches of queries on demand.
+type Source interface {
+	// Batch returns n queries.
+	Batch(n int) []proto.Query
+}
+
+// ConfigProvider chooses the configuration and batch size for the next batch,
+// given the profile measured on the previous one (zero-value profile for the
+// first batch). DIDO's adaptation loop implements this; Mega-KV's provider
+// returns a constant config.
+type ConfigProvider interface {
+	NextConfig(prev *Batch) (Config, int)
+}
+
+// StaticProvider always returns the same config and uses a feedback batch
+// sizer targeting the scheduling interval (the periodic scheduling of
+// Mega-KV: the batch grows until the bottleneck stage fills the interval).
+type StaticProvider struct {
+	Config   Config
+	Interval time.Duration
+	// MinBatch/MaxBatch clamp the controller.
+	MinBatch, MaxBatch int
+
+	cur int
+}
+
+// NextConfig implements ConfigProvider with multiplicative feedback.
+func (p *StaticProvider) NextConfig(prev *Batch) (Config, int) {
+	if p.cur == 0 {
+		p.cur = p.MinBatch
+		if p.cur == 0 {
+			p.cur = 1024
+		}
+	}
+	if prev != nil && prev.Times.Tmax > 0 {
+		ratio := float64(p.Interval) / float64(prev.Times.Tmax)
+		// Dampen to avoid oscillation.
+		if ratio > 2 {
+			ratio = 2
+		}
+		if ratio < 0.5 {
+			ratio = 0.5
+		}
+		p.cur = int(float64(p.cur) * ratio)
+	}
+	if p.MinBatch > 0 && p.cur < p.MinBatch {
+		p.cur = p.MinBatch
+	}
+	if p.MaxBatch > 0 && p.cur > p.MaxBatch {
+		p.cur = p.MaxBatch
+	}
+	return p.Config, p.cur
+}
+
+// TracePoint is one sample of the throughput trace (Fig 20).
+type TracePoint struct {
+	At         time.Duration
+	Throughput float64 // queries/sec over the sampling window
+	Config     Config
+}
+
+// Result summarizes a pipeline run.
+type Result struct {
+	// Queries is the number completed; Elapsed the simulated time span.
+	Queries uint64
+	Elapsed time.Duration
+	// ThroughputMOPS is Queries/Elapsed in millions of ops/sec (Eq 4).
+	ThroughputMOPS float64
+	// CPUUtilization / GPUUtilization are busy fractions over the run.
+	CPUUtilization, GPUUtilization float64
+	// AvgLatency is the mean batch latency (arrival → last stage done).
+	AvgLatency time.Duration
+	// P50Latency / P99Latency are batch-latency percentiles.
+	P50Latency, P99Latency time.Duration
+	// AvgBatch is the mean batch size.
+	AvgBatch float64
+	// StageMean is the mean duration per stage.
+	StageMean [3]time.Duration
+	// StolenByCPU / StolenByGPU total work-stealing volume in queries.
+	StolenByCPU, StolenByGPU uint64
+	// Hits and Misses aggregate GET outcomes.
+	Hits, Misses uint64
+	// Trace samples throughput over time when tracing was enabled.
+	Trace []TracePoint
+	// Batches is the number of batches executed.
+	Batches uint64
+}
+
+// Runner drives batches through the three pipeline stages on a discrete-event
+// engine, with per-stage resources providing pipelining and back-pressure.
+type Runner struct {
+	Exec *Executor
+	// TraceEvery, when positive, records a throughput sample each window.
+	TraceEvery time.Duration
+}
+
+// Run executes nBatches batches from src, choosing per-batch config and size
+// via provider. It returns aggregate metrics; the simulated clock starts at
+// zero for each call.
+func (r *Runner) Run(src Source, provider ConfigProvider, nBatches int) Result {
+	eng := sim.NewEngine()
+	resCPUPre := sim.NewResource(eng)
+	resGPU := sim.NewResource(eng)
+	resCPUPost := sim.NewResource(eng)
+
+	var res Result
+	var latSum time.Duration
+	var batchSum uint64
+	var stageSum [3]time.Duration
+	var lastDone time.Duration
+	var prev *Batch
+	nCores := r.Exec.Model.Platform.CPU.Cores
+	var cpuCoreBusy float64 // core-weighted CPU busy time (core·seconds)
+	latHist := stats.NewHistogram(stats.LatencyBoundsMicros()...)
+
+	var windowOps uint64
+	windowStart := time.Duration(0)
+
+	for i := 0; i < nBatches; i++ {
+		cfg, n := provider.NextConfig(prev)
+		if n < 1 {
+			n = 1
+		}
+		b := &Batch{Seq: uint64(i), Queries: src.Batch(n), Config: cfg}
+		r.Exec.ExecuteBatch(b)
+
+		arrival := eng.Now()
+		// Stage 1 (CPU-pre) admits the batch when its resource frees.
+		t1 := resCPUPre.Acquire(b.Times.Dur[StageCPUPre])
+		t2 := t1
+		if b.Times.Dur[StageGPU] > 0 {
+			t2 = resGPU.AcquireAt(t1, b.Times.Dur[StageGPU])
+		}
+		t3 := t2
+		if b.Times.Dur[StageCPUPost] > 0 {
+			t3 = resCPUPost.AcquireAt(t2, b.Times.Dur[StageCPUPost])
+		}
+		done := t3
+		if done > lastDone {
+			lastDone = done
+		}
+
+		latSum += done - arrival
+		latHist.Observe(float64(done-arrival) / float64(time.Microsecond))
+		batchSum += uint64(len(b.Queries))
+		for s := 0; s < 3; s++ {
+			stageSum[s] += b.Times.Dur[s]
+		}
+		cpuCoreBusy += b.Times.Dur[StageCPUPre].Seconds()*float64(cfg.CoresFor(StageCPUPre, nCores)) +
+			b.Times.Dur[StageCPUPost].Seconds()*float64(cfg.CoresFor(StageCPUPost, nCores))
+		res.StolenByCPU += uint64(b.Times.StolenByCPU)
+		res.StolenByGPU += uint64(b.Times.StolenByGPU)
+		res.Hits += uint64(b.Hits)
+		res.Misses += uint64(b.Misses)
+		res.Queries += uint64(len(b.Queries))
+		res.Batches++
+
+		// Advance the clock to when stage 1 can admit the next batch
+		// (back-pressure: the pipeline is saturated, not open-loop).
+		eng.Run(resCPUPre.BusyUntil())
+
+		if r.TraceEvery > 0 {
+			windowOps += uint64(len(b.Queries))
+			for eng.Now()-windowStart >= r.TraceEvery {
+				// A batch can span several windows; emit a point only for
+				// windows in which work completed.
+				if windowOps > 0 {
+					res.Trace = append(res.Trace, TracePoint{
+						At:         windowStart + r.TraceEvery,
+						Throughput: float64(windowOps) / r.TraceEvery.Seconds(),
+						Config:     cfg,
+					})
+					windowOps = 0
+				}
+				windowStart += r.TraceEvery
+			}
+		}
+		prev = b
+	}
+
+	res.Elapsed = lastDone
+	if res.Elapsed > 0 {
+		res.ThroughputMOPS = stats.MOPS(res.Queries, res.Elapsed)
+		res.CPUUtilization = clamp01(cpuCoreBusy / (res.Elapsed.Seconds() * float64(nCores)))
+		res.GPUUtilization = clamp01(float64(resGPU.BusyTotal()) / float64(res.Elapsed))
+	}
+	if res.Batches > 0 {
+		res.AvgLatency = latSum / time.Duration(res.Batches)
+		res.P50Latency = time.Duration(latHist.Quantile(0.5)) * time.Microsecond
+		res.P99Latency = time.Duration(latHist.Quantile(0.99)) * time.Microsecond
+		res.AvgBatch = float64(batchSum) / float64(res.Batches)
+		for s := 0; s < 3; s++ {
+			res.StageMean[s] = stageSum[s] / time.Duration(res.Batches)
+		}
+	}
+	return res
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

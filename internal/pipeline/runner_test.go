@@ -1,0 +1,130 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/apu"
+	"repro/internal/netsim"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+func newRunner(t *testing.T, specName string) (*Runner, *workload.Generator) {
+	t.Helper()
+	st := store.New(store.Config{MemoryBytes: 16 << 20, IndexEntries: 200000, Seed: 7})
+	model := apu.NewModel(apu.KaveriPlatform(), 0.02, 1)
+	exec := NewExecutor(model, st, netsim.KernelNetworking())
+	spec, ok := workload.SpecByName(specName)
+	if !ok {
+		t.Fatalf("unknown spec %s", specName)
+	}
+	gen := workload.NewGenerator(spec, 50000, 11)
+	warm(exec, gen, 20000)
+	return &Runner{Exec: exec}, gen
+}
+
+func TestRunnerProducesThroughput(t *testing.T) {
+	r, gen := newRunner(t, "K16-G95-U")
+	provider := &StaticProvider{Config: MegaKV(), Interval: 300 * time.Microsecond, MinBatch: 256, MaxBatch: 1 << 15}
+	res := r.Run(gen, provider, 30)
+	if res.Batches != 30 || res.Queries == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.ThroughputMOPS <= 0 {
+		t.Fatal("no throughput")
+	}
+	if res.Elapsed <= 0 || res.AvgLatency <= 0 {
+		t.Fatal("no timing")
+	}
+	if res.CPUUtilization <= 0 || res.CPUUtilization > 1 {
+		t.Fatalf("CPU utilization = %v", res.CPUUtilization)
+	}
+	if res.GPUUtilization <= 0 || res.GPUUtilization > 1 {
+		t.Fatalf("GPU utilization = %v", res.GPUUtilization)
+	}
+}
+
+func TestFeedbackControllerConverges(t *testing.T) {
+	r, gen := newRunner(t, "K16-G95-U")
+	interval := 300 * time.Microsecond
+	provider := &StaticProvider{Config: MegaKV(), Interval: interval, MinBatch: 64, MaxBatch: 1 << 16}
+	res := r.Run(gen, provider, 40)
+	// After convergence the mean bottleneck time per batch should sit near
+	// the interval (periodic scheduling, §IV-A).
+	mean := maxDur(res.StageMean[:])
+	lo, hi := interval/2, 2*interval
+	if mean < lo || mean > hi {
+		t.Fatalf("converged Tmax %v not near interval %v", mean, interval)
+	}
+}
+
+func TestMegaKVGPUUnderutilizedOnLargeKV(t *testing.T) {
+	// Fig 5: Mega-KV's GPU utilization collapses for large key-value sizes.
+	rSmall, genSmall := newRunner(t, "K8-G95-S")
+	pSmall := &StaticProvider{Config: MegaKV(), Interval: 300 * time.Microsecond, MinBatch: 256, MaxBatch: 1 << 16}
+	resSmall := rSmall.Run(genSmall, pSmall, 30)
+
+	rBig, genBig := newRunner(t, "K128-G95-S")
+	pBig := &StaticProvider{Config: MegaKV(), Interval: 300 * time.Microsecond, MinBatch: 256, MaxBatch: 1 << 16}
+	resBig := rBig.Run(genBig, pBig, 30)
+
+	if resBig.GPUUtilization >= resSmall.GPUUtilization {
+		t.Fatalf("GPU utilization should drop with KV size: K8 %v vs K128 %v",
+			resSmall.GPUUtilization, resBig.GPUUtilization)
+	}
+	if resBig.GPUUtilization > 0.4 {
+		t.Fatalf("K128 GPU utilization = %v, expected severe underutilization", resBig.GPUUtilization)
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	r, gen := newRunner(t, "K16-G95-U")
+	r.TraceEvery = 500 * time.Microsecond
+	provider := &StaticProvider{Config: MegaKV(), Interval: 300 * time.Microsecond, MinBatch: 256, MaxBatch: 1 << 15}
+	res := r.Run(gen, provider, 40)
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace points recorded")
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].At <= res.Trace[i-1].At {
+			t.Fatal("trace not monotonically timed")
+		}
+	}
+}
+
+func TestStaticProviderClamps(t *testing.T) {
+	p := &StaticProvider{Config: MegaKV(), Interval: time.Millisecond, MinBatch: 100, MaxBatch: 200}
+	cfg, n := p.NextConfig(nil)
+	if n < 100 || n > 200 {
+		t.Fatalf("initial batch %d outside clamps", n)
+	}
+	if cfg.GPUDepth != 1 {
+		t.Fatal("config not passed through")
+	}
+	// A batch that took far too long must shrink the next one (but not
+	// below MinBatch).
+	prev := &Batch{Times: StageTimes{Tmax: 100 * time.Millisecond}}
+	_, n2 := p.NextConfig(prev)
+	if n2 > n || n2 < 100 {
+		t.Fatalf("batch after overlong Tmax = %d (was %d)", n2, n)
+	}
+	// A fast batch must grow the next one (but not above MaxBatch).
+	prev = &Batch{Times: StageTimes{Tmax: time.Microsecond}}
+	_, n3 := p.NextConfig(prev)
+	if n3 < n2 || n3 > 200 {
+		t.Fatalf("batch after fast Tmax = %d", n3)
+	}
+}
+
+func TestRunnerSingleStageCPUOnly(t *testing.T) {
+	r, gen := newRunner(t, "K16-G50-U")
+	provider := &StaticProvider{Config: Config{GPUDepth: 0}, Interval: 300 * time.Microsecond, MinBatch: 128, MaxBatch: 1 << 14}
+	res := r.Run(gen, provider, 20)
+	if res.GPUUtilization != 0 {
+		t.Fatalf("CPU-only run has GPU utilization %v", res.GPUUtilization)
+	}
+	if res.ThroughputMOPS <= 0 {
+		t.Fatal("no throughput")
+	}
+}

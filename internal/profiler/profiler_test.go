@@ -1,0 +1,167 @@
+package profiler
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/task"
+	"repro/internal/workload"
+	"repro/internal/zipf"
+)
+
+func newStore() *store.Store {
+	return store.New(store.Config{MemoryBytes: 8 << 20, IndexEntries: 100000, Seed: 3})
+}
+
+func prof(get, key, val float64) task.Profile {
+	return task.Profile{N: 1000, GetRatio: get, KeySize: key, ValueSize: val, EvictionRate: 1}
+}
+
+func TestFirstObserveTriggers(t *testing.T) {
+	p := New(newStore())
+	_, replan := p.Observe(prof(0.95, 16, 64))
+	if !replan {
+		t.Fatal("first observation must trigger planning")
+	}
+}
+
+func TestSmallDriftDoesNotTrigger(t *testing.T) {
+	p := New(newStore())
+	p.Observe(prof(0.95, 16, 64))
+	// 5% drift on GET ratio: below the 10% threshold.
+	_, replan := p.Observe(prof(0.92, 16, 64))
+	if replan {
+		t.Fatal("5% drift should not re-plan (paper: 10% upper limit)")
+	}
+}
+
+func TestLargeChangeTriggers(t *testing.T) {
+	cases := []task.Profile{
+		prof(0.5, 16, 64),   // GET ratio swing
+		prof(0.95, 32, 64),  // key size
+		prof(0.95, 16, 512), // value size
+	}
+	for i, c := range cases {
+		p := New(newStore())
+		p.Observe(prof(0.95, 16, 64))
+		_, replan := p.Observe(c)
+		if !replan {
+			t.Fatalf("case %d: >10%% change did not trigger", i)
+		}
+	}
+}
+
+func TestBaselineUpdatesOnTrigger(t *testing.T) {
+	p := New(newStore())
+	p.Observe(prof(0.95, 16, 64))
+	p.Observe(prof(0.5, 16, 64)) // triggers, becomes new baseline
+	// Small drift from the NEW baseline must not trigger.
+	_, replan := p.Observe(prof(0.52, 16, 64))
+	if replan {
+		t.Fatal("baseline did not advance on trigger")
+	}
+}
+
+func TestEvictionRateChangeTriggers(t *testing.T) {
+	p := New(newStore())
+	base := prof(0.95, 16, 64)
+	base.EvictionRate = 0
+	p.Observe(base)
+	next := base
+	next.EvictionRate = 1
+	if _, replan := p.Observe(next); !replan {
+		t.Fatal("eviction-rate emergence should trigger")
+	}
+}
+
+func TestResetForcesReplan(t *testing.T) {
+	p := New(newStore())
+	p.Observe(prof(0.95, 16, 64))
+	p.Reset()
+	if _, replan := p.Observe(prof(0.95, 16, 64)); !replan {
+		t.Fatal("Reset should force the next observation to trigger")
+	}
+}
+
+func TestSkewEstimationFromStore(t *testing.T) {
+	st := newStore()
+	p := New(st)
+	p.SampleBatches = 1
+
+	spec, _ := workload.SpecByName("K16-G100-S")
+	gen := workload.NewGenerator(spec, 20000, 7)
+	// Populate and drive a skewed GET stream so access counters accumulate.
+	for i := uint64(1); i <= 20000; i++ {
+		st.Set(gen.KeyAt(i, nil), make([]byte, 64))
+	}
+	zg := zipf.NewGenerator(20000, workload.ZipfYCSB, 9)
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 30000; i++ {
+			st.Get(gen.KeyAt(zg.Next(), nil))
+		}
+		p.Observe(prof(1, 16, 64))
+	}
+	if p.Skew() < 0.4 {
+		t.Fatalf("estimated skew = %v, want near 0.99 workload to read clearly skewed", p.Skew())
+	}
+}
+
+func TestUniformWorkloadReadsLowSkew(t *testing.T) {
+	st := newStore()
+	p := New(st)
+	p.SampleBatches = 1
+	spec, _ := workload.SpecByName("K16-G100-U")
+	gen := workload.NewGenerator(spec, 5000, 7)
+	for i := uint64(1); i <= 5000; i++ {
+		st.Set(gen.KeyAt(i, nil), make([]byte, 64))
+	}
+	zg := zipf.NewGenerator(5000, 0, 9)
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 20000; i++ {
+			st.Get(gen.KeyAt(zg.Next(), nil))
+		}
+		p.Observe(prof(1, 16, 64))
+	}
+	if p.Skew() > 0.4 {
+		t.Fatalf("uniform workload estimated skew = %v, want low", p.Skew())
+	}
+}
+
+func TestSkewChangeTriggersReplan(t *testing.T) {
+	p := New(newStore())
+	base := prof(0.95, 16, 64)
+	p.Observe(base)
+	p.skew = 0.99 // simulate the sampler's discovery of skew
+	if _, replan := p.Observe(base); !replan {
+		t.Fatal("skew discovery should trigger re-planning")
+	}
+}
+
+func TestRelChange(t *testing.T) {
+	if relChange(0, 0) != 0 {
+		t.Fatal("0/0 change should be 0")
+	}
+	if got := relChange(100, 90); got < 0.099 || got > 0.101 {
+		t.Fatalf("relChange(100,90) = %v", got)
+	}
+	if relChange(0, 5) != 1 {
+		t.Fatal("appearance from zero should be full change")
+	}
+}
+
+func TestObserveManyBatchesStable(t *testing.T) {
+	// A long steady stream triggers exactly once (the first batch).
+	p := New(newStore())
+	triggers := 0
+	for i := 0; i < 100; i++ {
+		jitter := 0.002 * float64(i%3)
+		if _, replan := p.Observe(prof(0.95+jitter, 16, 64)); replan {
+			triggers++
+		}
+	}
+	if triggers != 1 {
+		t.Fatalf("steady workload triggered %d times, want 1", triggers)
+	}
+	_ = fmt.Sprint(triggers)
+}

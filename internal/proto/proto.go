@@ -1,0 +1,215 @@
+// Package proto implements the wire protocol of the key-value store: a
+// compact binary format carrying batched queries in a single datagram, the
+// way the paper's evaluation batches "queries and their responses in an
+// Ethernet frame as many as possible" (§V-A).
+//
+// Frame layout:
+//
+//	[0:4)  magic "DKV1"
+//	[4:6)  query count (little endian)
+//	then per query:
+//	  [1B op] [2B key length] [4B value length] [key bytes] [value bytes]
+//
+// GET and DELETE queries carry a zero value length. Responses use the same
+// frame header with per-query records:
+//
+//	[1B status] [4B value length] [value bytes]
+//
+// Parsing is zero-copy: returned key/value slices alias the input buffer.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Op identifies a query type.
+type Op byte
+
+// Query operations. The three types are the full client interface of an IMKV
+// (paper §II-B).
+const (
+	OpGet Op = iota + 1
+	OpSet
+	OpDelete
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "GET"
+	case OpSet:
+		return "SET"
+	case OpDelete:
+		return "DELETE"
+	default:
+		return fmt.Sprintf("Op(%d)", byte(o))
+	}
+}
+
+// Status is a per-query response code.
+type Status byte
+
+// Response statuses.
+const (
+	StatusOK Status = iota + 1
+	StatusNotFound
+	StatusError
+)
+
+// Query is one parsed key-value query.
+type Query struct {
+	Op    Op
+	Key   []byte
+	Value []byte
+}
+
+// Response is one per-query result.
+type Response struct {
+	Status Status
+	Value  []byte
+}
+
+var magic = [4]byte{'D', 'K', 'V', '1'}
+
+// Frame header: magic + uint16 count.
+const headerLen = 6
+
+// queryHeaderLen is op + keyLen + valLen.
+const queryHeaderLen = 7
+
+// respHeaderLen is status + valLen.
+const respHeaderLen = 5
+
+// MaxFrameBytes is the largest frame this implementation emits; it matches a
+// jumbo UDP datagram.
+const MaxFrameBytes = 64 << 10
+
+// Errors returned by the parser.
+var (
+	ErrBadMagic  = errors.New("proto: bad frame magic")
+	ErrTruncated = errors.New("proto: truncated frame")
+	ErrBadOp     = errors.New("proto: unknown query op")
+)
+
+// AppendQuery encodes q onto dst and returns the extended slice.
+func AppendQuery(dst []byte, q Query) []byte {
+	dst = append(dst, byte(q.Op))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(q.Key)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(q.Value)))
+	dst = append(dst, q.Key...)
+	dst = append(dst, q.Value...)
+	return dst
+}
+
+// EncodedQueryLen returns the wire size of q.
+func EncodedQueryLen(q Query) int {
+	return queryHeaderLen + len(q.Key) + len(q.Value)
+}
+
+// EncodeFrame builds a frame holding queries. It panics if the batch exceeds
+// 65535 queries (the count field's range); callers split batches first.
+func EncodeFrame(dst []byte, queries []Query) []byte {
+	if len(queries) > 0xFFFF {
+		panic("proto: too many queries for one frame")
+	}
+	dst = append(dst, magic[:]...)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(queries)))
+	for _, q := range queries {
+		dst = AppendQuery(dst, q)
+	}
+	return dst
+}
+
+// ParseFrame decodes all queries in frame, appending to dst. Key and value
+// slices alias frame.
+func ParseFrame(frame []byte, dst []Query) ([]Query, error) {
+	if len(frame) < headerLen {
+		return dst, ErrTruncated
+	}
+	if [4]byte(frame[:4]) != magic {
+		return dst, ErrBadMagic
+	}
+	count := int(binary.LittleEndian.Uint16(frame[4:6]))
+	off := headerLen
+	for i := 0; i < count; i++ {
+		if len(frame)-off < queryHeaderLen {
+			return dst, ErrTruncated
+		}
+		op := Op(frame[off])
+		if op != OpGet && op != OpSet && op != OpDelete {
+			return dst, ErrBadOp
+		}
+		keyLen := int(binary.LittleEndian.Uint16(frame[off+1 : off+3]))
+		valLen := int(binary.LittleEndian.Uint32(frame[off+3 : off+7]))
+		off += queryHeaderLen
+		if len(frame)-off < keyLen+valLen {
+			return dst, ErrTruncated
+		}
+		q := Query{
+			Op:  op,
+			Key: frame[off : off+keyLen],
+		}
+		off += keyLen
+		if valLen > 0 {
+			q.Value = frame[off : off+valLen]
+			off += valLen
+		}
+		dst = append(dst, q)
+	}
+	return dst, nil
+}
+
+// AppendResponse encodes r onto dst.
+func AppendResponse(dst []byte, r Response) []byte {
+	dst = append(dst, byte(r.Status))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Value)))
+	dst = append(dst, r.Value...)
+	return dst
+}
+
+// EncodeResponseFrame builds a response frame.
+func EncodeResponseFrame(dst []byte, resps []Response) []byte {
+	if len(resps) > 0xFFFF {
+		panic("proto: too many responses for one frame")
+	}
+	dst = append(dst, magic[:]...)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(resps)))
+	for _, r := range resps {
+		dst = AppendResponse(dst, r)
+	}
+	return dst
+}
+
+// ParseResponseFrame decodes a response frame, appending to dst. Value slices
+// alias frame.
+func ParseResponseFrame(frame []byte, dst []Response) ([]Response, error) {
+	if len(frame) < headerLen {
+		return dst, ErrTruncated
+	}
+	if [4]byte(frame[:4]) != magic {
+		return dst, ErrBadMagic
+	}
+	count := int(binary.LittleEndian.Uint16(frame[4:6]))
+	off := headerLen
+	for i := 0; i < count; i++ {
+		if len(frame)-off < respHeaderLen {
+			return dst, ErrTruncated
+		}
+		status := Status(frame[off])
+		valLen := int(binary.LittleEndian.Uint32(frame[off+1 : off+5]))
+		off += respHeaderLen
+		if len(frame)-off < valLen {
+			return dst, ErrTruncated
+		}
+		r := Response{Status: status}
+		if valLen > 0 {
+			r.Value = frame[off : off+valLen]
+			off += valLen
+		}
+		dst = append(dst, r)
+	}
+	return dst, nil
+}

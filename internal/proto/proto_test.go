@@ -1,0 +1,193 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	if OpGet.String() != "GET" || OpSet.String() != "SET" || OpDelete.String() != "DELETE" {
+		t.Fatal("op strings wrong")
+	}
+	if Op(99).String() != "Op(99)" {
+		t.Fatal("unknown op string wrong")
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	in := []Query{
+		{Op: OpGet, Key: []byte("user:1000")},
+		{Op: OpSet, Key: []byte("user:1001"), Value: []byte("profile-data")},
+		{Op: OpDelete, Key: []byte("user:1002")},
+		{Op: OpSet, Key: []byte("empty-value-key")},
+	}
+	frame := EncodeFrame(nil, in)
+	out, err := ParseFrame(frame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("parsed %d queries, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Op != in[i].Op || !bytes.Equal(out[i].Key, in[i].Key) || !bytes.Equal(out[i].Value, in[i].Value) {
+			t.Fatalf("query %d mismatch: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestEmptyFrame(t *testing.T) {
+	frame := EncodeFrame(nil, nil)
+	out, err := ParseFrame(frame, nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty frame: %v %v", out, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseFrame([]byte{1, 2}, nil); err != ErrTruncated {
+		t.Fatalf("short frame err = %v", err)
+	}
+	if _, err := ParseFrame([]byte("XXXX\x01\x00"), nil); err != ErrBadMagic {
+		t.Fatalf("bad magic err = %v", err)
+	}
+	// Valid header claiming one query but no body.
+	frame := EncodeFrame(nil, nil)
+	frame[4] = 1
+	if _, err := ParseFrame(frame, nil); err != ErrTruncated {
+		t.Fatalf("truncated query err = %v", err)
+	}
+	// Bad op byte.
+	frame = EncodeFrame(nil, []Query{{Op: OpGet, Key: []byte("k")}})
+	frame[6] = 77
+	if _, err := ParseFrame(frame, nil); err != ErrBadOp {
+		t.Fatalf("bad op err = %v", err)
+	}
+	// Key length pointing past the end.
+	frame = EncodeFrame(nil, []Query{{Op: OpGet, Key: []byte("k")}})
+	frame[7] = 0xFF
+	if _, err := ParseFrame(frame, nil); err != ErrTruncated {
+		t.Fatalf("overlong key err = %v", err)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	in := []Response{
+		{Status: StatusOK, Value: []byte("value-bytes")},
+		{Status: StatusNotFound},
+		{Status: StatusError},
+	}
+	frame := EncodeResponseFrame(nil, in)
+	out, err := ParseResponseFrame(frame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("parsed %d responses", len(out))
+	}
+	for i := range in {
+		if out[i].Status != in[i].Status || !bytes.Equal(out[i].Value, in[i].Value) {
+			t.Fatalf("response %d mismatch", i)
+		}
+	}
+}
+
+func TestResponseParseErrors(t *testing.T) {
+	if _, err := ParseResponseFrame([]byte{1}, nil); err != ErrTruncated {
+		t.Fatal("short response frame")
+	}
+	if _, err := ParseResponseFrame([]byte("YYYY\x00\x00"), nil); err != ErrBadMagic {
+		t.Fatal("bad response magic")
+	}
+	frame := EncodeResponseFrame(nil, nil)
+	frame[4] = 1
+	if _, err := ParseResponseFrame(frame, nil); err != ErrTruncated {
+		t.Fatal("truncated response")
+	}
+}
+
+func TestEncodedQueryLen(t *testing.T) {
+	q := Query{Op: OpSet, Key: []byte("abc"), Value: []byte("defgh")}
+	if got := EncodedQueryLen(q); got != 7+3+5 {
+		t.Fatalf("len = %d", got)
+	}
+	frame := EncodeFrame(nil, []Query{q})
+	if len(frame) != 6+EncodedQueryLen(q) {
+		t.Fatal("frame length disagrees with EncodedQueryLen")
+	}
+}
+
+func TestTooManyQueriesPanics(t *testing.T) {
+	qs := make([]Query, 0x10000)
+	for i := range qs {
+		qs[i] = Query{Op: OpGet, Key: []byte("k")}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EncodeFrame(nil, qs)
+}
+
+func TestTooManyResponsesPanics(t *testing.T) {
+	rs := make([]Response, 0x10000)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EncodeResponseFrame(nil, rs)
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(keys [][]byte, vals [][]byte, ops []byte) bool {
+		var in []Query
+		for i, k := range keys {
+			if len(k) == 0 {
+				k = []byte("x")
+			}
+			if len(k) > 1000 {
+				k = k[:1000]
+			}
+			op := OpGet
+			if len(ops) > 0 {
+				op = Op(ops[i%len(ops)]%3 + 1)
+			}
+			q := Query{Op: op, Key: k}
+			if q.Op == OpSet && i < len(vals) {
+				v := vals[i]
+				if len(v) > 1000 {
+					v = v[:1000]
+				}
+				q.Value = v
+			}
+			in = append(in, q)
+		}
+		if len(in) > 1000 {
+			in = in[:1000]
+		}
+		frame := EncodeFrame(nil, in)
+		out, err := ParseFrame(frame, nil)
+		if err != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if out[i].Op != in[i].Op || !bytes.Equal(out[i].Key, in[i].Key) {
+				return false
+			}
+			// Empty and nil values are equivalent on the wire.
+			if len(out[i].Value) != len(in[i].Value) {
+				return false
+			}
+			if len(in[i].Value) > 0 && !bytes.Equal(out[i].Value, in[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file implements a memcached-compatible ASCII protocol subset (get /
+// gets / set / add / replace / delete / version / verbosity / quit), so the
+// real store can serve stock memcached clients over TCP. The paper's systems
+// speak memcached semantics (§II-B); the binary frame format elsewhere in
+// this package is the batched UDP transport used by the evaluation.
+
+// TextBackend is the storage interface the text protocol drives.
+type TextBackend interface {
+	Get(key []byte) ([]byte, bool)
+	Set(key, value []byte) error
+	Delete(key []byte) bool
+}
+
+// TextError values reported to clients.
+var (
+	errTooLong  = errors.New("proto/text: line too long")
+	errBadBytes = errors.New("proto/text: bad byte count")
+)
+
+// maxTextKeyLen mirrors memcached's 250-byte key limit.
+const maxTextKeyLen = 250
+
+// maxTextValueLen bounds a single text-protocol value.
+const maxTextValueLen = 8 << 20
+
+// TextSession serves the memcached ASCII protocol on one connection until
+// EOF, "quit", or a fatal protocol error. It returns nil on clean shutdown.
+func TextSession(rw io.ReadWriter, backend TextBackend) error {
+	r := bufio.NewReaderSize(rw, 64<<10)
+	w := bufio.NewWriterSize(rw, 64<<10)
+	for {
+		line, err := readTextLine(r)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		if len(line) == 0 {
+			continue
+		}
+		quit, err := dispatchTextCommand(line, r, w, backend)
+		if err != nil {
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		if quit {
+			return nil
+		}
+	}
+}
+
+// readTextLine reads one \r\n- or \n-terminated line, without the terminator.
+func readTextLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		return nil, errTooLong
+	}
+	if err != nil {
+		return nil, err
+	}
+	line = bytes.TrimRight(line, "\r\n")
+	return line, nil
+}
+
+// dispatchTextCommand handles one request line. It reports whether the
+// session should close.
+func dispatchTextCommand(line []byte, r *bufio.Reader, w *bufio.Writer, backend TextBackend) (bool, error) {
+	fields := bytes.Fields(line)
+	cmd := string(fields[0])
+	switch cmd {
+	case "get", "gets":
+		if len(fields) < 2 {
+			return false, clientError(w, "get requires a key")
+		}
+		for _, key := range fields[1:] {
+			if len(key) > maxTextKeyLen {
+				continue
+			}
+			if v, ok := backend.Get(key); ok {
+				fmt.Fprintf(w, "VALUE %s 0 %d\r\n", key, len(v))
+				w.Write(v)
+				w.WriteString("\r\n")
+			}
+		}
+		w.WriteString("END\r\n")
+	case "set", "add", "replace":
+		// <cmd> <key> <flags> <exptime> <bytes> [noreply]
+		if len(fields) < 5 {
+			return false, clientError(w, cmd+" requires key flags exptime bytes")
+		}
+		key := fields[1]
+		nbytes, err := strconv.Atoi(string(fields[4]))
+		if err != nil || nbytes < 0 || nbytes > maxTextValueLen {
+			return false, clientError(w, errBadBytes.Error())
+		}
+		noreply := len(fields) >= 6 && string(fields[5]) == "noreply"
+		value := make([]byte, nbytes+2)
+		if _, err := io.ReadFull(r, value); err != nil {
+			return false, err
+		}
+		if !bytes.HasSuffix(value, []byte("\r\n")) {
+			return false, clientError(w, "bad data chunk")
+		}
+		value = value[:nbytes]
+		if len(key) > maxTextKeyLen {
+			return false, clientError(w, "key too long")
+		}
+		_, exists := backend.Get(key)
+		switch cmd {
+		case "add":
+			if exists {
+				reply(w, noreply, "NOT_STORED\r\n")
+				return false, nil
+			}
+		case "replace":
+			if !exists {
+				reply(w, noreply, "NOT_STORED\r\n")
+				return false, nil
+			}
+		}
+		if err := backend.Set(key, value); err != nil {
+			reply(w, noreply, "SERVER_ERROR out of memory storing object\r\n")
+			return false, nil
+		}
+		reply(w, noreply, "STORED\r\n")
+	case "delete":
+		if len(fields) < 2 {
+			return false, clientError(w, "delete requires a key")
+		}
+		noreply := len(fields) >= 3 && string(fields[2]) == "noreply"
+		if backend.Delete(fields[1]) {
+			reply(w, noreply, "DELETED\r\n")
+		} else {
+			reply(w, noreply, "NOT_FOUND\r\n")
+		}
+	case "version":
+		w.WriteString("VERSION dido-repro 1.0\r\n")
+	case "verbosity":
+		w.WriteString("OK\r\n")
+	case "quit":
+		return true, nil
+	default:
+		w.WriteString("ERROR\r\n")
+	}
+	return false, nil
+}
+
+func reply(w *bufio.Writer, noreply bool, msg string) {
+	if !noreply {
+		w.WriteString(msg)
+	}
+}
+
+func clientError(w *bufio.Writer, msg string) error {
+	fmt.Fprintf(w, "CLIENT_ERROR %s\r\n", msg)
+	return nil
+}

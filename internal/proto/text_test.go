@@ -1,0 +1,212 @@
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// mapBackend is an in-memory TextBackend for protocol tests.
+type mapBackend struct {
+	m       map[string][]byte
+	failSet bool
+}
+
+func newMapBackend() *mapBackend { return &mapBackend{m: map[string][]byte{}} }
+
+func (b *mapBackend) Get(key []byte) ([]byte, bool) {
+	v, ok := b.m[string(key)]
+	return v, ok
+}
+
+func (b *mapBackend) Set(key, value []byte) error {
+	if b.failSet {
+		return fmt.Errorf("simulated allocator failure")
+	}
+	b.m[string(key)] = append([]byte(nil), value...)
+	return nil
+}
+
+func (b *mapBackend) Delete(key []byte) bool {
+	_, ok := b.m[string(key)]
+	delete(b.m, string(key))
+	return ok
+}
+
+// runSession feeds script to a TextSession and returns everything written
+// back.
+func runSession(t *testing.T, backend TextBackend, script string) string {
+	t.Helper()
+	var out bytes.Buffer
+	rw := struct {
+		io.Reader
+		io.Writer
+	}{strings.NewReader(script), &out}
+	if err := TextSession(rw, backend); err != nil {
+		t.Fatalf("session error: %v", err)
+	}
+	return out.String()
+}
+
+func TestTextSetGetDelete(t *testing.T) {
+	b := newMapBackend()
+	out := runSession(t, b,
+		"set greeting 0 0 5\r\nhello\r\n"+
+			"get greeting\r\n"+
+			"delete greeting\r\n"+
+			"get greeting\r\n"+
+			"quit\r\n")
+	want := "STORED\r\n" +
+		"VALUE greeting 0 5\r\nhello\r\nEND\r\n" +
+		"DELETED\r\n" +
+		"END\r\n"
+	if out != want {
+		t.Fatalf("out = %q\nwant %q", out, want)
+	}
+}
+
+func TestTextMultiGet(t *testing.T) {
+	b := newMapBackend()
+	b.m["a"] = []byte("1")
+	b.m["c"] = []byte("3")
+	out := runSession(t, b, "get a b c\r\n")
+	if !strings.Contains(out, "VALUE a 0 1") || !strings.Contains(out, "VALUE c 0 1") {
+		t.Fatalf("multi-get missing values: %q", out)
+	}
+	if strings.Contains(out, "VALUE b") {
+		t.Fatal("missing key returned a VALUE")
+	}
+	if !strings.HasSuffix(out, "END\r\n") {
+		t.Fatal("no END terminator")
+	}
+}
+
+func TestTextAddReplaceSemantics(t *testing.T) {
+	b := newMapBackend()
+	out := runSession(t, b,
+		"add k 0 0 1\r\nx\r\n"+ // stored
+			"add k 0 0 1\r\ny\r\n"+ // exists → NOT_STORED
+			"replace k 0 0 1\r\nz\r\n"+ // exists → stored
+			"replace missing 0 0 1\r\nw\r\n") // absent → NOT_STORED
+	want := "STORED\r\nNOT_STORED\r\nSTORED\r\nNOT_STORED\r\n"
+	if out != want {
+		t.Fatalf("out = %q", out)
+	}
+	if string(b.m["k"]) != "z" {
+		t.Fatalf("final value = %q", b.m["k"])
+	}
+}
+
+func TestTextNoreply(t *testing.T) {
+	b := newMapBackend()
+	out := runSession(t, b,
+		"set k 0 0 1 noreply\r\nv\r\n"+
+			"delete k noreply\r\n"+
+			"version\r\n")
+	if strings.Contains(out, "STORED") || strings.Contains(out, "DELETED") {
+		t.Fatalf("noreply commands replied: %q", out)
+	}
+	if !strings.Contains(out, "VERSION") {
+		t.Fatal("version missing")
+	}
+}
+
+func TestTextDeleteNotFound(t *testing.T) {
+	out := runSession(t, newMapBackend(), "delete nothing\r\n")
+	if out != "NOT_FOUND\r\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestTextErrors(t *testing.T) {
+	b := newMapBackend()
+	out := runSession(t, b,
+		"bogus\r\n"+
+			"get\r\n"+
+			"set k 0 0\r\n"+
+			"set k 0 0 notanumber\r\nxx\r\n")
+	if !strings.Contains(out, "ERROR\r\n") {
+		t.Fatal("unknown command not rejected")
+	}
+	if strings.Count(out, "CLIENT_ERROR") < 2 {
+		t.Fatalf("malformed commands not rejected: %q", out)
+	}
+}
+
+func TestTextBadDataChunk(t *testing.T) {
+	// Data not terminated by \r\n → CLIENT_ERROR, session continues.
+	b := newMapBackend()
+	out := runSession(t, b, "set k 0 0 2\r\nabXX") // "ab" then junk instead of \r\n
+	if !strings.Contains(out, "CLIENT_ERROR bad data chunk") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestTextServerErrorOnFailedSet(t *testing.T) {
+	b := newMapBackend()
+	b.failSet = true
+	out := runSession(t, b, "set k 0 0 1\r\nx\r\n")
+	if !strings.Contains(out, "SERVER_ERROR") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestTextBinaryValueRoundTrip(t *testing.T) {
+	b := newMapBackend()
+	val := []byte{0, 1, 2, '\r', '\n', 255, 'x'}
+	script := fmt.Sprintf("set bin 0 0 %d\r\n%s\r\nget bin\r\n", len(val), val)
+	out := runSession(t, b, script)
+	if !strings.Contains(out, fmt.Sprintf("VALUE bin 0 %d", len(val))) {
+		t.Fatalf("binary value not served: %q", out)
+	}
+	if !bytes.Contains([]byte(out), val) {
+		t.Fatal("binary payload corrupted")
+	}
+}
+
+func TestTextOverTCPPipe(t *testing.T) {
+	// Full duplex over a real connection pair.
+	client, server := net.Pipe()
+	defer client.Close()
+	b := newMapBackend()
+	done := make(chan error, 1)
+	go func() { done <- TextSession(server, b) }()
+
+	cw := bufio.NewWriter(client)
+	cr := bufio.NewReader(client)
+	fmt.Fprintf(cw, "set k 0 0 5\r\nhello\r\n")
+	cw.Flush()
+	line, _ := cr.ReadString('\n')
+	if strings.TrimSpace(line) != "STORED" {
+		t.Fatalf("set reply = %q", line)
+	}
+	fmt.Fprintf(cw, "quit\r\n")
+	cw.Flush()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("session err: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("session did not quit")
+	}
+}
+
+func TestTextLongKeySkippedOnGet(t *testing.T) {
+	b := newMapBackend()
+	long := strings.Repeat("k", 300)
+	out := runSession(t, b, "get "+long+"\r\n")
+	if out != "END\r\n" {
+		t.Fatalf("out = %q", out)
+	}
+	// Overlong key on set → CLIENT_ERROR.
+	out = runSession(t, b, "set "+long+" 0 0 1\r\nx\r\n")
+	if !strings.Contains(out, "CLIENT_ERROR key too long") {
+		t.Fatalf("out = %q", out)
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import "time"
+
+// Resource models a serially-occupied resource (a processor, a link) in the
+// discrete-event world: requests queue FIFO and each holds the resource for a
+// caller-specified service time. Acquire returns immediately with the time at
+// which the request will complete; callers schedule follow-up work at that
+// time. This busy-until bookkeeping is how the pipeline simulator models the
+// CPU and GPU being occupied by stages.
+type Resource struct {
+	eng       *Engine
+	busyUntil time.Duration
+	busyTotal time.Duration
+	services  uint64
+}
+
+// NewResource returns a resource bound to engine.
+func NewResource(eng *Engine) *Resource {
+	return &Resource{eng: eng}
+}
+
+// Acquire reserves the resource for service starting no earlier than now and
+// returns the completion time. Zero and negative service times are allowed
+// (negative is clamped to zero) so callers can model free operations.
+func (r *Resource) Acquire(service time.Duration) time.Duration {
+	if service < 0 {
+		service = 0
+	}
+	start := r.eng.Now()
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	r.busyUntil = start + service
+	r.busyTotal += service
+	r.services++
+	return r.busyUntil
+}
+
+// AcquireAt is like Acquire but the service cannot start before earliest.
+func (r *Resource) AcquireAt(earliest time.Duration, service time.Duration) time.Duration {
+	if service < 0 {
+		service = 0
+	}
+	start := r.eng.Now()
+	if earliest > start {
+		start = earliest
+	}
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	r.busyUntil = start + service
+	r.busyTotal += service
+	r.services++
+	return r.busyUntil
+}
+
+// BusyUntil returns the time at which all accepted work completes.
+func (r *Resource) BusyUntil() time.Duration { return r.busyUntil }
+
+// BusyTotal returns the cumulative service time accepted.
+func (r *Resource) BusyTotal() time.Duration { return r.busyTotal }
+
+// Services returns the number of Acquire calls.
+func (r *Resource) Services() uint64 { return r.services }
+
+// Utilization returns busyTotal / elapsed for a measurement window of length
+// elapsed, clamped to [0, 1]. Zero elapsed yields 0.
+func (r *Resource) Utilization(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(r.busyTotal) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// ResetStats clears the accumulated busy time and service count without
+// affecting the busy-until horizon.
+func (r *Resource) ResetStats() {
+	r.busyTotal = 0
+	r.services = 0
+}

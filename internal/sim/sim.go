@@ -1,0 +1,145 @@
+// Package sim provides a small discrete-event simulation kernel: a virtual
+// clock, an event queue, and simple resources. The DIDO experiments run the
+// key-value pipeline against this kernel so that a laptop without an AMD
+// Kaveri APU can still reproduce the paper's timing behaviour; the actual
+// key-value operations execute for real, only time is virtual.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	at    time.Duration
+	seq   uint64 // tie-break: FIFO among same-time events
+	fn    func()
+	index int // heap index, -1 when popped/cancelled
+}
+
+// Cancelled reports whether the event has been cancelled or already fired.
+func (e *Event) Cancelled() bool { return e.index == -1 }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use: all events run on the caller's goroutine inside Run/Step.
+type Engine struct {
+	now   time.Duration
+	queue eventQueue
+	seq   uint64
+	fired uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled, not-yet-fired events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// panics: that is always a logic error in a discrete-event model.
+func (e *Engine) At(at time.Duration, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run delay after the current time.
+func (e *Engine) After(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or cancelled
+// event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index == -1 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Step fires the next event, advancing the clock to its time. It returns
+// false when the queue is empty.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue is empty or the clock passes until
+// (events at exactly `until` still fire). It returns the number of events
+// fired during this call.
+func (e *Engine) Run(until time.Duration) uint64 {
+	start := e.fired
+	for e.queue.Len() > 0 && e.queue[0].at <= until {
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return e.fired - start
+}
+
+// RunAll fires events until the queue is empty. maxEvents guards against
+// runaway self-scheduling loops; RunAll panics if exceeded.
+func (e *Engine) RunAll(maxEvents uint64) uint64 {
+	start := e.fired
+	for e.queue.Len() > 0 {
+		if e.fired-start >= maxEvents {
+			panic(fmt.Sprintf("sim: RunAll exceeded %d events", maxEvents))
+		}
+		e.Step()
+	}
+	return e.fired - start
+}

@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30*time.Microsecond, func() { order = append(order, 3) })
+	e.At(10*time.Microsecond, func() { order = append(order, 1) })
+	e.At(20*time.Microsecond, func() { order = append(order, 2) })
+	e.RunAll(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 30*time.Microsecond {
+		t.Fatalf("now = %v, want 30µs", e.Now())
+	}
+}
+
+func TestEngineFIFOAmongEqualTimes(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Microsecond, func() { order = append(order, i) })
+	}
+	e.RunAll(100)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(time.Millisecond, func() {})
+	e.RunAll(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.At(time.Microsecond, func() {})
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative delay")
+		}
+	}()
+	e.After(-time.Second, func() {})
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.After(time.Millisecond, func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Cancel(nil)
+	e.RunAll(10)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("event should report cancelled")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		d := d * time.Millisecond
+		e.At(d, func() { fired = append(fired, d) })
+	}
+	n := e.Run(3 * time.Millisecond)
+	if n != 3 {
+		t.Fatalf("fired %d events, want 3 (boundary inclusive)", n)
+	}
+	if e.Now() != 3*time.Millisecond {
+		t.Fatalf("now = %v, want 3ms", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	// Run to a time past all events: clock advances to `until`.
+	e.Run(10 * time.Millisecond)
+	if e.Now() != 10*time.Millisecond {
+		t.Fatalf("now = %v, want 10ms", e.Now())
+	}
+}
+
+func TestEngineSelfScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			e.After(time.Microsecond, tick)
+		}
+	}
+	e.After(0, tick)
+	e.RunAll(100)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if e.Fired() != 5 {
+		t.Fatalf("fired = %d, want 5", e.Fired())
+	}
+}
+
+func TestRunAllGuard(t *testing.T) {
+	e := NewEngine()
+	var loop func()
+	loop = func() { e.After(time.Microsecond, loop) }
+	e.After(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected runaway guard panic")
+		}
+	}()
+	e.RunAll(50)
+}
+
+func TestResourceSerialization(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	t1 := r.Acquire(10 * time.Microsecond)
+	t2 := r.Acquire(5 * time.Microsecond)
+	if t1 != 10*time.Microsecond {
+		t.Fatalf("t1 = %v", t1)
+	}
+	if t2 != 15*time.Microsecond {
+		t.Fatalf("t2 = %v, want 15µs (queued behind t1)", t2)
+	}
+	if r.BusyTotal() != 15*time.Microsecond {
+		t.Fatalf("busyTotal = %v", r.BusyTotal())
+	}
+	if r.Services() != 2 {
+		t.Fatalf("services = %d", r.Services())
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	r.Acquire(time.Microsecond)
+	// Advance clock past the busy horizon; next acquire starts at now.
+	e.At(10*time.Microsecond, func() {
+		done := r.Acquire(2 * time.Microsecond)
+		if done != 12*time.Microsecond {
+			t.Errorf("done = %v, want 12µs", done)
+		}
+	})
+	e.RunAll(10)
+	if got := r.Utilization(12 * time.Microsecond); got != 3.0/12.0 {
+		t.Fatalf("utilization = %v, want 0.25", got)
+	}
+}
+
+func TestResourceAcquireAt(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	done := r.AcquireAt(5*time.Microsecond, 3*time.Microsecond)
+	if done != 8*time.Microsecond {
+		t.Fatalf("done = %v, want 8µs", done)
+	}
+	// Second request must queue behind even though earliest is earlier.
+	done2 := r.AcquireAt(time.Microsecond, time.Microsecond)
+	if done2 != 9*time.Microsecond {
+		t.Fatalf("done2 = %v, want 9µs", done2)
+	}
+}
+
+func TestResourceNegativeServiceClamped(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	if done := r.Acquire(-time.Second); done != 0 {
+		t.Fatalf("done = %v, want 0", done)
+	}
+}
+
+func TestResourceUtilizationBounds(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	r.Acquire(10 * time.Microsecond)
+	if got := r.Utilization(0); got != 0 {
+		t.Fatalf("zero-window utilization = %v", got)
+	}
+	if got := r.Utilization(5 * time.Microsecond); got != 1 {
+		t.Fatalf("over-busy utilization = %v, want clamped to 1", got)
+	}
+	r.ResetStats()
+	if r.BusyTotal() != 0 || r.Services() != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+}

@@ -1,0 +1,438 @@
+// Package slab implements the memory manager of the key-value store (the MM
+// task of the DIDO pipeline): a slab-class allocator over a bounded arena
+// with per-class LRU eviction, in the style of memcached and Mega-KV.
+//
+// Objects live in fixed-size chunks grouped into classes of geometrically
+// increasing chunk size. When the arena budget is exhausted and a class has
+// no free chunk, the least-recently-used object of that class is evicted and
+// its chunk reused — this is exactly the behaviour behind the paper's
+// observation (§II-C2) that a SET under memory pressure generates one Insert
+// *and* one Delete index operation (for the new and the evicted object).
+//
+// Each object header carries an access counter and a sampling timestamp; the
+// workload profiler uses them to estimate key-popularity skewness at runtime
+// (paper §IV-B) without maintaining global frequency tables.
+package slab
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Handle references an allocated object. Handles are never zero, so they can
+// be stored directly as cuckoo-table locations.
+type Handle uint64
+
+// NoHandle is the zero Handle, returned when no object is referenced.
+const NoHandle Handle = 0
+
+const (
+	classShift = 40
+	indexMask  = 1<<classShift - 1
+)
+
+func makeHandle(class int, index uint64) Handle {
+	return Handle(uint64(class)<<classShift|index) + 1
+}
+
+func (h Handle) split() (class int, index uint64) {
+	v := uint64(h) - 1
+	return int(v >> classShift), v & indexMask
+}
+
+// Config parameterizes an Allocator.
+type Config struct {
+	// TotalBytes is the arena budget across all classes. The paper's
+	// evaluation platform has 1908 MB of CPU/GPU-shared memory.
+	TotalBytes int64
+	// SlabBytes is the allocation granularity when a class grows.
+	SlabBytes int
+	// MinChunk is the smallest chunk size (and the first class).
+	MinChunk int
+	// MaxChunk is the largest storable object (header+key+value).
+	MaxChunk int
+	// Growth is the chunk-size ratio between adjacent classes.
+	Growth float64
+}
+
+// DefaultConfig returns a memcached-like configuration with the given arena
+// budget.
+func DefaultConfig(totalBytes int64) Config {
+	return Config{
+		TotalBytes: totalBytes,
+		SlabBytes:  1 << 20,
+		MinChunk:   64,
+		MaxChunk:   16 << 10,
+		Growth:     2.0,
+	}
+}
+
+// header layout inside each chunk: keyLen(2) valLen(4) — access counter and
+// timestamp live in the metadata array, not the arena, to keep arena writes
+// contiguous.
+const headerBytes = 6
+
+// ErrTooLarge is returned when key+value exceed the largest chunk class.
+var ErrTooLarge = errors.New("slab: object exceeds maximum chunk size")
+
+// ErrNoMemory is returned when the arena is exhausted and the class has
+// nothing to evict (should only happen with pathological configs).
+var ErrNoMemory = errors.New("slab: out of memory and nothing evictable")
+
+// Evicted describes an object that was evicted to satisfy an allocation.
+type Evicted struct {
+	// Key is a copy of the evicted object's key; the store uses it to remove
+	// the stale index entry (the Delete op of paper §II-C2).
+	Key []byte
+	// Handle is the evicted object's old handle (now reused).
+	Handle Handle
+}
+
+type chunkMeta struct {
+	prev, next int32
+	keyLen     uint16
+	valLen     uint32
+	access     uint32
+	stamp      uint32
+	live       bool
+}
+
+type class struct {
+	mu        sync.Mutex
+	chunkSize int
+	slabs     [][]byte
+	meta      []chunkMeta
+	free      []uint64 // free chunk indices
+	lruHead   int32    // most recently used; -1 when empty
+	lruTail   int32    // least recently used
+	live      int
+	evictions uint64
+}
+
+// Allocator is a slab allocator with per-class LRU eviction. It is safe for
+// concurrent use; each class has its own lock.
+type Allocator struct {
+	cfg     Config
+	classes []*class
+
+	budgetMu  sync.Mutex
+	allocated int64 // arena bytes handed to classes
+}
+
+// NewAllocator returns an allocator for cfg. It panics on nonsensical
+// configurations (zero budget, chunk bounds out of order).
+func NewAllocator(cfg Config) *Allocator {
+	if cfg.TotalBytes <= 0 || cfg.MinChunk <= headerBytes ||
+		cfg.MaxChunk < cfg.MinChunk || cfg.Growth <= 1 || cfg.SlabBytes < cfg.MaxChunk {
+		panic(fmt.Sprintf("slab: invalid config %+v", cfg))
+	}
+	a := &Allocator{cfg: cfg}
+	for size := cfg.MinChunk; ; {
+		a.classes = append(a.classes, &class{chunkSize: size, lruHead: -1, lruTail: -1})
+		if size >= cfg.MaxChunk {
+			break
+		}
+		next := int(float64(size) * cfg.Growth)
+		if next <= size {
+			next = size + 1
+		}
+		if next > cfg.MaxChunk {
+			next = cfg.MaxChunk
+		}
+		size = next
+	}
+	return a
+}
+
+// Classes returns the number of slab classes.
+func (a *Allocator) Classes() int { return len(a.classes) }
+
+// ChunkSize returns the chunk size of class c.
+func (a *Allocator) ChunkSize(c int) int { return a.classes[c].chunkSize }
+
+// classFor returns the smallest class whose chunks fit total bytes.
+func (a *Allocator) classFor(total int) (int, error) {
+	for i, c := range a.classes {
+		if c.chunkSize >= total {
+			return i, nil
+		}
+	}
+	return 0, ErrTooLarge
+}
+
+// Alloc allocates a chunk for an object with the given key and value sizes
+// and writes the object into it. If the allocation evicted a live object, the
+// returned Evicted describes it. now is the profiler's sampling timestamp for
+// the new object's metadata.
+func (a *Allocator) Alloc(key, value []byte, now uint32) (Handle, *Evicted, error) {
+	total := headerBytes + len(key) + len(value)
+	ci, err := a.classFor(total)
+	if err != nil {
+		return NoHandle, nil, err
+	}
+	c := a.classes[ci]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	idx, ev, err := a.obtainChunk(ci, c)
+	if err != nil {
+		return NoHandle, nil, err
+	}
+	a.writeObject(c, idx, key, value, now)
+	c.lruPushFront(idx)
+	c.live++
+	return makeHandle(ci, idx), ev, nil
+}
+
+// obtainChunk returns a free chunk index in class c, growing the class or
+// evicting the LRU object as needed. Caller holds c.mu.
+func (a *Allocator) obtainChunk(ci int, c *class) (uint64, *Evicted, error) {
+	if n := len(c.free); n > 0 {
+		idx := c.free[n-1]
+		c.free = c.free[:n-1]
+		return idx, nil, nil
+	}
+	if a.tryGrow(c) {
+		n := len(c.free)
+		idx := c.free[n-1]
+		c.free = c.free[:n-1]
+		return idx, nil, nil
+	}
+	// Evict the least recently used object of this class.
+	victim := c.lruTail
+	if victim < 0 {
+		return 0, nil, ErrNoMemory
+	}
+	idx := uint64(victim)
+	m := &c.meta[idx]
+	evKey := make([]byte, m.keyLen)
+	copy(evKey, a.chunkBytes(c, idx)[headerBytes:headerBytes+int(m.keyLen)])
+	ev := &Evicted{Key: evKey, Handle: makeHandle(ci, idx)}
+	c.lruRemove(int32(idx))
+	m.live = false
+	c.live--
+	c.evictions++
+	return idx, ev, nil
+}
+
+// tryGrow adds one slab to class c if the arena budget allows. Caller holds
+// c.mu; the budget has its own lock so classes can grow concurrently.
+func (a *Allocator) tryGrow(c *class) bool {
+	a.budgetMu.Lock()
+	if a.allocated+int64(a.cfg.SlabBytes) > a.cfg.TotalBytes {
+		a.budgetMu.Unlock()
+		return false
+	}
+	a.allocated += int64(a.cfg.SlabBytes)
+	a.budgetMu.Unlock()
+
+	slab := make([]byte, a.cfg.SlabBytes)
+	base := uint64(len(c.slabs)) * uint64(a.cfg.SlabBytes/c.chunkSize)
+	c.slabs = append(c.slabs, slab)
+	chunks := a.cfg.SlabBytes / c.chunkSize
+	for i := chunks - 1; i >= 0; i-- {
+		c.free = append(c.free, base+uint64(i))
+	}
+	grown := make([]chunkMeta, int(base)+chunks)
+	copy(grown, c.meta)
+	for i := len(c.meta); i < len(grown); i++ {
+		grown[i] = chunkMeta{prev: -1, next: -1}
+	}
+	c.meta = grown
+	return true
+}
+
+func (a *Allocator) chunkBytes(c *class, idx uint64) []byte {
+	perSlab := uint64(a.cfg.SlabBytes / c.chunkSize)
+	slab := c.slabs[idx/perSlab]
+	off := (idx % perSlab) * uint64(c.chunkSize)
+	return slab[off : off+uint64(c.chunkSize)]
+}
+
+func (a *Allocator) writeObject(c *class, idx uint64, key, value []byte, now uint32) {
+	b := a.chunkBytes(c, idx)
+	b[0] = byte(len(key))
+	b[1] = byte(len(key) >> 8)
+	b[2] = byte(len(value))
+	b[3] = byte(len(value) >> 8)
+	b[4] = byte(len(value) >> 16)
+	b[5] = byte(len(value) >> 24)
+	copy(b[headerBytes:], key)
+	copy(b[headerBytes+len(key):], value)
+	m := &c.meta[idx]
+	m.keyLen = uint16(len(key))
+	m.valLen = uint32(len(value))
+	m.access = 1
+	m.stamp = now
+	m.live = true
+}
+
+// Object returns the key and value stored at h. The returned slices alias the
+// arena and are valid until the object is freed or evicted; callers that need
+// stability must copy. ok is false if h is not live.
+func (a *Allocator) Object(h Handle) (key, value []byte, ok bool) {
+	if h == NoHandle {
+		return nil, nil, false
+	}
+	ci, idx := h.split()
+	if ci >= len(a.classes) {
+		return nil, nil, false
+	}
+	c := a.classes[ci]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if idx >= uint64(len(c.meta)) || !c.meta[idx].live {
+		return nil, nil, false
+	}
+	m := &c.meta[idx]
+	b := a.chunkBytes(c, idx)
+	key = b[headerBytes : headerBytes+int(m.keyLen)]
+	value = b[headerBytes+int(m.keyLen) : headerBytes+int(m.keyLen)+int(m.valLen)]
+	return key, value, true
+}
+
+// Touch marks h as accessed at sampling timestamp now: it bumps the object to
+// the front of its class LRU and updates the access counter per the paper's
+// sampling scheme — reset to 1 when a new sampling interval begins, else
+// incremented.
+func (a *Allocator) Touch(h Handle, now uint32) {
+	if h == NoHandle {
+		return
+	}
+	ci, idx := h.split()
+	if ci >= len(a.classes) {
+		return
+	}
+	c := a.classes[ci]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if idx >= uint64(len(c.meta)) || !c.meta[idx].live {
+		return
+	}
+	m := &c.meta[idx]
+	if m.stamp != now {
+		m.stamp = now
+		m.access = 1
+	} else {
+		m.access++
+	}
+	c.lruRemove(int32(idx))
+	c.lruPushFront(idx)
+}
+
+// AccessCount returns the access counter and sampling timestamp of h.
+func (a *Allocator) AccessCount(h Handle) (count, stamp uint32, ok bool) {
+	if h == NoHandle {
+		return 0, 0, false
+	}
+	ci, idx := h.split()
+	if ci >= len(a.classes) {
+		return 0, 0, false
+	}
+	c := a.classes[ci]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if idx >= uint64(len(c.meta)) || !c.meta[idx].live {
+		return 0, 0, false
+	}
+	return c.meta[idx].access, c.meta[idx].stamp, true
+}
+
+// Free releases h back to its class's free list. Freeing a dead handle is a
+// no-op (the object may have been concurrently evicted).
+func (a *Allocator) Free(h Handle) {
+	if h == NoHandle {
+		return
+	}
+	ci, idx := h.split()
+	if ci >= len(a.classes) {
+		return
+	}
+	c := a.classes[ci]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if idx >= uint64(len(c.meta)) || !c.meta[idx].live {
+		return
+	}
+	c.lruRemove(int32(idx))
+	c.meta[idx].live = false
+	c.live--
+	c.free = append(c.free, idx)
+}
+
+// CollectAccessCounts returns the access counters of up to limit live objects
+// whose sampling timestamp equals stamp — i.e. the objects touched during the
+// current sampling interval. The workload profiler feeds these frequencies to
+// the skewness estimator (paper §IV-B). limit <= 0 means no limit.
+func (a *Allocator) CollectAccessCounts(stamp uint32, limit int) []uint32 {
+	var out []uint32
+	for _, c := range a.classes {
+		c.mu.Lock()
+		for i := range c.meta {
+			m := &c.meta[i]
+			if m.live && m.stamp == stamp {
+				out = append(out, m.access)
+				if limit > 0 && len(out) >= limit {
+					c.mu.Unlock()
+					return out
+				}
+			}
+		}
+		c.mu.Unlock()
+	}
+	return out
+}
+
+// Stats summarizes allocator state.
+type Stats struct {
+	LiveObjects    int
+	ArenaBytes     int64
+	AllocatedBytes int64
+	Evictions      uint64
+}
+
+// StatsSnapshot returns current allocator statistics.
+func (a *Allocator) StatsSnapshot() Stats {
+	s := Stats{ArenaBytes: a.cfg.TotalBytes}
+	a.budgetMu.Lock()
+	s.AllocatedBytes = a.allocated
+	a.budgetMu.Unlock()
+	for _, c := range a.classes {
+		c.mu.Lock()
+		s.LiveObjects += c.live
+		s.Evictions += c.evictions
+		c.mu.Unlock()
+	}
+	return s
+}
+
+// lru list operations; caller holds the class lock.
+
+func (c *class) lruPushFront(idx uint64) {
+	m := &c.meta[idx]
+	m.prev = -1
+	m.next = c.lruHead
+	if c.lruHead >= 0 {
+		c.meta[c.lruHead].prev = int32(idx)
+	}
+	c.lruHead = int32(idx)
+	if c.lruTail < 0 {
+		c.lruTail = int32(idx)
+	}
+}
+
+func (c *class) lruRemove(idx int32) {
+	m := &c.meta[idx]
+	if m.prev >= 0 {
+		c.meta[m.prev].next = m.next
+	} else if c.lruHead == idx {
+		c.lruHead = m.next
+	}
+	if m.next >= 0 {
+		c.meta[m.next].prev = m.prev
+	} else if c.lruTail == idx {
+		c.lruTail = m.prev
+	}
+	m.prev, m.next = -1, -1
+}

@@ -1,0 +1,303 @@
+package slab
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func smallConfig() Config {
+	return Config{
+		TotalBytes: 64 << 10, // one 64KB slab budget
+		SlabBytes:  32 << 10,
+		MinChunk:   64,
+		MaxChunk:   1024,
+		Growth:     2.0,
+	}
+}
+
+func TestNewAllocatorValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{TotalBytes: 1 << 20, SlabBytes: 1 << 20, MinChunk: 4, MaxChunk: 1024, Growth: 2},  // MinChunk <= header
+		{TotalBytes: 1 << 20, SlabBytes: 1 << 20, MinChunk: 128, MaxChunk: 64, Growth: 2},  // bounds reversed
+		{TotalBytes: 1 << 20, SlabBytes: 1 << 20, MinChunk: 64, MaxChunk: 1024, Growth: 1}, // growth <= 1
+		{TotalBytes: 1 << 20, SlabBytes: 512, MinChunk: 64, MaxChunk: 1024, Growth: 2},     // slab < max chunk
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic: %+v", i, cfg)
+				}
+			}()
+			NewAllocator(cfg)
+		}()
+	}
+}
+
+func TestClassLayout(t *testing.T) {
+	a := NewAllocator(smallConfig())
+	if a.Classes() < 4 {
+		t.Fatalf("classes = %d, want >= 4 (64..1024 at x2)", a.Classes())
+	}
+	if a.ChunkSize(0) != 64 {
+		t.Fatalf("first class = %d", a.ChunkSize(0))
+	}
+	if a.ChunkSize(a.Classes()-1) != 1024 {
+		t.Fatalf("last class = %d", a.ChunkSize(a.Classes()-1))
+	}
+	for i := 1; i < a.Classes(); i++ {
+		if a.ChunkSize(i) <= a.ChunkSize(i-1) {
+			t.Fatal("class sizes not increasing")
+		}
+	}
+}
+
+func TestAllocObjectRoundTrip(t *testing.T) {
+	a := NewAllocator(smallConfig())
+	key := []byte("hello")
+	val := []byte("world-value")
+	h, ev, err := a.Alloc(key, val, 1)
+	if err != nil || ev != nil {
+		t.Fatalf("alloc: h=%v ev=%v err=%v", h, ev, err)
+	}
+	if h == NoHandle {
+		t.Fatal("zero handle returned")
+	}
+	k, v, ok := a.Object(h)
+	if !ok || !bytes.Equal(k, key) || !bytes.Equal(v, val) {
+		t.Fatalf("object = %q/%q ok=%v", k, v, ok)
+	}
+}
+
+func TestObjectDeadHandle(t *testing.T) {
+	a := NewAllocator(smallConfig())
+	if _, _, ok := a.Object(NoHandle); ok {
+		t.Fatal("NoHandle should not resolve")
+	}
+	if _, _, ok := a.Object(Handle(1)); ok {
+		t.Fatal("never-allocated handle should not resolve")
+	}
+	h, _, _ := a.Alloc([]byte("k"), []byte("v"), 1)
+	a.Free(h)
+	if _, _, ok := a.Object(h); ok {
+		t.Fatal("freed handle should not resolve")
+	}
+	a.Free(h) // double free is a no-op
+}
+
+func TestTooLarge(t *testing.T) {
+	a := NewAllocator(smallConfig())
+	_, _, err := a.Alloc(make([]byte, 10), make([]byte, 2000), 1)
+	if err != ErrTooLarge {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestEvictionLRUOrder(t *testing.T) {
+	cfg := Config{
+		TotalBytes: 32 << 10, // exactly one slab
+		SlabBytes:  32 << 10,
+		MinChunk:   1024,
+		MaxChunk:   1024,
+		Growth:     2,
+	}
+	a := NewAllocator(cfg) // 32 chunks of 1KB, single class
+	var handles []Handle
+	for i := 0; i < 32; i++ {
+		h, ev, err := a.Alloc([]byte(fmt.Sprintf("key-%02d", i)), make([]byte, 500), 1)
+		if err != nil || ev != nil {
+			t.Fatalf("alloc %d: ev=%v err=%v", i, ev, err)
+		}
+		handles = append(handles, h)
+	}
+	// Touch key-00 so key-01 becomes LRU.
+	a.Touch(handles[0], 2)
+	h, ev, err := a.Alloc([]byte("key-new"), make([]byte, 500), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev == nil {
+		t.Fatal("expected an eviction at capacity")
+	}
+	if string(ev.Key) != "key-01" {
+		t.Fatalf("evicted %q, want key-01 (LRU)", ev.Key)
+	}
+	if ev.Handle != handles[1] {
+		t.Fatal("evicted handle mismatch")
+	}
+	// The evicted chunk was reused for the new object.
+	if h != handles[1] {
+		t.Fatalf("new handle %v should reuse evicted chunk %v", h, handles[1])
+	}
+	k, _, ok := a.Object(h)
+	if !ok || string(k) != "key-new" {
+		t.Fatalf("reused chunk holds %q", k)
+	}
+	st := a.StatsSnapshot()
+	if st.Evictions != 1 || st.LiveObjects != 32 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFreeThenReuseNoEviction(t *testing.T) {
+	cfg := Config{TotalBytes: 32 << 10, SlabBytes: 32 << 10, MinChunk: 1024, MaxChunk: 1024, Growth: 2}
+	a := NewAllocator(cfg)
+	var handles []Handle
+	for i := 0; i < 32; i++ {
+		h, _, _ := a.Alloc([]byte{byte(i)}, nil, 1)
+		handles = append(handles, h)
+	}
+	a.Free(handles[7])
+	_, ev, err := a.Alloc([]byte("x"), nil, 1)
+	if err != nil || ev != nil {
+		t.Fatalf("free list should satisfy alloc: ev=%v err=%v", ev, err)
+	}
+}
+
+func TestTouchAccessCounterSampling(t *testing.T) {
+	a := NewAllocator(smallConfig())
+	h, _, _ := a.Alloc([]byte("k"), []byte("v"), 10)
+	if n, stamp, ok := a.AccessCount(h); !ok || n != 1 || stamp != 10 {
+		t.Fatalf("initial count = %d stamp=%d ok=%v", n, stamp, ok)
+	}
+	a.Touch(h, 10)
+	a.Touch(h, 10)
+	if n, _, _ := a.AccessCount(h); n != 3 {
+		t.Fatalf("count = %d, want 3", n)
+	}
+	// New sampling interval resets the counter (paper §IV-B).
+	a.Touch(h, 11)
+	if n, stamp, _ := a.AccessCount(h); n != 1 || stamp != 11 {
+		t.Fatalf("after new interval: count=%d stamp=%d, want 1/11", n, stamp)
+	}
+	// Dead handles.
+	if _, _, ok := a.AccessCount(NoHandle); ok {
+		t.Fatal("NoHandle AccessCount should fail")
+	}
+	a.Touch(NoHandle, 1) // no-op, must not panic
+}
+
+func TestMultipleClassesIndependentEviction(t *testing.T) {
+	cfg := Config{TotalBytes: 64 << 10, SlabBytes: 32 << 10, MinChunk: 256, MaxChunk: 1024, Growth: 4}
+	a := NewAllocator(cfg) // classes: 256, 1024
+	// The big class takes the first slab...
+	if _, ev, err := a.Alloc([]byte("b0"), make([]byte, 900), 1); err != nil || ev != nil {
+		t.Fatalf("big alloc: ev=%v err=%v", ev, err)
+	}
+	// ...and the small class takes the second (128 chunks), exhausting the budget.
+	for i := 0; i < 128; i++ {
+		if _, ev, err := a.Alloc([]byte{byte(i), byte(i >> 8)}, make([]byte, 100), 1); err != nil || ev != nil {
+			t.Fatalf("small alloc %d: ev=%v err=%v", i, ev, err)
+		}
+	}
+	// Next small alloc must evict from the small class only.
+	_, ev, err := a.Alloc([]byte("s"), make([]byte, 100), 1)
+	if err != nil || ev == nil {
+		t.Fatalf("expected small-class eviction, ev=%v err=%v", ev, err)
+	}
+	// Big class still has free chunks in its own slab: no eviction.
+	_, ev2, err := a.Alloc([]byte("b1"), make([]byte, 900), 1)
+	if err != nil || ev2 != nil {
+		t.Fatalf("big alloc should not evict: ev=%v err=%v", ev2, err)
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	a := NewAllocator(smallConfig())
+	a.Alloc([]byte("k"), []byte("v"), 1)
+	st := a.StatsSnapshot()
+	if st.LiveObjects != 1 || st.AllocatedBytes == 0 || st.ArenaBytes != 64<<10 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHandleSplitRoundTrip(t *testing.T) {
+	f := func(class uint8, idx uint32) bool {
+		h := makeHandle(int(class), uint64(idx))
+		c, i := h.split()
+		return c == int(class) && i == uint64(idx) && h != NoHandle
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAllocFreeTouch(t *testing.T) {
+	cfg := Config{TotalBytes: 1 << 20, SlabBytes: 64 << 10, MinChunk: 128, MaxChunk: 512, Growth: 2}
+	a := NewAllocator(cfg)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mine []Handle
+			for i := 0; i < 500; i++ {
+				key := []byte(fmt.Sprintf("w%d-%d", w, i))
+				h, _, err := a.Alloc(key, make([]byte, 64), uint32(i))
+				if err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				mine = append(mine, h)
+				a.Touch(h, uint32(i))
+				if i%3 == 0 {
+					a.Free(mine[len(mine)/2])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := a.StatsSnapshot()
+	if st.LiveObjects < 0 {
+		t.Fatalf("negative live objects: %+v", st)
+	}
+}
+
+func TestEvictionChurnProperty(t *testing.T) {
+	// Property: under arbitrary alloc sequences the allocator never exceeds
+	// its arena budget and every returned handle resolves until evicted/freed.
+	f := func(sizes []uint16) bool {
+		cfg := Config{TotalBytes: 64 << 10, SlabBytes: 16 << 10, MinChunk: 64, MaxChunk: 4096, Growth: 2}
+		a := NewAllocator(cfg)
+		for i, s := range sizes {
+			val := make([]byte, int(s)%3000)
+			key := []byte(fmt.Sprintf("key-%d", i))
+			h, _, err := a.Alloc(key, val, 1)
+			if err == ErrTooLarge || err == ErrNoMemory {
+				// ErrNoMemory is legal: a class can be budget-starved before
+				// it owns any slab to evict from.
+				continue
+			}
+			if err != nil {
+				return false
+			}
+			k, v, ok := a.Object(h)
+			if !ok || !bytes.Equal(k, key) || len(v) != len(val) {
+				return false
+			}
+			if st := a.StatsSnapshot(); st.AllocatedBytes > st.ArenaBytes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAllocEvictCycle(b *testing.B) {
+	cfg := Config{TotalBytes: 1 << 20, SlabBytes: 1 << 20, MinChunk: 128, MaxChunk: 128 << 2, Growth: 2}
+	a := NewAllocator(cfg)
+	val := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := []byte{byte(i), byte(i >> 8), byte(i >> 16)}
+		a.Alloc(key, val, uint32(i))
+	}
+}

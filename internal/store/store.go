@@ -1,0 +1,249 @@
+// Package store assembles the cuckoo index and the slab arena into a
+// key-value object store. It exposes two API levels:
+//
+//   - Composite operations (Get / Set / Delete) for direct use — this is
+//     what the real UDP server and the examples run on.
+//
+//   - Task-granular operations (IndexSearch, KeyCompare, ReadValue,
+//     AllocForSet, IndexInsert, IndexDelete) matching the DIDO pipeline's
+//     fine-grained task decomposition (paper §III-A: MM, IN, KC, RD), so the
+//     pipeline engine can place each step on either processor independently.
+//
+// A SET under memory pressure evicts an existing object, producing one Insert
+// and one Delete index operation (paper §II-C2); this coupling is preserved
+// here and is what makes DIDO's flexible index-operation assignment matter.
+package store
+
+import (
+	"bytes"
+	"sync/atomic"
+
+	"repro/internal/cuckoo"
+	"repro/internal/slab"
+	"repro/internal/stats"
+)
+
+// Config parameterizes a Store.
+type Config struct {
+	// MemoryBytes is the arena budget for key-value objects.
+	MemoryBytes int64
+	// IndexEntries is the expected object count, used to size the index.
+	IndexEntries int
+	// Seed makes hashing deterministic for reproducible experiments.
+	Seed uint64
+	// Slab optionally overrides the slab configuration; when nil a default
+	// derived from MemoryBytes is used.
+	Slab *slab.Config
+}
+
+// Store is a concurrent in-memory key-value store. All methods are safe for
+// concurrent use.
+type Store struct {
+	idx   *cuckoo.Table
+	alloc *slab.Allocator
+	stamp atomic.Uint32 // current sampling-interval timestamp
+
+	gets      stats.Counter
+	sets      stats.Counter
+	dels      stats.Counter
+	hits      stats.Counter
+	misses    stats.Counter
+	evictions stats.Counter
+}
+
+// New returns a store for cfg.
+func New(cfg Config) *Store {
+	if cfg.MemoryBytes <= 0 {
+		panic("store: MemoryBytes must be positive")
+	}
+	if cfg.IndexEntries <= 0 {
+		// The arena can hold at most MemoryBytes / MinChunk objects (64-byte
+		// minimum slab class); size the index for that worst case so small
+		// objects never jam the cuckoo table.
+		cfg.IndexEntries = int(cfg.MemoryBytes / 64)
+		if cfg.IndexEntries < 1024 {
+			cfg.IndexEntries = 1024
+		}
+	}
+	scfg := slab.DefaultConfig(cfg.MemoryBytes)
+	if cfg.Slab != nil {
+		scfg = *cfg.Slab
+	}
+	s := &Store{
+		idx:   cuckoo.NewForCapacity(cfg.IndexEntries, 0.85, cfg.Seed),
+		alloc: slab.NewAllocator(scfg),
+	}
+	s.stamp.Store(1)
+	return s
+}
+
+// ---- Composite operations ----
+
+// Get returns a copy of the value stored under key.
+func (s *Store) Get(key []byte) ([]byte, bool) {
+	s.gets.Inc()
+	loc, val, ok := s.lookup(key)
+	if !ok {
+		s.misses.Inc()
+		return nil, false
+	}
+	s.hits.Inc()
+	s.alloc.Touch(slab.Handle(loc), s.stamp.Load())
+	out := make([]byte, len(val))
+	copy(out, val)
+	return out, true
+}
+
+// Set stores value under key, overwriting any existing object. It returns
+// the number of index Insert and Delete operations the SET generated (for
+// workload accounting) and an error from the allocator.
+func (s *Store) Set(key, value []byte) (inserts, deletes int, err error) {
+	s.sets.Inc()
+	// Remove any existing object for this key first (overwrite semantics).
+	if loc, _, ok := s.lookup(key); ok {
+		if s.idx.Delete(key, loc) {
+			s.alloc.Free(slab.Handle(loc))
+			deletes++
+		}
+	}
+	h, ev, err := s.alloc.Alloc(key, value, s.stamp.Load())
+	if err != nil {
+		return inserts, deletes, err
+	}
+	if ev != nil {
+		// The eviction victim's index entry must go too (paper §II-C2).
+		s.evictions.Inc()
+		if s.idx.Delete(ev.Key, cuckoo.Location(ev.Handle)) {
+			deletes++
+		}
+	}
+	if !s.idx.Insert(key, cuckoo.Location(h)) {
+		// Index full: undo the allocation and report no memory.
+		s.alloc.Free(h)
+		return inserts, deletes, slab.ErrNoMemory
+	}
+	inserts++
+	return inserts, deletes, nil
+}
+
+// Delete removes key. It reports whether an object was removed.
+func (s *Store) Delete(key []byte) bool {
+	s.dels.Inc()
+	loc, _, ok := s.lookup(key)
+	if !ok {
+		return false
+	}
+	if !s.idx.Delete(key, loc) {
+		return false
+	}
+	s.alloc.Free(slab.Handle(loc))
+	return true
+}
+
+// lookup finds the live location and value for key (no copy, no touch).
+func (s *Store) lookup(key []byte) (cuckoo.Location, []byte, bool) {
+	var buf [4]cuckoo.Location
+	cands, _ := s.idx.Search(key, buf[:0])
+	for _, loc := range cands {
+		k, v, ok := s.alloc.Object(slab.Handle(loc))
+		if ok && bytes.Equal(k, key) {
+			return loc, v, true
+		}
+	}
+	return 0, nil, false
+}
+
+// ---- Task-granular operations (pipeline building blocks) ----
+
+// IndexSearch performs the IN(Search) task: it returns candidate locations
+// for key, appending to dst.
+func (s *Store) IndexSearch(key []byte, dst []cuckoo.Location) []cuckoo.Location {
+	cands, _ := s.idx.Search(key, dst)
+	return cands
+}
+
+// KeyCompare performs the KC task: it reports whether the object at loc is
+// live and stores exactly key.
+func (s *Store) KeyCompare(loc cuckoo.Location, key []byte) bool {
+	k, _, ok := s.alloc.Object(slab.Handle(loc))
+	return ok && bytes.Equal(k, key)
+}
+
+// ReadValue performs the RD task: it returns the value bytes at loc (aliasing
+// the arena; valid until eviction) and touches the object for LRU/sampling.
+func (s *Store) ReadValue(loc cuckoo.Location) ([]byte, bool) {
+	_, v, ok := s.alloc.Object(slab.Handle(loc))
+	if !ok {
+		return nil, false
+	}
+	s.alloc.Touch(slab.Handle(loc), s.stamp.Load())
+	return v, true
+}
+
+// AllocForSet performs the MM task for a SET: allocate and fill a chunk. The
+// returned evicted descriptor, when non-nil, obliges the caller to issue an
+// IndexDelete for the victim.
+func (s *Store) AllocForSet(key, value []byte) (slab.Handle, *slab.Evicted, error) {
+	return s.alloc.Alloc(key, value, s.stamp.Load())
+}
+
+// IndexInsert performs the IN(Insert) task.
+func (s *Store) IndexInsert(key []byte, h slab.Handle) bool {
+	return s.idx.Insert(key, cuckoo.Location(h))
+}
+
+// IndexDelete performs the IN(Delete) task.
+func (s *Store) IndexDelete(key []byte, loc cuckoo.Location) bool {
+	if !s.idx.Delete(key, loc) {
+		return false
+	}
+	s.alloc.Free(slab.Handle(loc))
+	return true
+}
+
+// FreeHandle releases an allocation that never made it into the index.
+func (s *Store) FreeHandle(h slab.Handle) { s.alloc.Free(h) }
+
+// ---- Profiling hooks ----
+
+// AdvanceSampleInterval begins a new skewness-sampling interval and returns
+// the access counters collected during the one that just ended (paper §IV-B).
+func (s *Store) AdvanceSampleInterval(limit int) []uint32 {
+	old := s.stamp.Load()
+	counts := s.alloc.CollectAccessCounts(old, limit)
+	s.stamp.Store(old + 1)
+	return counts
+}
+
+// Index exposes the underlying cuckoo table (read-mostly: stats, capacity).
+func (s *Store) Index() *cuckoo.Table { return s.idx }
+
+// Arena exposes the underlying allocator (stats).
+func (s *Store) Arena() *slab.Allocator { return s.alloc }
+
+// Stats is a snapshot of store-level counters.
+type Stats struct {
+	Gets, Sets, Deletes    uint64
+	Hits, Misses           uint64
+	Evictions              uint64
+	LiveObjects            int
+	IndexLoadFactor        float64
+	AvgInsertBucketsProbed float64
+}
+
+// StatsSnapshot returns current counters.
+func (s *Store) StatsSnapshot() Stats {
+	is := s.idx.StatsSnapshot()
+	as := s.alloc.StatsSnapshot()
+	return Stats{
+		Gets:                   s.gets.Load(),
+		Sets:                   s.sets.Load(),
+		Deletes:                s.dels.Load(),
+		Hits:                   s.hits.Load(),
+		Misses:                 s.misses.Load(),
+		Evictions:              s.evictions.Load(),
+		LiveObjects:            as.LiveObjects,
+		IndexLoadFactor:        s.idx.LoadFactor(),
+		AvgInsertBucketsProbed: is.AvgInsertBuckets,
+	}
+}

@@ -1,0 +1,273 @@
+// Package workload generates the query streams of the paper's evaluation
+// (§V-A): a YCSB-derived benchmark extended with configurable key-value
+// sizes, key distributions, and GET/SET ratios.
+//
+// The benchmark matrix is 4 datasets × 3 GET ratios × 2 key distributions =
+// 24 workloads:
+//
+//	datasets    K8 (8 B key / 8 B value), K16 (16/64), K32 (32/256),
+//	            K128 (128/1024); Fig 4 additionally uses a 32/512 variant.
+//	GET ratios  100 %, 95 %, 50 % (YCSB workloads C, B, A)
+//	distributions uniform (U) and Zipf skewness 0.99 (S)
+//
+// Workload names follow the paper's notation, e.g. "K32-G95-U".
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/proto"
+	"repro/internal/zipf"
+)
+
+// Spec describes one workload.
+type Spec struct {
+	Name      string
+	KeySize   int
+	ValueSize int
+	// GetRatio is the fraction of GET queries; the rest are SETs.
+	GetRatio float64
+	// Skew is the Zipf exponent of key popularity; 0 means uniform.
+	Skew float64
+}
+
+// String returns the paper-style name.
+func (s Spec) String() string { return s.Name }
+
+// specName builds the paper's notation: K<keysize>-G<get%>-<U|S>.
+func specName(keySize int, getRatio, skew float64) string {
+	dist := "U"
+	if skew > 0 {
+		dist = "S"
+	}
+	return fmt.Sprintf("K%d-G%d-%s", keySize, int(getRatio*100+0.5), dist)
+}
+
+// NewSpec builds a Spec with the paper's naming convention.
+func NewSpec(keySize, valueSize int, getRatio, skew float64) Spec {
+	if keySize < 8 {
+		panic("workload: key size must be >= 8 (rank encoding)")
+	}
+	if getRatio < 0 || getRatio > 1 {
+		panic("workload: GET ratio out of [0,1]")
+	}
+	return Spec{
+		Name:      specName(keySize, getRatio, skew),
+		KeySize:   keySize,
+		ValueSize: valueSize,
+		GetRatio:  getRatio,
+		Skew:      skew,
+	}
+}
+
+// ZipfYCSB is the skewness of YCSB's and the paper's skewed workloads.
+const ZipfYCSB = 0.99
+
+// Datasets of the paper's benchmark (§V-A).
+var (
+	DatasetK8   = [2]int{8, 8}
+	DatasetK16  = [2]int{16, 64}
+	DatasetK32  = [2]int{32, 256}
+	DatasetK128 = [2]int{128, 1024}
+	// DatasetK32Fig4 is the 32-byte-key variant used in the motivation
+	// experiments (Fig 4-5 use a 512-byte value).
+	DatasetK32Fig4 = [2]int{32, 512}
+)
+
+// StandardSpecs returns the paper's 24 evaluation workloads in a stable
+// order: datasets K8→K128, GET ratio 100→50, uniform then skewed.
+func StandardSpecs() []Spec {
+	var specs []Spec
+	for _, ds := range [][2]int{DatasetK8, DatasetK16, DatasetK32, DatasetK128} {
+		for _, g := range []float64{1.0, 0.95, 0.5} {
+			for _, s := range []float64{0, ZipfYCSB} {
+				specs = append(specs, NewSpec(ds[0], ds[1], g, s))
+			}
+		}
+	}
+	return specs
+}
+
+// SpecByName returns the standard spec with the given paper-style name.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range StandardSpecs() {
+		if strings.EqualFold(s.Name, name) {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Generator produces queries for a Spec over a key population of n objects.
+// It is not safe for concurrent use.
+type Generator struct {
+	Spec Spec
+	n    uint64
+	keys *zipf.Generator
+	rng  *rand.Rand
+	val  []byte
+	// Seq tags SET values so correctness checks can verify freshness.
+	seq uint64
+}
+
+// NewGenerator returns a generator over a population of n keys.
+func NewGenerator(spec Spec, n uint64, seed int64) *Generator {
+	if n < 1 {
+		panic("workload: population must be >= 1")
+	}
+	g := &Generator{
+		Spec: spec,
+		n:    n,
+		keys: zipf.NewGenerator(n, spec.Skew, seed),
+		rng:  rand.New(rand.NewSource(seed + 1)),
+		val:  make([]byte, spec.ValueSize),
+	}
+	for i := range g.val {
+		g.val[i] = byte('a' + i%26)
+	}
+	return g
+}
+
+// Population returns the key-space size.
+func (g *Generator) Population() uint64 { return g.n }
+
+// PopulationForMemory returns how many objects of this spec fit in memBytes,
+// accounting for the slab allocator's power-of-two chunk classes (64-byte
+// minimum, 6-byte header) the way the paper sizes its data sets against the
+// 1908 MB shared arena (§V-A). Matching the allocator's rounding keeps the
+// generated key population equal to what the store can actually hold, so
+// warmed stores serve ~100% hit rates.
+func PopulationForMemory(spec Spec, memBytes int64) uint64 {
+	size := int64(6 + spec.KeySize + spec.ValueSize)
+	chunk := int64(64)
+	for chunk < size {
+		chunk *= 2
+	}
+	n := memBytes / chunk
+	if n < 1 {
+		n = 1
+	}
+	return uint64(n)
+}
+
+// KeyAt writes the key bytes for rank into dst (len = KeySize): the rank in
+// the first 8 bytes and a seeded deterministic fill after.
+func (g *Generator) KeyAt(rank uint64, dst []byte) []byte {
+	if cap(dst) < g.Spec.KeySize {
+		dst = make([]byte, g.Spec.KeySize)
+	}
+	dst = dst[:g.Spec.KeySize]
+	binary.LittleEndian.PutUint64(dst, rank)
+	for i := 8; i < len(dst); i++ {
+		dst[i] = byte('k' + (rank+uint64(i))%13)
+	}
+	return dst
+}
+
+// Next produces the next query. Key and Value alias generator-owned buffers
+// only until the next call if copy is false; with copy true they are fresh
+// allocations.
+func (g *Generator) Next(copyBytes bool) proto.Query {
+	rank := g.keys.Next()
+	var q proto.Query
+	key := g.KeyAt(rank, nil)
+	if g.rng.Float64() < g.Spec.GetRatio {
+		q = proto.Query{Op: proto.OpGet, Key: key}
+	} else {
+		g.seq++
+		val := g.val
+		if copyBytes {
+			val = make([]byte, len(g.val))
+			copy(val, g.val)
+		}
+		if len(val) >= 8 {
+			binary.LittleEndian.PutUint64(val, g.seq)
+		}
+		q = proto.Query{Op: proto.OpSet, Key: key, Value: val}
+	}
+	return q
+}
+
+// Batch produces n queries.
+func (g *Generator) Batch(n int) []proto.Query {
+	out := make([]proto.Query, n)
+	for i := range out {
+		out[i] = g.Next(true)
+	}
+	return out
+}
+
+// Mix describes the realized composition of a produced batch.
+type Mix struct {
+	Gets, Sets  int
+	AvgKeyLen   float64
+	AvgValueLen float64
+}
+
+// MeasureMix computes the realized mix of queries.
+func MeasureMix(queries []proto.Query) Mix {
+	var m Mix
+	if len(queries) == 0 {
+		return m
+	}
+	var keyBytes, valBytes int
+	for _, q := range queries {
+		keyBytes += len(q.Key)
+		if q.Op == proto.OpGet {
+			m.Gets++
+		} else {
+			m.Sets++
+			valBytes += len(q.Value)
+		}
+	}
+	m.AvgKeyLen = float64(keyBytes) / float64(len(queries))
+	if m.Sets > 0 {
+		m.AvgValueLen = float64(valBytes) / float64(m.Sets)
+	}
+	return m
+}
+
+// Alternator switches between two specs with a fixed period, reproducing the
+// paper's dynamic-workload experiments (Figs 20-21: K8-G50-U ↔ K16-G95-S
+// alternating every cycle).
+type Alternator struct {
+	A, B    *Generator
+	period  uint64 // queries per phase
+	count   uint64
+	current *Generator
+}
+
+// NewAlternator alternates between generators a and b every period queries.
+func NewAlternator(a, b *Generator, period uint64) *Alternator {
+	if period < 1 {
+		panic("workload: alternation period must be >= 1")
+	}
+	return &Alternator{A: a, B: b, period: period, current: a}
+}
+
+// Next produces the next query, switching generator at phase boundaries.
+func (alt *Alternator) Next(copyBytes bool) proto.Query {
+	phase := (alt.count / alt.period) % 2
+	if phase == 0 {
+		alt.current = alt.A
+	} else {
+		alt.current = alt.B
+	}
+	alt.count++
+	return alt.current.Next(copyBytes)
+}
+
+// CurrentSpec returns the spec of the phase the alternator is in.
+func (alt *Alternator) CurrentSpec() Spec { return alt.current.Spec }
+
+// Batch produces n queries (possibly spanning a phase boundary).
+func (alt *Alternator) Batch(n int) []proto.Query {
+	out := make([]proto.Query, n)
+	for i := range out {
+		out[i] = alt.Next(true)
+	}
+	return out
+}

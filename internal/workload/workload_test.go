@@ -1,0 +1,236 @@
+package workload
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/proto"
+)
+
+func TestStandardSpecs24(t *testing.T) {
+	specs := StandardSpecs()
+	if len(specs) != 24 {
+		t.Fatalf("specs = %d, want 24 (paper §V-A)", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Fatalf("duplicate spec %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	// Spot checks against the paper's notation.
+	for _, want := range []string{"K8-G100-U", "K16-G95-S", "K32-G50-U", "K128-G50-S"} {
+		if !seen[want] {
+			t.Fatalf("missing workload %s", want)
+		}
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	s, ok := SpecByName("K32-G95-U")
+	if !ok || s.KeySize != 32 || s.ValueSize != 256 || s.GetRatio != 0.95 || s.Skew != 0 {
+		t.Fatalf("spec = %+v ok=%v", s, ok)
+	}
+	s, ok = SpecByName("k8-g50-s") // case-insensitive
+	if !ok || s.Skew != ZipfYCSB {
+		t.Fatalf("spec = %+v ok=%v", s, ok)
+	}
+	if _, ok := SpecByName("K9-G10-U"); ok {
+		t.Fatal("bogus name resolved")
+	}
+}
+
+func TestNewSpecValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSpec(4, 8, 0.5, 0) },
+		func() { NewSpec(8, 8, 1.5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGeneratorMixMatchesSpec(t *testing.T) {
+	spec, _ := SpecByName("K16-G95-U")
+	g := NewGenerator(spec, 100000, 1)
+	batch := g.Batch(20000)
+	m := MeasureMix(batch)
+	getFrac := float64(m.Gets) / float64(len(batch))
+	if math.Abs(getFrac-0.95) > 0.01 {
+		t.Fatalf("GET fraction = %.3f, want ~0.95", getFrac)
+	}
+	if m.AvgKeyLen != 16 {
+		t.Fatalf("avg key len = %v", m.AvgKeyLen)
+	}
+	if m.AvgValueLen != 64 {
+		t.Fatalf("avg value len = %v", m.AvgValueLen)
+	}
+}
+
+func TestGeneratorKeysInPopulation(t *testing.T) {
+	spec, _ := SpecByName("K8-G100-U")
+	g := NewGenerator(spec, 1000, 2)
+	for i := 0; i < 10000; i++ {
+		q := g.Next(false)
+		rank := binary.LittleEndian.Uint64(q.Key)
+		if rank < 1 || rank > 1000 {
+			t.Fatalf("rank %d out of population", rank)
+		}
+		if len(q.Key) != 8 {
+			t.Fatalf("key len %d", len(q.Key))
+		}
+	}
+}
+
+func TestSkewedGeneratorConcentrates(t *testing.T) {
+	spec, _ := SpecByName("K8-G100-S")
+	g := NewGenerator(spec, 100000, 3)
+	head := 0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		q := g.Next(false)
+		if binary.LittleEndian.Uint64(q.Key) <= 1000 {
+			head++
+		}
+	}
+	frac := float64(head) / draws
+	if frac < 0.5 {
+		t.Fatalf("zipf(.99) head fraction = %.3f, want > 0.5", frac)
+	}
+}
+
+func TestSetValuesAreFresh(t *testing.T) {
+	spec, _ := SpecByName("K8-G50-U")
+	g := NewGenerator(spec, 100, 4)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		q := g.Next(true)
+		if q.Op != proto.OpSet {
+			continue
+		}
+		seq := binary.LittleEndian.Uint64(q.Value)
+		if seen[seq] {
+			t.Fatalf("duplicate SET sequence %d", seq)
+		}
+		seen[seq] = true
+	}
+	if len(seen) == 0 {
+		t.Fatal("no SETs generated at 50% GET")
+	}
+}
+
+func TestKeyAtDeterministic(t *testing.T) {
+	spec, _ := SpecByName("K128-G100-U")
+	g := NewGenerator(spec, 100, 5)
+	k1 := g.KeyAt(42, nil)
+	k2 := g.KeyAt(42, nil)
+	if string(k1) != string(k2) {
+		t.Fatal("KeyAt not deterministic")
+	}
+	if len(k1) != 128 {
+		t.Fatalf("key len = %d", len(k1))
+	}
+	k3 := g.KeyAt(43, nil)
+	if string(k1) == string(k3) {
+		t.Fatal("different ranks produced identical keys")
+	}
+}
+
+func TestPopulationForMemory(t *testing.T) {
+	spec, _ := SpecByName("K8-G100-U")
+	small := PopulationForMemory(spec, 1<<20)
+	big := PopulationForMemory(spec, 1<<30)
+	if small >= big {
+		t.Fatal("population should grow with memory")
+	}
+	if PopulationForMemory(spec, 1) != 1 {
+		t.Fatal("population floor is 1")
+	}
+	// Bigger objects → smaller population for the same memory.
+	specBig, _ := SpecByName("K128-G100-U")
+	if PopulationForMemory(specBig, 1<<30) >= big {
+		t.Fatal("larger objects must yield smaller population")
+	}
+}
+
+func TestMeasureMixEmpty(t *testing.T) {
+	m := MeasureMix(nil)
+	if m.Gets != 0 || m.Sets != 0 || m.AvgKeyLen != 0 {
+		t.Fatalf("empty mix = %+v", m)
+	}
+}
+
+func TestAlternatorSwitchesPhases(t *testing.T) {
+	sa, _ := SpecByName("K8-G50-U")
+	sb, _ := SpecByName("K16-G95-S")
+	a := NewGenerator(sa, 1000, 6)
+	b := NewGenerator(sb, 1000, 7)
+	alt := NewAlternator(a, b, 100)
+	// First 100 queries: spec A.
+	for i := 0; i < 100; i++ {
+		q := alt.Next(false)
+		if len(q.Key) != 8 {
+			t.Fatalf("phase A query %d has key len %d", i, len(q.Key))
+		}
+		if alt.CurrentSpec().Name != sa.Name {
+			t.Fatalf("phase A current spec = %s", alt.CurrentSpec().Name)
+		}
+	}
+	// Next 100: spec B.
+	for i := 0; i < 100; i++ {
+		q := alt.Next(false)
+		if len(q.Key) != 16 {
+			t.Fatalf("phase B query %d has key len %d", i, len(q.Key))
+		}
+	}
+	// And back to A.
+	q := alt.Next(false)
+	if len(q.Key) != 8 {
+		t.Fatal("phase did not wrap back to A")
+	}
+}
+
+func TestAlternatorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAlternator(nil, nil, 0)
+}
+
+func TestGeneratorPanicsOnEmptyPopulation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGenerator(NewSpec(8, 8, 1, 0), 0, 1)
+}
+
+func TestBatchSpansPhaseBoundary(t *testing.T) {
+	sa, _ := SpecByName("K8-G100-U")
+	sb, _ := SpecByName("K16-G100-U")
+	alt := NewAlternator(NewGenerator(sa, 10, 1), NewGenerator(sb, 10, 2), 50)
+	batch := alt.Batch(100)
+	var k8, k16 int
+	for _, q := range batch {
+		switch len(q.Key) {
+		case 8:
+			k8++
+		case 16:
+			k16++
+		}
+	}
+	if k8 != 50 || k16 != 50 {
+		t.Fatalf("phase split = %d/%d, want 50/50", k8, k16)
+	}
+}

@@ -1,0 +1,83 @@
+package zipf
+
+import "math"
+
+// SampleSkewness computes the adjusted Fisher–Pearson standardized moment
+// coefficient G1 from Joanes & Gill (1998), the estimator the DIDO paper cites
+// for runtime skewness estimation ([17] in the paper). It returns 0 for fewer
+// than 3 samples or zero variance.
+func SampleSkewness(samples []float64) float64 {
+	n := float64(len(samples))
+	if n < 3 {
+		return 0
+	}
+	var mean float64
+	for _, v := range samples {
+		mean += v
+	}
+	mean /= n
+	var m2, m3 float64
+	for _, v := range samples {
+		d := v - mean
+		m2 += d * d
+		m3 += d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	if m2 == 0 {
+		return 0
+	}
+	g1 := m3 / math.Pow(m2, 1.5)
+	return g1 * math.Sqrt(n*(n-1)) / (n - 2)
+}
+
+// EstimateZipfS maps an observed access-frequency skewness back to a Zipf
+// exponent. The profiler samples per-object access counters over an interval
+// (paper §IV-B); the frequency distribution of a Zipf(s) workload has a
+// skewness that grows monotonically with s, so a bisection over the forward
+// model inverts it.
+//
+// freqs are the access counts of the objects touched during the sampling
+// interval. nObjects is the total population size. The returned s is clamped
+// to [0, 1.5], the range relevant for IMKV workloads (YCSB uses 0.99).
+func EstimateZipfS(freqs []float64, nObjects uint64) float64 {
+	if len(freqs) < 3 || nObjects < 3 {
+		return 0
+	}
+	observed := SampleSkewness(freqs)
+	if observed <= 0 {
+		return 0
+	}
+	// Forward model: theoretical skewness of the frequency-of-access
+	// distribution over the touched set under Zipf(s). We match the sampling
+	// process: frequencies of the most popular len(freqs) objects (sampling
+	// is popularity-biased, so the touched set concentrates on top ranks).
+	k := uint64(len(freqs))
+	if k > nObjects {
+		k = nObjects
+	}
+	model := func(s float64) float64 {
+		// Normalize by the harmonic sum once per candidate s; calling
+		// Frequency per rank would recompute it k times per bisection step.
+		h := HarmonicGeneralized(nObjects, s)
+		fs := make([]float64, k)
+		total := float64(len(freqs))
+		for i := uint64(0); i < k; i++ {
+			fs[i] = math.Pow(float64(i+1), -s) / h * total
+		}
+		return SampleSkewness(fs)
+	}
+	lo, hi := 0.0, 1.5
+	if observed >= model(hi) {
+		return hi
+	}
+	for iter := 0; iter < 40; iter++ {
+		mid := (lo + hi) / 2
+		if model(mid) < observed {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,258 @@
+package dido
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/proto"
+)
+
+// Server serves a Store over UDP using the batched binary protocol: each
+// datagram carries a frame of queries (the paper batches "queries and their
+// responses in an Ethernet frame as many as possible", §V-A), and each
+// receives one response frame.
+type Server struct {
+	store *Store
+
+	mu     sync.Mutex
+	conn   *net.UDPConn
+	closed atomic.Bool
+
+	served atomic.Uint64
+}
+
+// NewServer returns a UDP server over st.
+func NewServer(st *Store) *Server {
+	return &Server{store: st}
+}
+
+// Serve listens on addr (e.g. "127.0.0.1:11211") and processes frames until
+// Close. It blocks; run it in a goroutine.
+func (s *Server) Serve(addr string) error {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.conn = conn
+	s.mu.Unlock()
+
+	buf := make([]byte, proto.MaxFrameBytes)
+	var queries []proto.Query
+	var resps []proto.Response
+	var out []byte
+	for {
+		n, raddr, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		queries, err = proto.ParseFrame(buf[:n], queries[:0])
+		if err != nil {
+			continue // malformed frame: drop, as a UDP service must
+		}
+		resps = s.process(queries, resps[:0])
+		// A batch of large values can exceed one datagram; split the
+		// responses across as many frames as needed (the client aggregates
+		// until it has one response per query).
+		start := 0
+		for {
+			end := start
+			bytes := 0
+			for end < len(resps) {
+				rlen := 5 + len(resps[end].Value)
+				if end > start && bytes+rlen > maxResponsePayload {
+					break
+				}
+				bytes += rlen
+				end++
+			}
+			out = proto.EncodeResponseFrame(out[:0], resps[start:end])
+			if _, err := conn.WriteToUDP(out, raddr); err != nil {
+				if s.closed.Load() {
+					return nil
+				}
+				break // oversized single value or transient error: drop rest
+			}
+			start = end
+			if start >= len(resps) {
+				break
+			}
+		}
+	}
+}
+
+// maxResponsePayload keeps each response frame within a safe UDP datagram.
+const maxResponsePayload = 60 << 10
+
+// process executes one frame's queries.
+func (s *Server) process(queries []proto.Query, resps []proto.Response) []proto.Response {
+	for _, q := range queries {
+		switch q.Op {
+		case proto.OpGet:
+			if v, ok := s.store.Get(q.Key); ok {
+				resps = append(resps, proto.Response{Status: proto.StatusOK, Value: v})
+			} else {
+				resps = append(resps, proto.Response{Status: proto.StatusNotFound})
+			}
+		case proto.OpSet:
+			if err := s.store.Set(q.Key, q.Value); err != nil {
+				resps = append(resps, proto.Response{Status: proto.StatusError})
+			} else {
+				resps = append(resps, proto.Response{Status: proto.StatusOK})
+			}
+		case proto.OpDelete:
+			if s.store.Delete(q.Key) {
+				resps = append(resps, proto.Response{Status: proto.StatusOK})
+			} else {
+				resps = append(resps, proto.Response{Status: proto.StatusNotFound})
+			}
+		}
+		s.served.Add(1)
+	}
+	return resps
+}
+
+// Addr returns the bound address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		return nil
+	}
+	return s.conn.LocalAddr()
+}
+
+// Served returns the number of queries processed.
+func (s *Server) Served() uint64 { return s.served.Load() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn != nil {
+		return s.conn.Close()
+	}
+	return nil
+}
+
+// Client is a UDP client for a Server. It batches queries per call: Do sends
+// one frame and waits for the response frame. Client is not safe for
+// concurrent use; create one per goroutine.
+type Client struct {
+	conn *net.UDPConn
+	buf  []byte
+	out  []byte
+}
+
+// Dial connects to a server at addr.
+func Dial(addr string) (*Client, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, buf: make([]byte, proto.MaxFrameBytes)}, nil
+}
+
+// ErrShortResponse reports a response frame with fewer entries than queries.
+var ErrShortResponse = errors.New("dido: response frame shorter than query frame")
+
+// Do sends queries as one frame and returns the per-query responses. The
+// server may split large response sets across several datagrams; Do reads
+// until it has one response per query. Value slices in the responses are
+// copies and remain valid after the next Do.
+func (c *Client) Do(queries []proto.Query) ([]proto.Response, error) {
+	c.out = proto.EncodeFrame(c.out[:0], queries)
+	if _, err := c.conn.Write(c.out); err != nil {
+		return nil, err
+	}
+	var resps []proto.Response
+	for len(resps) < len(queries) {
+		n, err := c.conn.Read(c.buf)
+		if err != nil {
+			return resps, err
+		}
+		before := len(resps)
+		resps, err = proto.ParseResponseFrame(c.buf[:n], resps)
+		if err != nil {
+			return resps, err
+		}
+		// Copy values out of the receive buffer before it is reused.
+		for i := before; i < len(resps); i++ {
+			if len(resps[i].Value) > 0 {
+				resps[i].Value = append([]byte(nil), resps[i].Value...)
+			}
+		}
+		if len(resps) == before && len(queries) > 0 {
+			// An empty frame for a non-empty batch means the server dropped
+			// the batch (oversized value); surface the shortfall.
+			return resps, ErrShortResponse
+		}
+	}
+	return resps, nil
+}
+
+// Get fetches one key.
+func (c *Client) Get(key []byte) ([]byte, bool, error) {
+	resps, err := c.Do([]proto.Query{{Op: proto.OpGet, Key: key}})
+	if err != nil {
+		return nil, false, err
+	}
+	if resps[0].Status != proto.StatusOK {
+		return nil, false, nil
+	}
+	return resps[0].Value, true, nil
+}
+
+// Set stores one key-value pair.
+func (c *Client) Set(key, value []byte) error {
+	resps, err := c.Do([]proto.Query{{Op: proto.OpSet, Key: key, Value: value}})
+	if err != nil {
+		return err
+	}
+	if resps[0].Status != proto.StatusOK {
+		return errors.New("dido: server rejected SET")
+	}
+	return nil
+}
+
+// Delete removes one key, reporting whether it existed.
+func (c *Client) Delete(key []byte) (bool, error) {
+	resps, err := c.Do([]proto.Query{{Op: proto.OpDelete, Key: key}})
+	if err != nil {
+		return false, err
+	}
+	return resps[0].Status == proto.StatusOK, nil
+}
+
+// Close releases the client's socket.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Query re-exports the wire query type for clients building batches.
+type Query = proto.Query
+
+// Response re-exports the wire response type.
+type Response = proto.Response
+
+// Re-exported query ops and statuses.
+const (
+	OpGet          = proto.OpGet
+	OpSet          = proto.OpSet
+	OpDelete       = proto.OpDelete
+	StatusOK       = proto.StatusOK
+	StatusNotFound = proto.StatusNotFound
+	StatusError    = proto.StatusError
+)

@@ -1,0 +1,77 @@
+package dido
+
+import (
+	"repro/internal/store"
+)
+
+// StoreConfig configures an embeddable Store.
+type StoreConfig struct {
+	// MemoryBytes is the key-value arena budget. When it fills, the least
+	// recently used object of the needed size class is evicted, exactly as
+	// in the paper's memory-management task.
+	MemoryBytes int64
+	// IndexEntries sizes the cuckoo index; defaults to MemoryBytes/256.
+	IndexEntries int
+	// Seed makes hashing deterministic (0 picks a fixed default).
+	Seed uint64
+}
+
+// Store is a concurrent in-memory key-value store: a cuckoo-hash index over
+// a slab arena with per-class LRU eviction. All methods are safe for
+// concurrent use. Values returned by Get are copies.
+type Store struct {
+	inner *store.Store
+}
+
+// NewStore returns a store with the given configuration. It panics if
+// MemoryBytes is not positive.
+func NewStore(cfg StoreConfig) *Store {
+	return &Store{inner: store.New(store.Config{
+		MemoryBytes:  cfg.MemoryBytes,
+		IndexEntries: cfg.IndexEntries,
+		Seed:         cfg.Seed,
+	})}
+}
+
+// Get returns a copy of the value stored under key.
+func (s *Store) Get(key []byte) ([]byte, bool) {
+	return s.inner.Get(key)
+}
+
+// Set stores value under key, overwriting any prior value. Under memory
+// pressure it evicts the least recently used object of the same size class.
+// It returns an error when the object exceeds the largest slab class or the
+// arena cannot hold it.
+func (s *Store) Set(key, value []byte) error {
+	_, _, err := s.inner.Set(key, value)
+	return err
+}
+
+// Delete removes key, reporting whether an object was removed.
+func (s *Store) Delete(key []byte) bool {
+	return s.inner.Delete(key)
+}
+
+// StoreStats is a snapshot of store counters.
+type StoreStats struct {
+	Gets, Sets, Deletes uint64
+	Hits, Misses        uint64
+	Evictions           uint64
+	LiveObjects         int
+	IndexLoadFactor     float64
+}
+
+// Stats returns current counters.
+func (s *Store) Stats() StoreStats {
+	st := s.inner.StatsSnapshot()
+	return StoreStats{
+		Gets:            st.Gets,
+		Sets:            st.Sets,
+		Deletes:         st.Deletes,
+		Hits:            st.Hits,
+		Misses:          st.Misses,
+		Evictions:       st.Evictions,
+		LiveObjects:     st.LiveObjects,
+		IndexLoadFactor: st.IndexLoadFactor,
+	}
+}

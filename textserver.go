@@ -1,0 +1,88 @@
+package dido
+
+import (
+	"net"
+	"sync"
+
+	"repro/internal/proto"
+)
+
+// TextServer serves a Store over TCP speaking the memcached-compatible ASCII
+// protocol (get / gets / set / add / replace / delete / version / quit), so
+// stock memcached clients and tools work against it.
+type TextServer struct {
+	store *Store
+
+	mu       sync.Mutex
+	listener net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewTextServer returns a TCP text-protocol server over st.
+func NewTextServer(st *Store) *TextServer {
+	return &TextServer{store: st}
+}
+
+// Serve listens on addr (e.g. "127.0.0.1:11211") and handles connections
+// until Close. It blocks; run it in a goroutine.
+func (s *TextServer) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				s.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			// Session errors are per-connection; the server keeps serving.
+			_ = proto.TextSession(conn, s.store)
+		}()
+	}
+}
+
+// Addr returns the bound address, or nil before Serve.
+func (s *TextServer) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
+// Close stops accepting and waits for in-flight sessions to finish.
+func (s *TextServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	s.mu.Unlock()
+	if ln != nil {
+		return ln.Close()
+	}
+	return nil
+}
+
+// Store must satisfy the text protocol's backend contract.
+var _ proto.TextBackend = (*Store)(nil)

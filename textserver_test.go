@@ -1,0 +1,118 @@
+package dido
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startTextServer(t *testing.T) (*TextServer, string) {
+	t.Helper()
+	st := NewStore(StoreConfig{MemoryBytes: 8 << 20})
+	srv := NewTextServer(st)
+	go srv.Serve("127.0.0.1:0")
+	for i := 0; i < 200; i++ {
+		if a := srv.Addr(); a != nil {
+			return srv, a.String()
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("text server never bound")
+	return nil, ""
+}
+
+func TestTextServerEndToEnd(t *testing.T) {
+	srv, addr := startTextServer(t)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+
+	fmt.Fprintf(conn, "set user:1 0 0 4\r\nadaa\r\n")
+	if line, _ := r.ReadString('\n'); strings.TrimSpace(line) != "STORED" {
+		t.Fatalf("set reply: %q", line)
+	}
+	fmt.Fprintf(conn, "get user:1\r\n")
+	if line, _ := r.ReadString('\n'); !strings.HasPrefix(line, "VALUE user:1 0 4") {
+		t.Fatalf("get header: %q", line)
+	}
+	data := make([]byte, 6)
+	if _, err := r.Read(data); err != nil {
+		t.Fatal(err)
+	}
+	if line, _ := r.ReadString('\n'); strings.TrimSpace(line) != "END" {
+		t.Fatalf("get trailer: %q", line)
+	}
+	fmt.Fprintf(conn, "delete user:1\r\n")
+	if line, _ := r.ReadString('\n'); strings.TrimSpace(line) != "DELETED" {
+		t.Fatalf("delete reply: %q", line)
+	}
+	fmt.Fprintf(conn, "quit\r\n")
+}
+
+func TestTextServerConcurrentClients(t *testing.T) {
+	srv, addr := startTextServer(t)
+	defer srv.Close()
+
+	const clients = 4
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		go func() {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("c%d-k%d", c, i)
+				fmt.Fprintf(conn, "set %s 0 0 2\r\nvv\r\n", key)
+				if line, _ := r.ReadString('\n'); strings.TrimSpace(line) != "STORED" {
+					errc <- fmt.Errorf("client %d set %d: %q", c, i, line)
+					return
+				}
+				fmt.Fprintf(conn, "get %s\r\n", key)
+				if line, _ := r.ReadString('\n'); !strings.HasPrefix(line, "VALUE") {
+					errc <- fmt.Errorf("client %d get %d: %q", c, i, line)
+					return
+				}
+				r.ReadString('\n') // value
+				r.ReadString('\n') // END
+			}
+			errc <- nil
+		}()
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTextServerCloseUnblocksServe(t *testing.T) {
+	st := NewStore(StoreConfig{MemoryBytes: 4 << 20})
+	srv := NewTextServer(st)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve("127.0.0.1:0") }()
+	for srv.Addr() == nil {
+		time.Sleep(2 * time.Millisecond)
+	}
+	srv.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+}
