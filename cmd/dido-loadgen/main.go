@@ -2,18 +2,28 @@
 // standard workloads over UDP, batching queries per frame the way the
 // evaluation does (§V-A), and reports achieved throughput.
 //
+// The client retries lost frames with exponential backoff (-timeout,
+// -retries, -backoff) and tolerates overload shedding: StatusBusy rounds are
+// retried, and exhausted requests are counted rather than aborting the run.
+// The -fault-* flags put a deterministic fault injector on the client socket
+// for chaos testing against an unmodified server.
+//
 // Usage:
 //
 //	dido-loadgen -addr 127.0.0.1:11311 -workload K16-G95-S -duration 10s
+//	dido-loadgen -fault-drop 0.1 -fault-dup 0.05 -retries 10 -timeout 100ms
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"time"
 
 	"repro"
+	"repro/internal/faults"
 	"repro/internal/workload"
 )
 
@@ -25,6 +35,17 @@ func main() {
 	pop := flag.Uint64("population", 100000, "key population")
 	warm := flag.Bool("warm", true, "pre-load the population before measuring")
 	seed := flag.Int64("seed", 1, "generator seed")
+
+	timeout := flag.Duration("timeout", dido.DefaultClientTimeout, "per-attempt response timeout")
+	retries := flag.Int("retries", dido.DefaultClientRetries, "resend attempts per frame (negative disables)")
+	backoff := flag.Duration("backoff", dido.DefaultClientBackoff, "initial retry backoff (doubles, jittered)")
+
+	faultDrop := flag.Float64("fault-drop", 0, "inject: datagram drop rate [0,1], both directions")
+	faultDup := flag.Float64("fault-dup", 0, "inject: datagram duplication rate [0,1]")
+	faultReorder := flag.Float64("fault-reorder", 0, "inject: datagram reorder rate [0,1]")
+	faultCorrupt := flag.Float64("fault-corrupt", 0, "inject: datagram corruption rate [0,1]")
+	faultDelay := flag.Duration("fault-delay", 0, "inject: per-datagram delay")
+	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed (deterministic)")
 	flag.Parse()
 
 	spec, ok := workload.SpecByName(*wl)
@@ -36,7 +57,25 @@ func main() {
 		os.Exit(2)
 	}
 
-	c, err := dido.Dial(*addr)
+	opts := dido.ClientOptions{Timeout: *timeout, Retries: *retries, Backoff: *backoff, Seed: *seed}
+	profile := faults.Profile{
+		Drop:    *faultDrop,
+		Dup:     *faultDup,
+		Reorder: *faultReorder,
+		Corrupt: *faultCorrupt,
+		Delay:   *faultDelay,
+	}
+	var injector *faults.Conn
+	if profile != (faults.Profile{}) {
+		opts.WrapConn = func(conn *net.UDPConn) dido.ClientConn {
+			injector = faults.Wrap(conn, faults.Symmetric(*faultSeed, profile))
+			return injector
+		}
+		fmt.Printf("fault injection armed: drop=%.2f dup=%.2f reorder=%.2f corrupt=%.2f delay=%v seed=%d\n",
+			*faultDrop, *faultDup, *faultReorder, *faultCorrupt, *faultDelay, *faultSeed)
+	}
+
+	c, err := dido.DialOpts(*addr, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dial:", err)
 		os.Exit(1)
@@ -67,14 +106,25 @@ func main() {
 
 	fmt.Printf("running %s for %v (batch %d)...\n", spec.Name, *dur, *batch)
 	deadline := time.Now().Add(*dur)
-	var sent, hits, misses uint64
+	var sent, hits, misses, failedBusy, failedTimeout uint64
 	start := time.Now()
 	for time.Now().Before(deadline) {
 		qs := gen.Batch(*batch)
 		resps, err := c.Do(qs)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "do:", err)
-			os.Exit(1)
+			// Under overload or heavy loss a request can exhaust its retry
+			// budget; count it and keep driving rather than aborting.
+			switch {
+			case errors.Is(err, dido.ErrBusy):
+				failedBusy++
+				continue
+			case errors.Is(err, dido.ErrTimeout):
+				failedTimeout++
+				continue
+			default:
+				fmt.Fprintln(os.Stderr, "do:", err)
+				os.Exit(1)
+			}
 		}
 		sent += uint64(len(qs))
 		for i, r := range resps {
@@ -93,6 +143,14 @@ func main() {
 		sent, elapsed.Round(time.Millisecond),
 		float64(sent)/elapsed.Seconds()/1000,
 		float64(hits)/float64(maxU(hits+misses, 1)))
+	cs := c.Stats()
+	fmt.Printf("resilience: retries=%d timeouts=%d busy-rounds=%d failed[busy=%d timeout=%d]\n",
+		cs.Retries, cs.Timeouts, cs.BusyRounds, failedBusy, failedTimeout)
+	if injector != nil {
+		fs := injector.Stats()
+		fmt.Printf("faults injected: drop=%d dup=%d reorder=%d corrupt=%d delayed=%d\n",
+			fs.Dropped, fs.Duplicated, fs.Reordered, fs.Corrupted, fs.Delayed)
+	}
 }
 
 func maxU(a, b uint64) uint64 {

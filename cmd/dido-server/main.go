@@ -1,21 +1,30 @@
 // Command dido-server runs the real (non-simulated) in-memory key-value
 // store as a UDP server speaking the batched binary protocol.
 //
+// The server sheds load with StatusBusy when more than -max-inflight frames
+// are in flight, deduplicates retried frames by request ID, and survives
+// malformed or poisoned frames. The -fault-* flags put a deterministic fault
+// injector in front of the socket (drop / duplicate / reorder / corrupt /
+// delay, both directions) for chaos testing.
+//
 // Usage:
 //
 //	dido-server -addr 127.0.0.1:11311 -mem 268435456
+//	dido-server -fault-drop 0.1 -fault-dup 0.05 -fault-reorder 0.1
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro"
+	"repro/internal/faults"
 )
 
 func main() {
@@ -23,11 +32,39 @@ func main() {
 	textAddr := flag.String("text", "", "optional TCP listen address for the memcached ASCII protocol")
 	mem := flag.Int64("mem", 256<<20, "key-value arena bytes")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
+	maxInflight := flag.Int("max-inflight", dido.DefaultMaxInFlight, "frames processed concurrently before shedding with StatusBusy")
+	replyCache := flag.Int("reply-cache", dido.DefaultReplyCacheSize, "retried-request reply cache entries (negative disables)")
+	maxSessions := flag.Int("text-max-sessions", 0, "text protocol session budget (0 = unlimited)")
+
+	faultDrop := flag.Float64("fault-drop", 0, "inject: datagram drop rate [0,1], both directions")
+	faultDup := flag.Float64("fault-dup", 0, "inject: datagram duplication rate [0,1]")
+	faultReorder := flag.Float64("fault-reorder", 0, "inject: datagram reorder rate [0,1]")
+	faultCorrupt := flag.Float64("fault-corrupt", 0, "inject: datagram corruption rate [0,1]")
+	faultDelay := flag.Duration("fault-delay", 0, "inject: per-datagram delay")
+	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed (deterministic)")
 	flag.Parse()
 
 	st := dido.NewStore(dido.StoreConfig{MemoryBytes: *mem})
-	srv := dido.NewServer(st)
+	opts := dido.ServerOptions{MaxInFlight: *maxInflight, ReplyCacheSize: *replyCache}
 
+	profile := faults.Profile{
+		Drop:    *faultDrop,
+		Dup:     *faultDup,
+		Reorder: *faultReorder,
+		Corrupt: *faultCorrupt,
+		Delay:   *faultDelay,
+	}
+	var injector *faults.Conn
+	if profile != (faults.Profile{}) {
+		opts.WrapConn = func(pc net.PacketConn) net.PacketConn {
+			injector = faults.Wrap(pc, faults.Symmetric(*faultSeed, profile))
+			return injector
+		}
+		log.Printf("fault injection armed: drop=%.2f dup=%.2f reorder=%.2f corrupt=%.2f delay=%v seed=%d",
+			*faultDrop, *faultDup, *faultReorder, *faultCorrupt, *faultDelay, *faultSeed)
+	}
+
+	srv := dido.NewServerOpts(st, opts)
 	go func() {
 		if err := srv.Serve(*addr); err != nil {
 			log.Fatalf("serve: %v", err)
@@ -37,11 +74,12 @@ func main() {
 	for srv.Addr() == nil {
 		time.Sleep(time.Millisecond)
 	}
-	log.Printf("dido-server listening on %s (arena %d MB)", srv.Addr(), *mem>>20)
+	log.Printf("dido-server listening on %s (arena %d MB, max-inflight %d)", srv.Addr(), *mem>>20, *maxInflight)
 
 	var textSrv *dido.TextServer
 	if *textAddr != "" {
 		textSrv = dido.NewTextServer(st)
+		textSrv.MaxSessions = *maxSessions
 		go func() {
 			if err := textSrv.Serve(*textAddr); err != nil {
 				log.Fatalf("text serve: %v", err)
@@ -57,8 +95,16 @@ func main() {
 		go func() {
 			for range time.Tick(*statsEvery) {
 				s := st.Stats()
-				log.Printf("served=%d live=%d hits=%d misses=%d evictions=%d load=%.2f",
-					srv.Served(), s.LiveObjects, s.Hits, s.Misses, s.Evictions, s.IndexLoadFactor)
+				ss := srv.Stats()
+				line := fmt.Sprintf("served=%d frames=%d shed=%d replayed=%d malformed=%d panics=%d inflight=%d live=%d hits=%d misses=%d evictions=%d load=%.2f",
+					ss.Served, ss.Frames, ss.Shed, ss.Replayed, ss.Malformed, ss.Panics, ss.InFlight,
+					s.LiveObjects, s.Hits, s.Misses, s.Evictions, s.IndexLoadFactor)
+				if injector != nil {
+					fs := injector.Stats()
+					line += fmt.Sprintf(" faults[drop=%d dup=%d reorder=%d corrupt=%d]",
+						fs.Dropped, fs.Duplicated, fs.Reordered, fs.Corrupted)
+				}
+				log.Print(line)
 			}
 		}()
 	}
@@ -66,7 +112,7 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
+	fmt.Println("shutting down (draining in-flight frames)")
 	if textSrv != nil {
 		textSrv.Close()
 	}

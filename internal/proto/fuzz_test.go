@@ -1,0 +1,124 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeeds returns valid frames of both versions plus truncations, giving
+// the fuzzer structured starting points.
+func queryFrameSeeds() [][]byte {
+	queries := []Query{
+		{Op: OpSet, Key: []byte("alpha"), Value: []byte("one")},
+		{Op: OpGet, Key: []byte("beta")},
+		{Op: OpDelete, Key: bytes.Repeat([]byte("k"), 300)},
+	}
+	v1 := EncodeFrame(nil, queries)
+	v2 := EncodeFrameV2(nil, 0x1122334455667788, queries)
+	return [][]byte{
+		v1, v2,
+		v1[:len(v1)/2], v2[:len(v2)/2],
+		v1[:5], v2[:17],
+		EncodeFrame(nil, nil),
+		EncodeFrameV2(nil, 1, nil),
+		[]byte("DKV1"), []byte("DKV2"), []byte("XXXX"), {},
+	}
+}
+
+func FuzzParseFrame(f *testing.F) {
+	for _, seed := range queryFrameSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		// Must never panic; on success every key/value must alias the frame.
+		qs, id, err := ParseFrameID(frame, nil)
+		if err != nil {
+			return
+		}
+		qs2, err2 := ParseFrame(frame, nil)
+		if err2 != nil || len(qs2) != len(qs) {
+			t.Fatalf("ParseFrame and ParseFrameID disagree: %d/%v vs %d", len(qs2), err2, len(qs))
+		}
+		for _, q := range qs {
+			if len(q.Key) > len(frame) || len(q.Value) > len(frame) {
+				t.Fatalf("query slice longer than frame: %d/%d", len(q.Key), len(q.Value))
+			}
+		}
+		// Re-encoding the parsed queries must reparse to the same queries.
+		var again []byte
+		if _, _, v2, _ := FrameHeader(frame); v2 {
+			again = EncodeFrameV2(nil, id, qs)
+		} else {
+			again = EncodeFrame(nil, qs)
+		}
+		qs3, id3, err := ParseFrameID(again, nil)
+		if err != nil || id3 != id || len(qs3) != len(qs) {
+			t.Fatalf("re-encode mismatch: %d queries id %d err %v", len(qs3), id3, err)
+		}
+		for i := range qs {
+			if !bytes.Equal(qs[i].Key, qs3[i].Key) || !bytes.Equal(qs[i].Value, qs3[i].Value) || qs[i].Op != qs3[i].Op {
+				t.Fatalf("query %d mutated across re-encode", i)
+			}
+		}
+	})
+}
+
+func respFrameSeeds() [][]byte {
+	resps := []Response{
+		{Status: StatusOK, Value: []byte("value")},
+		{Status: StatusNotFound},
+		{Status: StatusError},
+		{Status: StatusBusy},
+		{Status: StatusOK, Value: bytes.Repeat([]byte("v"), 500)},
+	}
+	v1 := EncodeResponseFrame(nil, resps)
+	v2 := EncodeResponseFrameV2(nil, 0x55AA, 3, resps)
+	return [][]byte{
+		v1, v2,
+		v1[:len(v1)/2], v2[:len(v2)/2],
+		v1[:5], v2[:19],
+		EncodeResponseFrame(nil, nil),
+		EncodeResponseFrameV2(nil, 1, 0, nil),
+		[]byte("DKV1"), []byte("DKV2"), {},
+	}
+}
+
+func FuzzParseResponseFrame(f *testing.F) {
+	for _, seed := range respFrameSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		rs, id, off, err := ParseResponseFrameID(frame, nil)
+		if err != nil {
+			return
+		}
+		rs2, err2 := ParseResponseFrame(frame, nil)
+		if err2 != nil || len(rs2) != len(rs) {
+			t.Fatalf("ParseResponseFrame and ParseResponseFrameID disagree")
+		}
+		for _, r := range rs {
+			if len(r.Value) > len(frame) {
+				t.Fatalf("value slice longer than frame: %d", len(r.Value))
+			}
+		}
+		if off < 0 || off > 0xFFFF {
+			t.Fatalf("offset out of range: %d", off)
+		}
+		// Round trip through the matching encoder.
+		var again []byte
+		if len(frame) >= 4 && frame[3] == '2' {
+			again = EncodeResponseFrameV2(nil, id, off, rs)
+		} else {
+			again = EncodeResponseFrame(nil, rs)
+		}
+		rs3, id3, off3, err := ParseResponseFrameID(again, nil)
+		if err != nil || id3 != id || off3 != off || len(rs3) != len(rs) {
+			t.Fatalf("re-encode mismatch: %d resps id %d off %d err %v", len(rs3), id3, off3, err)
+		}
+		for i := range rs {
+			if rs[i].Status != rs3[i].Status || !bytes.Equal(rs[i].Value, rs3[i].Value) {
+				t.Fatalf("response %d mutated across re-encode", i)
+			}
+		}
+	})
+}

@@ -15,6 +15,28 @@
 //
 //	[1B status] [4B value length] [value bytes]
 //
+// Version 2 ("DKV2") extends the header for fault-tolerant serving. A query
+// frame carries a request ID so retries can be deduplicated server-side and
+// responses matched to requests, plus a payload checksum so corrupted
+// datagrams are dropped rather than misparsed:
+//
+//	[0:4)   magic "DKV2"
+//	[4:6)   query count (little endian)
+//	[6:14)  request ID (little endian uint64)
+//	[14:18) CRC-32 (IEEE) of the payload after the header
+//
+// A v2 response frame additionally carries the batch offset of its first
+// response, so response sets split across datagrams survive reordering:
+//
+//	[0:4)   magic "DKV2"
+//	[4:6)   response count
+//	[6:14)  request ID
+//	[14:16) offset of the first response within the request batch
+//	[16:20) CRC-32 (IEEE) of the payload after the header
+//
+// Both versions are accepted by the parsers; v1 frames report request ID 0
+// and offset 0.
+//
 // Parsing is zero-copy: returned key/value slices alias the input buffer.
 package proto
 
@@ -22,6 +44,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 )
 
 // Op identifies a query type.
@@ -57,6 +80,9 @@ const (
 	StatusOK Status = iota + 1
 	StatusNotFound
 	StatusError
+	// StatusBusy reports that the server shed the frame under overload
+	// (admission control); the client should back off and retry.
+	StatusBusy
 )
 
 // Query is one parsed key-value query.
@@ -72,10 +98,20 @@ type Response struct {
 	Value  []byte
 }
 
-var magic = [4]byte{'D', 'K', 'V', '1'}
+var (
+	magic   = [4]byte{'D', 'K', 'V', '1'}
+	magicV2 = [4]byte{'D', 'K', 'V', '2'}
+)
 
 // Frame header: magic + uint16 count.
 const headerLen = 6
+
+// V2 query frame header: magic + uint16 count + uint64 reqID + uint32 crc.
+const headerLenV2 = 18
+
+// V2 response frame header: magic + uint16 count + uint64 reqID +
+// uint16 offset + uint32 crc.
+const respHeaderLenV2 = 20
 
 // queryHeaderLen is op + keyLen + valLen.
 const queryHeaderLen = 7
@@ -89,9 +125,10 @@ const MaxFrameBytes = 64 << 10
 
 // Errors returned by the parser.
 var (
-	ErrBadMagic  = errors.New("proto: bad frame magic")
-	ErrTruncated = errors.New("proto: truncated frame")
-	ErrBadOp     = errors.New("proto: unknown query op")
+	ErrBadMagic    = errors.New("proto: bad frame magic")
+	ErrTruncated   = errors.New("proto: truncated frame")
+	ErrBadOp       = errors.New("proto: unknown query op")
+	ErrBadChecksum = errors.New("proto: bad frame checksum")
 )
 
 // AppendQuery encodes q onto dst and returns the extended slice.
@@ -123,17 +160,88 @@ func EncodeFrame(dst []byte, queries []Query) []byte {
 	return dst
 }
 
-// ParseFrame decodes all queries in frame, appending to dst. Key and value
-// slices alias frame.
-func ParseFrame(frame []byte, dst []Query) ([]Query, error) {
+// EncodeFrameV2 builds a v2 frame holding queries, stamped with the given
+// request ID and a payload checksum. It panics if the batch exceeds 65535
+// queries; callers split batches first.
+func EncodeFrameV2(dst []byte, reqID uint64, queries []Query) []byte {
+	if len(queries) > 0xFFFF {
+		panic("proto: too many queries for one frame")
+	}
+	base := len(dst)
+	dst = append(dst, magicV2[:]...)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(queries)))
+	dst = binary.LittleEndian.AppendUint64(dst, reqID)
+	dst = append(dst, 0, 0, 0, 0) // checksum placeholder
+	for _, q := range queries {
+		dst = AppendQuery(dst, q)
+	}
+	sum := crc32.ChecksumIEEE(dst[base+headerLenV2:])
+	binary.LittleEndian.PutUint32(dst[base+14:base+18], sum)
+	return dst
+}
+
+// FrameHeader decodes just the header of a query frame (either version): the
+// query count, the request ID (0 for v1) and whether the frame is v2. For v2
+// frames the payload checksum is verified, so a positive result means the
+// frame is authentic end to end; for both versions the count is checked
+// against the payload size, so the count of a valid header can be trusted
+// for sizing a reply. This is the cheap pre-parse the server's admission
+// control uses to shed a frame without decoding its queries.
+func FrameHeader(frame []byte) (count int, reqID uint64, v2 bool, err error) {
 	if len(frame) < headerLen {
-		return dst, ErrTruncated
+		return 0, 0, false, ErrTruncated
 	}
-	if [4]byte(frame[:4]) != magic {
-		return dst, ErrBadMagic
+	switch [4]byte(frame[:4]) {
+	case magic:
+		count = int(binary.LittleEndian.Uint16(frame[4:6]))
+		if len(frame)-headerLen < count*queryHeaderLen {
+			return 0, 0, false, ErrTruncated
+		}
+		return count, 0, false, nil
+	case magicV2:
+		if len(frame) < headerLenV2 {
+			return 0, 0, false, ErrTruncated
+		}
+		count = int(binary.LittleEndian.Uint16(frame[4:6]))
+		reqID = binary.LittleEndian.Uint64(frame[6:14])
+		sum := binary.LittleEndian.Uint32(frame[14:18])
+		if crc32.ChecksumIEEE(frame[headerLenV2:]) != sum {
+			return 0, 0, false, ErrBadChecksum
+		}
+		if len(frame)-headerLenV2 < count*queryHeaderLen {
+			return 0, 0, false, ErrTruncated
+		}
+		return count, reqID, true, nil
+	default:
+		return 0, 0, false, ErrBadMagic
 	}
-	count := int(binary.LittleEndian.Uint16(frame[4:6]))
+}
+
+// ParseFrame decodes all queries in frame (either version), appending to
+// dst. Key and value slices alias frame.
+func ParseFrame(frame []byte, dst []Query) ([]Query, error) {
+	dst, _, err := ParseFrameID(frame, dst)
+	return dst, err
+}
+
+// ParseFrameID decodes all queries in frame (either version), appending to
+// dst, and returns the frame's request ID (0 for v1 frames). Key and value
+// slices alias frame. V2 checksums are verified before any query is parsed.
+func ParseFrameID(frame []byte, dst []Query) ([]Query, uint64, error) {
+	count, reqID, v2, err := FrameHeader(frame)
+	if err != nil {
+		return dst, 0, err
+	}
 	off := headerLen
+	if v2 {
+		off = headerLenV2
+	}
+	dst, err = parseQueries(frame, off, count, dst)
+	return dst, reqID, err
+}
+
+// parseQueries decodes count query records starting at off.
+func parseQueries(frame []byte, off, count int, dst []Query) ([]Query, error) {
 	for i := 0; i < count; i++ {
 		if len(frame)-off < queryHeaderLen {
 			return dst, ErrTruncated
@@ -183,26 +291,76 @@ func EncodeResponseFrame(dst []byte, resps []Response) []byte {
 	return dst
 }
 
-// ParseResponseFrame decodes a response frame, appending to dst. Value slices
-// alias frame.
+// EncodeResponseFrameV2 builds a v2 response frame echoing the request ID,
+// carrying the batch offset of its first response and a payload checksum.
+func EncodeResponseFrameV2(dst []byte, reqID uint64, offset int, resps []Response) []byte {
+	if len(resps) > 0xFFFF {
+		panic("proto: too many responses for one frame")
+	}
+	if offset < 0 || offset > 0xFFFF {
+		panic("proto: response offset out of range")
+	}
+	base := len(dst)
+	dst = append(dst, magicV2[:]...)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(resps)))
+	dst = binary.LittleEndian.AppendUint64(dst, reqID)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(offset))
+	dst = append(dst, 0, 0, 0, 0) // checksum placeholder
+	for _, r := range resps {
+		dst = AppendResponse(dst, r)
+	}
+	sum := crc32.ChecksumIEEE(dst[base+respHeaderLenV2:])
+	binary.LittleEndian.PutUint32(dst[base+16:base+20], sum)
+	return dst
+}
+
+// ParseResponseFrame decodes a response frame (either version), appending to
+// dst. Value slices alias frame.
 func ParseResponseFrame(frame []byte, dst []Response) ([]Response, error) {
+	dst, _, _, err := ParseResponseFrameID(frame, dst)
+	return dst, err
+}
+
+// ParseResponseFrameID decodes a response frame (either version), appending
+// to dst, and returns the echoed request ID and the batch offset of the
+// frame's first response (both 0 for v1 frames). Value slices alias frame.
+// V2 checksums are verified before any response is parsed.
+func ParseResponseFrameID(frame []byte, dst []Response) ([]Response, uint64, int, error) {
 	if len(frame) < headerLen {
-		return dst, ErrTruncated
+		return dst, 0, 0, ErrTruncated
 	}
-	if [4]byte(frame[:4]) != magic {
-		return dst, ErrBadMagic
+	var (
+		count, off, offset int
+		reqID              uint64
+	)
+	switch [4]byte(frame[:4]) {
+	case magic:
+		count = int(binary.LittleEndian.Uint16(frame[4:6]))
+		off = headerLen
+	case magicV2:
+		if len(frame) < respHeaderLenV2 {
+			return dst, 0, 0, ErrTruncated
+		}
+		count = int(binary.LittleEndian.Uint16(frame[4:6]))
+		reqID = binary.LittleEndian.Uint64(frame[6:14])
+		offset = int(binary.LittleEndian.Uint16(frame[14:16]))
+		sum := binary.LittleEndian.Uint32(frame[16:20])
+		if crc32.ChecksumIEEE(frame[respHeaderLenV2:]) != sum {
+			return dst, 0, 0, ErrBadChecksum
+		}
+		off = respHeaderLenV2
+	default:
+		return dst, 0, 0, ErrBadMagic
 	}
-	count := int(binary.LittleEndian.Uint16(frame[4:6]))
-	off := headerLen
 	for i := 0; i < count; i++ {
 		if len(frame)-off < respHeaderLen {
-			return dst, ErrTruncated
+			return dst, 0, 0, ErrTruncated
 		}
 		status := Status(frame[off])
 		valLen := int(binary.LittleEndian.Uint32(frame[off+1 : off+5]))
 		off += respHeaderLen
 		if len(frame)-off < valLen {
-			return dst, ErrTruncated
+			return dst, 0, 0, ErrTruncated
 		}
 		r := Response{Status: status}
 		if valLen > 0 {
@@ -211,5 +369,5 @@ func ParseResponseFrame(frame []byte, dst []Response) ([]Response, error) {
 		}
 		dst = append(dst, r)
 	}
-	return dst, nil
+	return dst, reqID, offset, nil
 }

@@ -1,0 +1,117 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestV2FrameRoundTrip(t *testing.T) {
+	queries := []Query{
+		{Op: OpSet, Key: []byte("alpha"), Value: []byte("one")},
+		{Op: OpGet, Key: []byte("beta")},
+		{Op: OpDelete, Key: []byte("gamma")},
+	}
+	frame := EncodeFrameV2(nil, 0xDEADBEEFCAFE, queries)
+
+	count, id, v2, err := FrameHeader(frame)
+	if err != nil || !v2 || count != 3 || id != 0xDEADBEEFCAFE {
+		t.Fatalf("header = %d, %x, %v, %v", count, id, v2, err)
+	}
+
+	got, gotID, err := ParseFrameID(frame, nil)
+	if err != nil || gotID != 0xDEADBEEFCAFE {
+		t.Fatalf("parse = id %x, %v", gotID, err)
+	}
+	if len(got) != 3 || string(got[0].Value) != "one" || string(got[2].Key) != "gamma" {
+		t.Fatalf("queries = %+v", got)
+	}
+
+	// The version-agnostic parser accepts v2 too.
+	got2, err := ParseFrame(frame, nil)
+	if err != nil || len(got2) != 3 {
+		t.Fatalf("ParseFrame(v2) = %d, %v", len(got2), err)
+	}
+}
+
+func TestV1FrameReportsZeroID(t *testing.T) {
+	frame := EncodeFrame(nil, []Query{{Op: OpGet, Key: []byte("k")}})
+	qs, id, err := ParseFrameID(frame, nil)
+	if err != nil || id != 0 || len(qs) != 1 {
+		t.Fatalf("v1 parse = %d queries, id %d, %v", len(qs), id, err)
+	}
+	count, id, v2, err := FrameHeader(frame)
+	if err != nil || v2 || count != 1 || id != 0 {
+		t.Fatalf("v1 header = %d, %d, %v, %v", count, id, v2, err)
+	}
+}
+
+func TestV2ChecksumDetectsCorruption(t *testing.T) {
+	frame := EncodeFrameV2(nil, 42, []Query{{Op: OpSet, Key: []byte("key"), Value: []byte("value")}})
+	for i := headerLenV2; i < len(frame); i++ {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x40
+		if _, _, _, err := FrameHeader(bad); !errors.Is(err, ErrBadChecksum) {
+			t.Fatalf("flip at %d: err = %v, want ErrBadChecksum", i, err)
+		}
+		if _, _, err := ParseFrameID(bad, nil); !errors.Is(err, ErrBadChecksum) {
+			t.Fatalf("flip at %d: parse err = %v, want ErrBadChecksum", i, err)
+		}
+	}
+}
+
+func TestV2ResponseFrameRoundTrip(t *testing.T) {
+	resps := []Response{
+		{Status: StatusOK, Value: []byte("hello")},
+		{Status: StatusNotFound},
+		{Status: StatusBusy},
+	}
+	frame := EncodeResponseFrameV2(nil, 77, 129, resps)
+	got, id, off, err := ParseResponseFrameID(frame, nil)
+	if err != nil || id != 77 || off != 129 {
+		t.Fatalf("parse = id %d, off %d, %v", id, off, err)
+	}
+	if len(got) != 3 || !bytes.Equal(got[0].Value, []byte("hello")) || got[2].Status != StatusBusy {
+		t.Fatalf("resps = %+v", got)
+	}
+	// The version-agnostic parser accepts v2 responses too.
+	got2, err := ParseResponseFrame(frame, nil)
+	if err != nil || len(got2) != 3 {
+		t.Fatalf("ParseResponseFrame(v2) = %d, %v", len(got2), err)
+	}
+}
+
+func TestV2ResponseChecksumDetectsCorruption(t *testing.T) {
+	frame := EncodeResponseFrameV2(nil, 7, 0, []Response{{Status: StatusOK, Value: []byte("v")}})
+	bad := append([]byte(nil), frame...)
+	bad[len(bad)-1] ^= 1
+	if _, _, _, err := ParseResponseFrameID(bad, nil); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestFrameHeaderRejectsLyingCount(t *testing.T) {
+	// A header claiming more queries than the payload can possibly hold must
+	// be rejected, so the count of a valid header is safe to size replies by.
+	frame := EncodeFrame(nil, []Query{{Op: OpGet, Key: []byte("k")}})
+	frame[4] = 0xFF
+	frame[5] = 0xFF
+	if _, _, _, err := FrameHeader(frame); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestTruncatedV2Frames(t *testing.T) {
+	frame := EncodeFrameV2(nil, 9, []Query{{Op: OpSet, Key: []byte("kk"), Value: []byte("vv")}})
+	for n := 0; n < len(frame); n++ {
+		if _, _, err := ParseFrameID(frame[:n], nil); err == nil {
+			t.Fatalf("truncation to %d bytes parsed cleanly", n)
+		}
+	}
+	resp := EncodeResponseFrameV2(nil, 9, 0, []Response{{Status: StatusOK, Value: []byte("vv")}})
+	for n := 0; n < len(resp); n++ {
+		if _, _, _, err := ParseResponseFrameID(resp[:n], nil); err == nil {
+			t.Fatalf("response truncation to %d bytes parsed cleanly", n)
+		}
+	}
+}

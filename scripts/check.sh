@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# check.sh — the repo's CI gate: vet, build, race-enabled tests, and a short
+# protocol-parser fuzz smoke.
+#
+# Usage: scripts/check.sh [fuzztime]
+#   fuzztime  per-target fuzz duration (default 10s; "0" skips fuzzing)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${1:-10s}"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+if [ "$FUZZTIME" != "0" ]; then
+    echo "== fuzz smoke ($FUZZTIME per target) =="
+    go test -run='^$' -fuzz=FuzzParseFrame -fuzztime="$FUZZTIME" ./internal/proto
+    go test -run='^$' -fuzz=FuzzParseResponseFrame -fuzztime="$FUZZTIME" ./internal/proto
+fi
+
+echo "== check.sh: all green =="

@@ -2,34 +2,109 @@ package dido
 
 import (
 	"errors"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/proto"
+	"repro/internal/stats"
 )
 
-// Server serves a Store over UDP using the batched binary protocol: each
-// datagram carries a frame of queries (the paper batches "queries and their
-// responses in an Ethernet frame as many as possible", §V-A), and each
-// receives one response frame.
-type Server struct {
-	store *Store
-
-	mu     sync.Mutex
-	conn   *net.UDPConn
-	closed atomic.Bool
-
-	served atomic.Uint64
+// Backend is the store surface the UDP server serves. *Store implements it;
+// tests and the fault injector substitute their own.
+type Backend interface {
+	Get(key []byte) ([]byte, bool)
+	Set(key, value []byte) error
+	Delete(key []byte) bool
 }
 
-// NewServer returns a UDP server over st.
-func NewServer(st *Store) *Server {
-	return &Server{store: st}
+// ServerOptions tunes the fault-tolerance behavior of a Server. The zero
+// value gives production defaults.
+type ServerOptions struct {
+	// MaxInFlight bounds how many frames are processed concurrently. When
+	// the budget is exhausted, new frames are shed immediately with
+	// StatusBusy responses instead of queuing unboundedly, keeping the
+	// latency of admitted frames bounded under overload. 0 means
+	// DefaultMaxInFlight.
+	MaxInFlight int
+	// ReplyCacheSize bounds how many recent request replies are retained
+	// (per client address + request ID) to answer retried frames without
+	// re-executing them. 0 means DefaultReplyCacheSize; negative disables
+	// the cache.
+	ReplyCacheSize int
+	// WrapConn, when set, wraps the listening socket before serving. This
+	// is the hook the fault injector (internal/faults) uses.
+	WrapConn func(net.PacketConn) net.PacketConn
+}
+
+// Defaults for ServerOptions zero fields.
+const (
+	DefaultMaxInFlight    = 256
+	DefaultReplyCacheSize = 4096
+)
+
+// Server serves a Backend over UDP using the batched binary protocol: each
+// datagram carries a frame of queries (the paper batches "queries and their
+// responses in an Ethernet frame as many as possible", §V-A), and each
+// receives one or more response frames.
+//
+// The serving path is hardened for lossy networks and overload: frames are
+// processed by a bounded pool (excess load is shed with StatusBusy), v2
+// request IDs deduplicate retried frames through a reply cache, a poisoned
+// frame cannot kill the serve loop (per-frame recover), and Close drains
+// in-flight frames before the socket is torn down.
+type Server struct {
+	store Backend
+	opts  ServerOptions
+
+	mu     sync.Mutex
+	conn   net.PacketConn
+	closed atomic.Bool
+
+	tokens  chan struct{}
+	wg      sync.WaitGroup
+	replies *replyCache
+	bufs    sync.Pool
+
+	served    stats.Counter
+	frames    stats.Counter
+	shed      stats.Counter
+	replayed  stats.Counter
+	malformed stats.Counter
+	panics    stats.Counter
+}
+
+// NewServer returns a UDP server over b with default options.
+func NewServer(b Backend) *Server {
+	return NewServerOpts(b, ServerOptions{})
+}
+
+// NewServerOpts returns a UDP server over b with the given options.
+func NewServerOpts(b Backend, opts ServerOptions) *Server {
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = DefaultMaxInFlight
+	}
+	cacheSize := opts.ReplyCacheSize
+	if cacheSize == 0 {
+		cacheSize = DefaultReplyCacheSize
+	}
+	s := &Server{
+		store:  b,
+		opts:   opts,
+		tokens: make(chan struct{}, opts.MaxInFlight),
+	}
+	if cacheSize > 0 {
+		s.replies = newReplyCache(cacheSize)
+	}
+	s.bufs.New = func() any { return make([]byte, proto.MaxFrameBytes) }
+	return s
 }
 
 // Serve listens on addr (e.g. "127.0.0.1:11211") and processes frames until
-// Close. It blocks; run it in a goroutine.
+// Close. It blocks; run it in a goroutine. After Close, Serve returns only
+// once in-flight frames have drained.
 func (s *Server) Serve(addr string) error {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -39,59 +114,150 @@ func (s *Server) Serve(addr string) error {
 	if err != nil {
 		return err
 	}
+	var pc net.PacketConn = conn
+	if s.opts.WrapConn != nil {
+		pc = s.opts.WrapConn(pc)
+	}
 	s.mu.Lock()
-	s.conn = conn
+	s.conn = pc
 	s.mu.Unlock()
+	// Close may have run before the conn was published; it then had nothing
+	// to close, so re-check and shut the listener down ourselves.
+	if s.closed.Load() {
+		pc.Close()
+		return nil
+	}
+	return s.serveLoop(pc)
+}
 
-	buf := make([]byte, proto.MaxFrameBytes)
-	var queries []proto.Query
-	var resps []proto.Response
-	var out []byte
+// serveLoop is the read/admit/dispatch loop.
+func (s *Server) serveLoop(pc net.PacketConn) error {
 	for {
-		n, raddr, err := conn.ReadFromUDP(buf)
+		buf := s.bufs.Get().([]byte)
+		n, raddr, err := pc.ReadFrom(buf)
 		if err != nil {
+			s.bufs.Put(buf) //nolint:staticcheck // fixed-size buffer
 			if s.closed.Load() {
+				// Graceful drain: in-flight frames finish and write their
+				// responses before the socket goes away.
+				s.wg.Wait()
+				pc.Close()
 				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
 			}
 			return err
 		}
-		queries, err = proto.ParseFrame(buf[:n], queries[:0])
-		if err != nil {
-			continue // malformed frame: drop, as a UDP service must
+		count, reqID, v2, herr := proto.FrameHeader(buf[:n])
+		if herr != nil {
+			// Malformed or corrupted frame: drop, as a UDP service must.
+			s.malformed.Inc()
+			s.bufs.Put(buf)
+			continue
 		}
-		resps = s.process(queries, resps[:0])
-		// A batch of large values can exceed one datagram; split the
-		// responses across as many frames as needed (the client aggregates
-		// until it has one response per query).
-		start := 0
-		for {
-			end := start
-			bytes := 0
-			for end < len(resps) {
-				rlen := 5 + len(resps[end].Value)
-				if end > start && bytes+rlen > maxResponsePayload {
-					break
+		// A retried frame whose reply was already computed is answered from
+		// the cache without re-executing it or consuming a token; this is
+		// what makes client retries of SET safe (at-most-once execution).
+		if v2 && reqID != 0 && s.replies != nil {
+			if frames, ok := s.replies.get(raddr.String(), reqID); ok {
+				for _, f := range frames {
+					pc.WriteTo(f, raddr)
 				}
-				bytes += rlen
-				end++
-			}
-			out = proto.EncodeResponseFrame(out[:0], resps[start:end])
-			if _, err := conn.WriteToUDP(out, raddr); err != nil {
-				if s.closed.Load() {
-					return nil
-				}
-				break // oversized single value or transient error: drop rest
-			}
-			start = end
-			if start >= len(resps) {
-				break
+				s.replayed.Inc()
+				s.bufs.Put(buf)
+				continue
 			}
 		}
+		select {
+		case s.tokens <- struct{}{}:
+		default:
+			// Overload: shed the whole frame now rather than queuing it.
+			s.shed.Inc()
+			s.writeBusy(pc, raddr, reqID, v2, count)
+			s.bufs.Put(buf)
+			continue
+		}
+		s.wg.Add(1)
+		go s.handleFrame(pc, buf, n, raddr, reqID, v2)
 	}
+}
+
+// handleFrame processes one admitted frame in its own goroutine.
+func (s *Server) handleFrame(pc net.PacketConn, buf []byte, n int, raddr net.Addr, reqID uint64, v2 bool) {
+	defer s.wg.Done()
+	defer func() { <-s.tokens }()
+	defer s.bufs.Put(buf)
+	// One poisoned frame must not kill the serve loop: the client times out
+	// and retries; everyone else is unaffected.
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Inc()
+		}
+	}()
+	queries, _, err := proto.ParseFrameID(buf[:n], nil)
+	if err != nil {
+		s.malformed.Inc()
+		return
+	}
+	s.frames.Inc()
+	resps := s.process(queries, nil)
+	s.sendResponses(pc, raddr, reqID, v2, true, resps)
 }
 
 // maxResponsePayload keeps each response frame within a safe UDP datagram.
 const maxResponsePayload = 60 << 10
+
+// sendResponses writes resps split across as many frames as needed (the
+// client reassembles by offset) and, for cacheable v2 requests, retains the
+// encoded frames for duplicate suppression.
+func (s *Server) sendResponses(pc net.PacketConn, raddr net.Addr, reqID uint64, v2, cache bool, resps []proto.Response) {
+	var frames [][]byte
+	sendOK := true
+	start := 0
+	for {
+		end := start
+		bytes := 0
+		for end < len(resps) {
+			rlen := 5 + len(resps[end].Value)
+			if end > start && bytes+rlen > maxResponsePayload {
+				break
+			}
+			bytes += rlen
+			end++
+		}
+		var out []byte
+		if v2 {
+			out = proto.EncodeResponseFrameV2(nil, reqID, start, resps[start:end])
+		} else {
+			out = proto.EncodeResponseFrame(nil, resps[start:end])
+		}
+		if _, err := pc.WriteTo(out, raddr); err != nil {
+			sendOK = false
+			break // oversized single value or transient error: drop rest
+		}
+		frames = append(frames, out)
+		start = end
+		if start >= len(resps) {
+			break
+		}
+	}
+	if cache && sendOK && v2 && reqID != 0 && s.replies != nil {
+		s.replies.put(raddr.String(), reqID, frames)
+	}
+}
+
+// writeBusy answers a shed frame with one StatusBusy response per query so
+// the client learns about the overload immediately instead of timing out.
+// Busy replies are never cached: a later retry should be re-admitted.
+func (s *Server) writeBusy(pc net.PacketConn, raddr net.Addr, reqID uint64, v2 bool, count int) {
+	resps := make([]proto.Response, count)
+	for i := range resps {
+		resps[i].Status = proto.StatusBusy
+	}
+	s.sendResponses(pc, raddr, reqID, v2, false, resps)
+}
 
 // process executes one frame's queries.
 func (s *Server) process(queries []proto.Query, resps []proto.Response) []proto.Response {
@@ -116,7 +282,7 @@ func (s *Server) process(queries []proto.Query, resps []proto.Response) []proto.
 				resps = append(resps, proto.Response{Status: proto.StatusNotFound})
 			}
 		}
-		s.served.Add(1)
+		s.served.Inc()
 	}
 	return resps
 }
@@ -134,28 +300,159 @@ func (s *Server) Addr() net.Addr {
 // Served returns the number of queries processed.
 func (s *Server) Served() uint64 { return s.served.Load() }
 
-// Close stops the server.
+// ServerStats is a snapshot of the server's serving counters.
+type ServerStats struct {
+	// Served counts queries executed; Frames counts frames executed.
+	Served, Frames uint64
+	// Shed counts frames rejected with StatusBusy under overload.
+	Shed uint64
+	// Replayed counts retried frames answered from the reply cache.
+	Replayed uint64
+	// Malformed counts dropped undecodable or corrupted frames.
+	Malformed uint64
+	// Panics counts frames whose processing panicked (and was contained).
+	Panics uint64
+	// InFlight is the number of frames currently being processed.
+	InFlight int
+}
+
+// Stats returns current serving counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Served:    s.served.Load(),
+		Frames:    s.frames.Load(),
+		Shed:      s.shed.Load(),
+		Replayed:  s.replayed.Load(),
+		Malformed: s.malformed.Load(),
+		Panics:    s.panics.Load(),
+		InFlight:  len(s.tokens),
+	}
+}
+
+// Close stops the server. It unblocks the serve loop without tearing down
+// the socket, so in-flight frames still get their responses; Serve returns
+// once they have drained. Close is idempotent.
 func (s *Server) Close() error {
-	s.closed.Store(true)
+	if s.closed.Swap(true) {
+		return nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.conn != nil {
-		return s.conn.Close()
+		return s.conn.SetReadDeadline(time.Now())
 	}
 	return nil
 }
 
-// Client is a UDP client for a Server. It batches queries per call: Do sends
-// one frame and waits for the response frame. Client is not safe for
-// concurrent use; create one per goroutine.
-type Client struct {
-	conn *net.UDPConn
-	buf  []byte
-	out  []byte
+// replyKey identifies a request across retries: the client's address plus
+// the frame's request ID.
+type replyKey struct {
+	addr string
+	id   uint64
 }
 
-// Dial connects to a server at addr.
+// replyCache retains the encoded response frames of recent requests so a
+// retried (duplicate) frame is answered without re-execution. Eviction is
+// FIFO over distinct requests.
+type replyCache struct {
+	mu   sync.Mutex
+	max  int
+	m    map[replyKey][][]byte
+	fifo []replyKey
+}
+
+func newReplyCache(max int) *replyCache {
+	return &replyCache{max: max, m: make(map[replyKey][][]byte, max)}
+}
+
+func (rc *replyCache) get(addr string, id uint64) ([][]byte, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	frames, ok := rc.m[replyKey{addr, id}]
+	return frames, ok
+}
+
+func (rc *replyCache) put(addr string, id uint64, frames [][]byte) {
+	k := replyKey{addr, id}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if _, ok := rc.m[k]; ok {
+		rc.m[k] = frames // concurrent duplicate recomputed the same reply
+		return
+	}
+	rc.m[k] = frames
+	rc.fifo = append(rc.fifo, k)
+	for len(rc.fifo) > rc.max {
+		delete(rc.m, rc.fifo[0])
+		rc.fifo = rc.fifo[1:]
+	}
+}
+
+// ClientConn is the conn surface the Client drives; *net.UDPConn implements
+// it, and the fault injector's wrapper does too.
+type ClientConn interface {
+	Read(b []byte) (int, error)
+	Write(b []byte) (int, error)
+	SetReadDeadline(t time.Time) error
+	Close() error
+}
+
+// ClientOptions tunes the client's fault-tolerance behavior. The zero value
+// gives production defaults.
+type ClientOptions struct {
+	// Timeout is the per-attempt deadline for assembling a complete
+	// response set. 0 means DefaultClientTimeout.
+	Timeout time.Duration
+	// Retries is how many times Do resends an unanswered frame before
+	// giving up with ErrTimeout (or ErrBusy). 0 means
+	// DefaultClientRetries; negative disables retries.
+	Retries int
+	// Backoff is the initial delay before the first resend; it doubles per
+	// retry (±50% jitter) up to MaxBackoff. Zero values mean the defaults.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Seed makes the request-ID sequence and backoff jitter deterministic
+	// for tests; 0 derives a seed from the clock.
+	Seed int64
+	// WrapConn, when set, wraps the dialed socket — the client-side hook
+	// for the fault injector.
+	WrapConn func(*net.UDPConn) ClientConn
+}
+
+// Defaults for ClientOptions zero fields.
+const (
+	DefaultClientTimeout    = 500 * time.Millisecond
+	DefaultClientRetries    = 7
+	DefaultClientBackoff    = 10 * time.Millisecond
+	DefaultClientMaxBackoff = 320 * time.Millisecond
+)
+
+// Client is a UDP client for a Server. It batches queries per call: Do sends
+// one frame and reassembles the response frames, retrying with exponential
+// backoff when datagrams are lost. Client is not safe for concurrent use;
+// create one per goroutine.
+type Client struct {
+	conn ClientConn
+	opts ClientOptions
+	buf  []byte
+	out  []byte
+
+	scratch []proto.Response
+	nextID  uint64
+	rng     *rand.Rand
+
+	retries  stats.Counter
+	timeouts stats.Counter
+	busy     stats.Counter
+}
+
+// Dial connects to a server at addr with default options.
 func Dial(addr string) (*Client, error) {
+	return DialOpts(addr, ClientOptions{})
+}
+
+// DialOpts connects to a server at addr with the given options.
+func DialOpts(addr string, opts ClientOptions) (*Client, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, err
@@ -164,45 +461,167 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, buf: make([]byte, proto.MaxFrameBytes)}, nil
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultClientTimeout
+	}
+	if opts.Retries == 0 {
+		opts.Retries = DefaultClientRetries
+	} else if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = DefaultClientBackoff
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = DefaultClientMaxBackoff
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	var cc ClientConn = conn
+	if opts.WrapConn != nil {
+		cc = opts.WrapConn(conn)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := &Client{
+		conn:   cc,
+		opts:   opts,
+		buf:    make([]byte, proto.MaxFrameBytes),
+		rng:    rng,
+		nextID: rng.Uint64() | 1, // request IDs are never 0
+	}
+	return c, nil
 }
 
+// Typed client errors. Do never returns partial results: on any error the
+// returned responses are nil.
+var (
+	// ErrTimeout reports that no complete response set arrived within the
+	// configured timeout and retries.
+	ErrTimeout = errors.New("dido: request timed out after retries")
+	// ErrBusy reports that the server shed the request under overload for
+	// every attempt.
+	ErrBusy = errors.New("dido: server busy")
+)
+
 // ErrShortResponse reports a response frame with fewer entries than queries.
+//
+// Deprecated: the v2 protocol reassembles responses by offset and retries
+// missing ones; Do now returns ErrTimeout instead. Kept for API stability.
 var ErrShortResponse = errors.New("dido: response frame shorter than query frame")
 
-// Do sends queries as one frame and returns the per-query responses. The
-// server may split large response sets across several datagrams; Do reads
-// until it has one response per query. Value slices in the responses are
-// copies and remain valid after the next Do.
-func (c *Client) Do(queries []proto.Query) ([]proto.Response, error) {
-	c.out = proto.EncodeFrame(c.out[:0], queries)
-	if _, err := c.conn.Write(c.out); err != nil {
-		return nil, err
+// ClientStats is a snapshot of the client's resilience counters.
+type ClientStats struct {
+	// Retries counts frame resends (timeout- or busy-triggered).
+	Retries uint64
+	// Timeouts counts Do calls that failed with ErrTimeout.
+	Timeouts uint64
+	// BusyRounds counts attempts that were shed by the server.
+	BusyRounds uint64
+}
+
+// Stats returns current client counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Retries:    c.retries.Load(),
+		Timeouts:   c.timeouts.Load(),
+		BusyRounds: c.busy.Load(),
 	}
-	var resps []proto.Response
-	for len(resps) < len(queries) {
-		n, err := c.conn.Read(c.buf)
-		if err != nil {
-			return resps, err
-		}
-		before := len(resps)
-		resps, err = proto.ParseResponseFrame(c.buf[:n], resps)
-		if err != nil {
-			return resps, err
-		}
-		// Copy values out of the receive buffer before it is reused.
-		for i := before; i < len(resps); i++ {
-			if len(resps[i].Value) > 0 {
-				resps[i].Value = append([]byte(nil), resps[i].Value...)
+}
+
+// Do sends queries as one v2 frame and returns the per-query responses, in
+// query order. The server may split large response sets across several
+// datagrams and the network may drop, duplicate or reorder them; Do
+// reassembles by offset and resends the frame (same request ID) with
+// exponential backoff until every response arrived or the retry budget is
+// exhausted. Resends are idempotency-safe: the server deduplicates by
+// request ID, so a SET is re-executed only if it was never acknowledged.
+//
+// On error the returned responses are always nil — there are no partial
+// results, and returned values never alias the receive buffer. Value slices
+// in successful responses are copies and remain valid after the next Do.
+func (c *Client) Do(queries []proto.Query) ([]proto.Response, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	id := c.nextID
+	c.nextID++
+	if c.nextID == 0 {
+		c.nextID = 1
+	}
+	c.out = proto.EncodeFrameV2(c.out[:0], id, queries)
+
+	resps := make([]proto.Response, len(queries))
+	got := make([]bool, len(queries))
+	need := len(queries)
+	sawBusy := false
+	backoff := c.opts.Backoff
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.retries.Inc()
+			jitter := time.Duration(c.rng.Int63n(int64(backoff))) - backoff/2
+			time.Sleep(backoff + jitter)
+			if backoff *= 2; backoff > c.opts.MaxBackoff {
+				backoff = c.opts.MaxBackoff
 			}
 		}
-		if len(resps) == before && len(queries) > 0 {
-			// An empty frame for a non-empty batch means the server dropped
-			// the batch (oversized value); surface the shortfall.
-			return resps, ErrShortResponse
+		if _, err := c.conn.Write(c.out); err != nil {
+			return nil, err
+		}
+		deadline := time.Now().Add(c.opts.Timeout)
+		sawBusy = false
+		for need > 0 {
+			if err := c.conn.SetReadDeadline(deadline); err != nil {
+				return nil, err
+			}
+			n, err := c.conn.Read(c.buf)
+			if err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					break // attempt over; maybe retry
+				}
+				return nil, err
+			}
+			rs, rid, off, perr := proto.ParseResponseFrameID(c.buf[:n], c.scratch[:0])
+			c.scratch = rs[:0]
+			if perr != nil || rid != id {
+				continue // corrupted or stale frame: ignore it
+			}
+			if len(rs) > 0 && rs[0].Status == proto.StatusBusy {
+				// The server shed this attempt; no more frames are coming.
+				sawBusy = true
+				break
+			}
+			for i := range rs {
+				idx := off + i
+				if idx < 0 || idx >= len(queries) || got[idx] {
+					continue // duplicate or nonsense offset
+				}
+				r := rs[i]
+				// Copy the value out of the receive buffer before reuse.
+				if len(r.Value) > 0 {
+					r.Value = append([]byte(nil), r.Value...)
+				}
+				resps[idx] = r
+				got[idx] = true
+				need--
+			}
+		}
+		if need == 0 {
+			return resps, nil
+		}
+		if sawBusy {
+			c.busy.Inc()
+		}
+		if attempt >= c.opts.Retries {
+			if sawBusy {
+				return nil, ErrBusy
+			}
+			c.timeouts.Inc()
+			return nil, ErrTimeout
 		}
 	}
-	return resps, nil
 }
 
 // Get fetches one key.
@@ -255,4 +674,5 @@ const (
 	StatusOK       = proto.StatusOK
 	StatusNotFound = proto.StatusNotFound
 	StatusError    = proto.StatusError
+	StatusBusy     = proto.StatusBusy
 )

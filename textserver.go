@@ -3,8 +3,10 @@ package dido
 import (
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/proto"
+	"repro/internal/stats"
 )
 
 // TextServer serves a Store over TCP speaking the memcached-compatible ASCII
@@ -13,15 +15,24 @@ import (
 type TextServer struct {
 	store *Store
 
+	// MaxSessions bounds concurrent sessions; connections beyond the budget
+	// are answered with "SERVER_ERROR busy" and closed instead of queuing,
+	// mirroring the UDP server's admission control. Set before Serve.
+	// 0 means unlimited.
+	MaxSessions int
+
 	mu       sync.Mutex
 	listener net.Listener
 	closed   bool
+	sessions map[net.Conn]struct{}
 	wg       sync.WaitGroup
+
+	shed stats.Counter
 }
 
 // NewTextServer returns a TCP text-protocol server over st.
 func NewTextServer(st *Store) *TextServer {
-	return &TextServer{store: st}
+	return &TextServer{store: st, sessions: make(map[net.Conn]struct{})}
 }
 
 // Serve listens on addr (e.g. "127.0.0.1:11211") and handles connections
@@ -52,10 +63,31 @@ func (s *TextServer) Serve(addr string) error {
 			}
 			return err
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		if s.MaxSessions > 0 && len(s.sessions) >= s.MaxSessions {
+			s.mu.Unlock()
+			// Shed instead of queuing, like the UDP server's StatusBusy.
+			conn.Write([]byte("SERVER_ERROR busy\r\n"))
+			conn.Close()
+			s.shed.Inc()
+			continue
+		}
+		s.sessions[conn] = struct{}{}
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
 			defer conn.Close()
+			defer func() {
+				s.mu.Lock()
+				delete(s.sessions, conn)
+				s.mu.Unlock()
+			}()
 			// Session errors are per-connection; the server keeps serving.
 			_ = proto.TextSession(conn, s.store)
 		}()
@@ -72,16 +104,39 @@ func (s *TextServer) Addr() net.Addr {
 	return s.listener.Addr()
 }
 
-// Close stops accepting and waits for in-flight sessions to finish.
+// Shed returns the number of connections rejected over the session budget.
+func (s *TextServer) Shed() uint64 { return s.shed.Load() }
+
+// Close stops accepting and drains: in-flight commands finish, idle sessions
+// are unblocked via a read deadline, and Close returns once every session
+// has ended. Close is idempotent.
 func (s *TextServer) Close() error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
 	s.closed = true
 	ln := s.listener
-	s.mu.Unlock()
-	if ln != nil {
-		return ln.Close()
+	conns := make([]net.Conn, 0, len(s.sessions))
+	for c := range s.sessions {
+		conns = append(conns, c)
 	}
-	return nil
+	s.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		// Unblock sessions parked in a read; the command being executed (if
+		// any) still completes and its reply is written before the session
+		// loop sees the deadline.
+		c.SetReadDeadline(time.Now())
+	}
+	s.wg.Wait()
+	return err
 }
 
 // Store must satisfy the text protocol's backend contract.

@@ -98,6 +98,98 @@ func TestTextServerConcurrentClients(t *testing.T) {
 	}
 }
 
+func TestTextServerShedsOverSessionBudget(t *testing.T) {
+	st := NewStore(StoreConfig{MemoryBytes: 4 << 20})
+	srv := NewTextServer(st)
+	srv.MaxSessions = 1
+	go srv.Serve("127.0.0.1:0")
+	var addr string
+	for i := 0; i < 200; i++ {
+		if a := srv.Addr(); a != nil {
+			addr = a.String()
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("text server never bound")
+	}
+	defer srv.Close()
+
+	conn1, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn1.Close()
+	r1 := bufio.NewReader(conn1)
+	// Complete a command so the session is registered before the second dial.
+	fmt.Fprintf(conn1, "set k 0 0 1\r\nv\r\n")
+	if line, _ := r1.ReadString('\n'); strings.TrimSpace(line) != "STORED" {
+		t.Fatalf("set reply: %q", line)
+	}
+
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	conn2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	line, _ := bufio.NewReader(conn2).ReadString('\n')
+	if strings.TrimSpace(line) != "SERVER_ERROR busy" {
+		t.Fatalf("over-budget connection got %q, want SERVER_ERROR busy", line)
+	}
+	if srv.Shed() != 1 {
+		t.Fatalf("shed = %d, want 1", srv.Shed())
+	}
+
+	// The admitted session keeps working while the budget is saturated.
+	fmt.Fprintf(conn1, "get k\r\n")
+	if line, _ := r1.ReadString('\n'); !strings.HasPrefix(line, "VALUE k") {
+		t.Fatalf("get header: %q", line)
+	}
+}
+
+// TestTextServerCloseDrainsSessions checks that Close returns even with an
+// idle session parked in a read, and that Serve exits too.
+func TestTextServerCloseDrainsSessions(t *testing.T) {
+	st := NewStore(StoreConfig{MemoryBytes: 4 << 20})
+	srv := NewTextServer(st)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve("127.0.0.1:0") }()
+	for srv.Addr() == nil {
+		time.Sleep(2 * time.Millisecond)
+	}
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	fmt.Fprintf(conn, "set k 0 0 1\r\nv\r\n")
+	if line, _ := r.ReadString('\n'); strings.TrimSpace(line) != "STORED" {
+		t.Fatalf("set reply: %q", line)
+	}
+	// The session now sits idle in a read; Close must unblock and drain it.
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("close returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not drain the idle session")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+}
+
 func TestTextServerCloseUnblocksServe(t *testing.T) {
 	st := NewStore(StoreConfig{MemoryBytes: 4 << 20})
 	srv := NewTextServer(st)
