@@ -31,6 +31,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:11311", "UDP listen address (binary batched protocol)")
 	textAddr := flag.String("text", "", "optional TCP listen address for the memcached ASCII protocol")
 	mem := flag.Int64("mem", 256<<20, "key-value arena bytes")
+	shards := flag.Int("shards", 0, "store shards (power of two, 0 = 1; divides the arena budget)")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 	maxInflight := flag.Int("max-inflight", dido.DefaultMaxInFlight, "frames processed concurrently before shedding with StatusBusy")
 	replyCache := flag.Int("reply-cache", dido.DefaultReplyCacheSize, "retried-request reply cache entries (negative disables)")
@@ -44,7 +45,7 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed (deterministic)")
 	flag.Parse()
 
-	st := dido.NewStore(dido.StoreConfig{MemoryBytes: *mem})
+	st := dido.NewStore(dido.StoreConfig{MemoryBytes: *mem, Shards: *shards})
 	opts := dido.ServerOptions{MaxInFlight: *maxInflight, ReplyCacheSize: *replyCache}
 
 	profile := faults.Profile{
@@ -96,8 +97,8 @@ func main() {
 			for range time.Tick(*statsEvery) {
 				s := st.Stats()
 				ss := srv.Stats()
-				line := fmt.Sprintf("served=%d frames=%d shed=%d replayed=%d malformed=%d panics=%d inflight=%d live=%d hits=%d misses=%d evictions=%d load=%.2f",
-					ss.Served, ss.Frames, ss.Shed, ss.Replayed, ss.Malformed, ss.Panics, ss.InFlight,
+				line := fmt.Sprintf("served=%d frames=%d shed=%d replayed=%d dup-dropped=%d malformed=%d panics=%d inflight=%d live=%d hits=%d misses=%d evictions=%d load=%.2f",
+					ss.Served, ss.Frames, ss.Shed, ss.Replayed, ss.DupDropped, ss.Malformed, ss.Panics, ss.InFlight,
 					s.LiveObjects, s.Hits, s.Misses, s.Evictions, s.IndexLoadFactor)
 				if injector != nil {
 					fs := injector.Stats()

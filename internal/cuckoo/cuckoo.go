@@ -51,6 +51,10 @@ type Table struct {
 	mask    uint64
 	seed    uint64
 
+	// muts advances on every successful Insert or Delete; readers use it to
+	// detect overwrites that raced their search (see Version).
+	muts atomic.Uint64
+
 	// Operation statistics, used by the cost model to estimate per-operation
 	// memory accesses at runtime (paper §IV-B measures the average number of
 	// accessed buckets for Insert online).
@@ -104,7 +108,14 @@ func (t *Table) Capacity() int { return len(t.buckets) * SlotsPerBucket }
 // The alternate bucket is sig-derived (partial-key cuckoo hashing), so an
 // entry can be displaced without access to the full key.
 func (t *Table) hash(key []byte) (uint64, uint16) {
-	h := hash64(key, t.seed)
+	return t.split(hash64(key, t.seed))
+}
+
+// split derives the bucket index (low bits) and signature (top 16 bits) from
+// a precomputed Hash(key, seed). Bits between the two are unused, so callers
+// may route on them (the sharded store uses bits 40..43) without correlating
+// with bucket placement.
+func (t *Table) split(h uint64) (uint64, uint16) {
 	sig := uint16(h >> 48)
 	if sig == 0 {
 		sig = 1 // avoid all-zero entries for valid locations
@@ -124,19 +135,40 @@ func (t *Table) altBucket(b uint64, sig uint16) uint64 {
 // transient duplicate during displacement); callers must verify with a full
 // key comparison.
 func (t *Table) Search(key []byte, dst []Location) ([]Location, int) {
-	b1, sig := t.hash(key)
-	probed := 1
-	dst = t.scanBucket(b1, sig, dst)
+	var buf [MaxCandidates]Location
+	n, probed := t.SearchBuf(key, &buf)
+	return append(dst, buf[:n]...), probed
+}
+
+// MaxCandidates is the most locations a single Search can yield: both home
+// buckets full of colliding signatures.
+const MaxCandidates = 2 * SlotsPerBucket
+
+// SearchBuf is Search into a caller-provided fixed buffer, returning the
+// candidate count and buckets probed. Because buf is a pointer to a
+// fixed-size array rather than a returned slice, a stack-allocated buffer
+// does not escape — this is the zero-allocation GET path.
+func (t *Table) SearchBuf(key []byte, buf *[MaxCandidates]Location) (n, probed int) {
+	return t.SearchBufHash(hash64(key, t.seed), buf)
+}
+
+// SearchBufHash is SearchBuf for callers that already computed
+// Hash(key, t seed) — e.g. for shard routing — saving a second key hash on
+// the GET hot path.
+func (t *Table) SearchBufHash(h uint64, buf *[MaxCandidates]Location) (n, probed int) {
+	b1, sig := t.split(h)
+	probed = 1
+	n = t.scanBucketInto(b1, sig, buf, 0)
 	b2 := t.altBucket(b1, sig)
 	if b2 != b1 {
 		probed++
-		dst = t.scanBucket(b2, sig, dst)
+		n = t.scanBucketInto(b2, sig, buf, n)
 	}
 	t.searches.Inc()
-	return dst, probed
+	return n, probed
 }
 
-func (t *Table) scanBucket(b uint64, sig uint16, dst []Location) []Location {
+func (t *Table) scanBucketInto(b uint64, sig uint16, buf *[MaxCandidates]Location, n int) int {
 	bk := &t.buckets[b]
 	for i := range bk.slots {
 		e := bk.slots[i].Load()
@@ -145,10 +177,11 @@ func (t *Table) scanBucket(b uint64, sig uint16, dst []Location) []Location {
 		}
 		s, loc := unpack(e)
 		if s == sig {
-			dst = append(dst, loc)
+			buf[n] = loc
+			n++
 		}
 	}
-	return dst
+	return n
 }
 
 // Insert adds (key → loc). It returns false if the table could not place the
@@ -171,11 +204,13 @@ func (t *Table) Insert(key []byte, loc Location) bool {
 	b2 := t.altBucket(b1, sig)
 	for attempt := 0; attempt < 4; attempt++ {
 		if t.tryPlace(b1, sig, loc) || t.tryPlace(b2, sig, loc) {
+			t.muts.Add(1)
 			return true
 		}
 		moved, ok := t.bfsInsert(b1, b2, sig, loc)
 		touched += moved
 		if ok {
+			t.muts.Add(1)
 			return true
 		}
 	}
@@ -287,11 +322,23 @@ func (t *Table) Delete(key []byte, loc Location) bool {
 	t.deletes.Inc()
 	want := pack(sig, loc)
 	if t.clearEntry(b1, want) {
+		t.muts.Add(1)
 		return true
 	}
 	b2 := t.altBucket(b1, sig)
-	return b2 != b1 && t.clearEntry(b2, want)
+	if b2 != b1 && t.clearEntry(b2, want) {
+		t.muts.Add(1)
+		return true
+	}
+	return false
 }
+
+// Version returns a counter that advances on every successful Insert or
+// Delete. A searcher that found no live match can compare the version from
+// before its probe: unchanged means the miss is genuine; changed means a
+// concurrent overwrite may have hidden the key mid-probe and the search
+// should be retried.
+func (t *Table) Version() uint64 { return t.muts.Load() }
 
 func (t *Table) clearEntry(b uint64, want uint64) bool {
 	bk := &t.buckets[b]
@@ -358,6 +405,10 @@ func SearchProbesTheoretical(nHash int) float64 {
 	}
 	return float64(sum) / float64(nHash)
 }
+
+// Hash exposes the table's hash function for callers that need a consistent
+// key hash outside a table — the store uses it to route keys to shards.
+func Hash(key []byte, seed uint64) uint64 { return hash64(key, seed) }
 
 // hash64 is a fast 64-bit hash (FNV-1a with a 64-bit avalanche finisher). It
 // is deterministic across runs for reproducible experiments.

@@ -60,6 +60,7 @@ type Executor struct {
 	PCIe *PCIeLink
 
 	candBuf []cuckoo.Location
+	valBuf  []byte
 }
 
 // PCIeLink models the discrete architecture's interconnect.
@@ -125,7 +126,10 @@ func (e *Executor) runSemantics(b *Batch) {
 			found := false
 			for _, loc := range e.candBuf {
 				if e.Store.KeyCompare(loc, q.Key) {
-					if v, ok := e.Store.ReadValue(loc); ok {
+					// ReadValueInto copies under the slab seqlock into a
+					// reusable buffer — the RD task's stable-copy contract.
+					if v, ok := e.Store.ReadValueInto(loc, e.valBuf[:0]); ok {
+						e.valBuf = v[:0]
 						found = true
 						valBytes += len(v)
 						if objCacheOnCPU {

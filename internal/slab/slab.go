@@ -9,15 +9,26 @@
 // observation (§II-C2) that a SET under memory pressure generates one Insert
 // *and* one Delete index operation (for the new and the evicted object).
 //
+// Reads are lock-free and safe against concurrent eviction: every chunk
+// carries a seqlock version word (odd while dead or being written, even while
+// live and stable). Readers copy-then-validate — load the version, copy the
+// bytes, reload the version, retry on change — the per-item versioning scheme
+// of MICA that Mega-KV [1] sidesteps with an append-only log. The arena is an
+// array of atomic 64-bit words (not plain bytes) so a torn read that the
+// seqlock will discard is still a well-defined data-race-free load.
+//
 // Each object header carries an access counter and a sampling timestamp; the
 // workload profiler uses them to estimate key-popularity skewness at runtime
 // (paper §IV-B) without maintaining global frequency tables.
 package slab
 
 import (
+	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Handle references an allocated object. Handles are never zero, so they can
@@ -31,6 +42,11 @@ const (
 	classShift = 40
 	indexMask  = 1<<classShift - 1
 )
+
+// MaxClasses bounds the class count so a Handle always fits in 44 bits
+// (class<<40 | index, classes 0..15), leaving bits 44..47 of a 48-bit cuckoo
+// location free for the store's shard id.
+const MaxClasses = 16
 
 func makeHandle(class int, index uint64) Handle {
 	return Handle(uint64(class)<<classShift|index) + 1
@@ -68,10 +84,19 @@ func DefaultConfig(totalBytes int64) Config {
 	}
 }
 
-// header layout inside each chunk: keyLen(2) valLen(4) — access counter and
-// timestamp live in the metadata array, not the arena, to keep arena writes
-// contiguous.
-const headerBytes = 6
+// Chunk layout, in 64-bit words:
+//
+//	word 0: seqlock version — odd: dead or being written, even: live+stable
+//	word 1: keyLen (16 bits) | valLen<<16 (32 bits)
+//	word 2+: key bytes then value bytes, packed little-endian
+//
+// The access counter and timestamp live in the metadata array, not the arena,
+// so the hot read path never invalidates reader cache lines.
+const (
+	headerBytes = 16
+	headerWords = headerBytes / 8
+	lenWord     = 1
+)
 
 // ErrTooLarge is returned when key+value exceed the largest chunk class.
 var ErrTooLarge = errors.New("slab: object exceeds maximum chunk size")
@@ -100,18 +125,26 @@ type chunkMeta struct {
 
 type class struct {
 	mu        sync.Mutex
-	chunkSize int
-	slabs     [][]byte
+	chunkSize int // bytes; always a multiple of 8
+	perSlab   int // chunks per slab
 	meta      []chunkMeta
 	free      []uint64 // free chunk indices
 	lruHead   int32    // most recently used; -1 when empty
 	lruTail   int32    // least recently used
 	live      int
 	evictions uint64
+
+	// arena is the snapshot of this class's slabs that lock-free readers
+	// navigate. The outer slice is copied on growth and republished
+	// atomically; the inner word arrays are allocated once and never move, so
+	// a reader holding a stale snapshot still sees every chunk that existed
+	// when it resolved its handle.
+	arena atomic.Pointer[[][]atomic.Uint64]
 }
 
-// Allocator is a slab allocator with per-class LRU eviction. It is safe for
-// concurrent use; each class has its own lock.
+// Allocator is a slab allocator with per-class LRU eviction. Mutations take a
+// per-class lock; reads (Object, ReadInto, MatchKey, ReadIfMatch) are
+// lock-free seqlock copies. It is safe for concurrent use.
 type Allocator struct {
 	cfg     Config
 	classes []*class
@@ -121,29 +154,39 @@ type Allocator struct {
 }
 
 // NewAllocator returns an allocator for cfg. It panics on nonsensical
-// configurations (zero budget, chunk bounds out of order).
+// configurations (zero budget, chunk bounds out of order, or a class ladder
+// longer than MaxClasses). Chunk sizes are rounded up to multiples of 8 so
+// every chunk is an integral number of atomic words.
 func NewAllocator(cfg Config) *Allocator {
 	if cfg.TotalBytes <= 0 || cfg.MinChunk <= headerBytes ||
 		cfg.MaxChunk < cfg.MinChunk || cfg.Growth <= 1 || cfg.SlabBytes < cfg.MaxChunk {
 		panic(fmt.Sprintf("slab: invalid config %+v", cfg))
 	}
 	a := &Allocator{cfg: cfg}
-	for size := cfg.MinChunk; ; {
-		a.classes = append(a.classes, &class{chunkSize: size, lruHead: -1, lruTail: -1})
-		if size >= cfg.MaxChunk {
+	maxChunk := roundUp8(cfg.MaxChunk)
+	for size := roundUp8(cfg.MinChunk); ; {
+		c := &class{chunkSize: size, perSlab: cfg.SlabBytes / size, lruHead: -1, lruTail: -1}
+		a.classes = append(a.classes, c)
+		if size >= maxChunk {
 			break
 		}
-		next := int(float64(size) * cfg.Growth)
+		next := roundUp8(int(float64(size) * cfg.Growth))
 		if next <= size {
-			next = size + 1
+			next = size + 8
 		}
-		if next > cfg.MaxChunk {
-			next = cfg.MaxChunk
+		if next > maxChunk {
+			next = maxChunk
 		}
 		size = next
 	}
+	if len(a.classes) > MaxClasses {
+		panic(fmt.Sprintf("slab: config %+v yields %d classes, max %d (Growth too small)",
+			cfg, len(a.classes), MaxClasses))
+	}
 	return a
 }
+
+func roundUp8(n int) int { return (n + 7) &^ 7 }
 
 // Classes returns the number of slab classes.
 func (a *Allocator) Classes() int { return len(a.classes) }
@@ -159,6 +202,49 @@ func (a *Allocator) classFor(total int) (int, error) {
 		}
 	}
 	return 0, ErrTooLarge
+}
+
+// chunkWords returns chunk idx's word slice (version word included) from the
+// given arena snapshot, or nil when idx is beyond the snapshot.
+func (c *class) chunkWords(arena [][]atomic.Uint64, idx uint64) []atomic.Uint64 {
+	si := idx / uint64(c.perSlab)
+	if si >= uint64(len(arena)) {
+		return nil
+	}
+	cw := c.chunkSize / 8
+	base := (idx % uint64(c.perSlab)) * uint64(cw)
+	return arena[si][base : base+uint64(cw)]
+}
+
+// lockedWords resolves chunk idx for a caller holding c.mu.
+func (c *class) lockedWords(idx uint64) []atomic.Uint64 {
+	p := c.arena.Load()
+	if p == nil {
+		return nil
+	}
+	return c.chunkWords(*p, idx)
+}
+
+// snapshot resolves h to its class and chunk words without locking. ok is
+// false when h is malformed or beyond any chunk this allocator ever created.
+func (a *Allocator) snapshot(h Handle) (*class, []atomic.Uint64, bool) {
+	if h == NoHandle {
+		return nil, nil, false
+	}
+	ci, idx := h.split()
+	if ci >= len(a.classes) {
+		return nil, nil, false
+	}
+	c := a.classes[ci]
+	p := a.classes[ci].arena.Load()
+	if p == nil {
+		return nil, nil, false
+	}
+	w := c.chunkWords(*p, idx)
+	if w == nil {
+		return nil, nil, false
+	}
+	return c, w, true
 }
 
 // Alloc allocates a chunk for an object with the given key and value sizes
@@ -179,14 +265,15 @@ func (a *Allocator) Alloc(key, value []byte, now uint32) (Handle, *Evicted, erro
 	if err != nil {
 		return NoHandle, nil, err
 	}
-	a.writeObject(c, idx, key, value, now)
+	c.writeObject(idx, key, value, now)
 	c.lruPushFront(idx)
 	c.live++
 	return makeHandle(ci, idx), ev, nil
 }
 
 // obtainChunk returns a free chunk index in class c, growing the class or
-// evicting the LRU object as needed. Caller holds c.mu.
+// evicting the LRU object as needed. The returned chunk's version word is
+// odd (dead), so concurrent readers already reject it. Caller holds c.mu.
 func (a *Allocator) obtainChunk(ci int, c *class) (uint64, *Evicted, error) {
 	if n := len(c.free); n > 0 {
 		idx := c.free[n-1]
@@ -206,10 +293,11 @@ func (a *Allocator) obtainChunk(ci int, c *class) (uint64, *Evicted, error) {
 	}
 	idx := uint64(victim)
 	m := &c.meta[idx]
-	evKey := make([]byte, m.keyLen)
-	copy(evKey, a.chunkBytes(c, idx)[headerBytes:headerBytes+int(m.keyLen)])
+	w := c.lockedWords(idx)
+	evKey := appendChunkBytes(make([]byte, 0, m.keyLen), w, headerBytes, int(m.keyLen))
 	ev := &Evicted{Key: evKey, Handle: makeHandle(ci, idx)}
 	c.lruRemove(int32(idx))
+	w[0].Add(1) // even → odd: readers see the object die before its bytes churn
 	m.live = false
 	c.live--
 	c.evictions++
@@ -227,39 +315,42 @@ func (a *Allocator) tryGrow(c *class) bool {
 	a.allocated += int64(a.cfg.SlabBytes)
 	a.budgetMu.Unlock()
 
-	slab := make([]byte, a.cfg.SlabBytes)
-	base := uint64(len(c.slabs)) * uint64(a.cfg.SlabBytes/c.chunkSize)
-	c.slabs = append(c.slabs, slab)
-	chunks := a.cfg.SlabBytes / c.chunkSize
-	for i := chunks - 1; i >= 0; i-- {
+	chunkWords := c.chunkSize / 8
+	slab := make([]atomic.Uint64, c.perSlab*chunkWords)
+	// Fresh chunks start dead (odd version) before the slab is published.
+	for i := 0; i < c.perSlab; i++ {
+		slab[i*chunkWords].Store(1)
+	}
+	var old [][]atomic.Uint64
+	if p := c.arena.Load(); p != nil {
+		old = *p
+	}
+	grown := make([][]atomic.Uint64, len(old)+1)
+	copy(grown, old)
+	grown[len(old)] = slab
+	c.arena.Store(&grown)
+
+	base := uint64(len(old)) * uint64(c.perSlab)
+	for i := c.perSlab - 1; i >= 0; i-- {
 		c.free = append(c.free, base+uint64(i))
 	}
-	grown := make([]chunkMeta, int(base)+chunks)
-	copy(grown, c.meta)
-	for i := len(c.meta); i < len(grown); i++ {
-		grown[i] = chunkMeta{prev: -1, next: -1}
+	metaGrown := make([]chunkMeta, int(base)+c.perSlab)
+	copy(metaGrown, c.meta)
+	for i := len(c.meta); i < len(metaGrown); i++ {
+		metaGrown[i] = chunkMeta{prev: -1, next: -1}
 	}
-	c.meta = grown
+	c.meta = metaGrown
 	return true
 }
 
-func (a *Allocator) chunkBytes(c *class, idx uint64) []byte {
-	perSlab := uint64(a.cfg.SlabBytes / c.chunkSize)
-	slab := c.slabs[idx/perSlab]
-	off := (idx % perSlab) * uint64(c.chunkSize)
-	return slab[off : off+uint64(c.chunkSize)]
-}
-
-func (a *Allocator) writeObject(c *class, idx uint64, key, value []byte, now uint32) {
-	b := a.chunkBytes(c, idx)
-	b[0] = byte(len(key))
-	b[1] = byte(len(key) >> 8)
-	b[2] = byte(len(value))
-	b[3] = byte(len(value) >> 8)
-	b[4] = byte(len(value) >> 16)
-	b[5] = byte(len(value) >> 24)
-	copy(b[headerBytes:], key)
-	copy(b[headerBytes+len(key):], value)
+// writeObject fills chunk idx (whose version word must be odd — dead) and
+// publishes it live. Caller holds c.mu.
+func (c *class) writeObject(idx uint64, key, value []byte, now uint32) {
+	w := c.lockedWords(idx)
+	seq := w[0].Load() // odd: readers reject the chunk while we write
+	w[lenWord].Store(uint64(uint16(len(key))) | uint64(uint32(len(value)))<<16)
+	storeChunkBytes(w, key, value)
+	w[0].Store(seq + 1) // odd → even: object becomes visible
 	m := &c.meta[idx]
 	m.keyLen = uint16(len(key))
 	m.valLen = uint32(len(value))
@@ -268,28 +359,183 @@ func (a *Allocator) writeObject(c *class, idx uint64, key, value []byte, now uin
 	m.live = true
 }
 
-// Object returns the key and value stored at h. The returned slices alias the
-// arena and are valid until the object is freed or evicted; callers that need
-// stability must copy. ok is false if h is not live.
+// storeChunkBytes packs key then value into the data words (word 2+),
+// little-endian, via atomic stores so concurrent seqlock readers never race.
+func storeChunkBytes(w []atomic.Uint64, key, value []byte) {
+	wi := headerWords
+	var cur uint64
+	var shift uint
+	put := func(bs []byte) {
+		for _, b := range bs {
+			cur |= uint64(b) << shift
+			shift += 8
+			if shift == 64 {
+				w[wi].Store(cur)
+				wi++
+				cur, shift = 0, 0
+			}
+		}
+	}
+	put(key)
+	put(value)
+	if shift > 0 {
+		w[wi].Store(cur)
+	}
+}
+
+// appendChunkBytes appends n bytes starting at byte offset off of the chunk
+// to dst, loading whole words atomically.
+func appendChunkBytes(dst []byte, w []atomic.Uint64, off, n int) []byte {
+	var tmp [8]byte
+	end := off + n
+	for pos := off; pos < end; {
+		wi := pos >> 3
+		binary.LittleEndian.PutUint64(tmp[:], w[wi].Load())
+		lo := pos & 7
+		hi := 8
+		if wordEnd := (wi + 1) << 3; wordEnd > end {
+			hi = 8 - (wordEnd - end)
+		}
+		dst = append(dst, tmp[lo:hi]...)
+		pos += hi - lo
+	}
+	return dst
+}
+
+// chunkBytesEqual reports whether the n=len(want) bytes at byte offset off of
+// the chunk equal want, loading whole words atomically.
+func chunkBytesEqual(w []atomic.Uint64, off int, want []byte) bool {
+	var tmp [8]byte
+	i := 0
+	for i < len(want) {
+		pos := off + i
+		wi := pos >> 3
+		binary.LittleEndian.PutUint64(tmp[:], w[wi].Load())
+		lo := pos & 7
+		n := 8 - lo
+		if rem := len(want) - i; n > rem {
+			n = rem
+		}
+		if !bytes.Equal(tmp[lo:lo+n], want[i:i+n]) {
+			return false
+		}
+		i += n
+	}
+	return true
+}
+
+// loadLens reads and sanity-checks the length word. A torn read can yield
+// garbage lengths; callers only act on them under seqlock validation, but the
+// bounds check here keeps even a torn read inside the chunk.
+func loadLens(w []atomic.Uint64, chunkSize int) (keyLen, valLen int, ok bool) {
+	lw := w[lenWord].Load()
+	keyLen = int(lw & 0xffff)
+	valLen = int((lw >> 16) & 0xffffffff)
+	return keyLen, valLen, headerBytes+keyLen+valLen <= chunkSize
+}
+
+// Object returns copies of the key and value stored at h, or ok=false if h is
+// not live. It is lock-free: the copy is validated against the chunk's
+// seqlock version and retried if a writer intervened.
 func (a *Allocator) Object(h Handle) (key, value []byte, ok bool) {
-	if h == NoHandle {
+	c, w, ok := a.snapshot(h)
+	if !ok {
 		return nil, nil, false
 	}
-	ci, idx := h.split()
-	if ci >= len(a.classes) {
-		return nil, nil, false
+	for {
+		s1 := w[0].Load()
+		if s1&1 != 0 {
+			return nil, nil, false
+		}
+		kl, vl, valid := loadLens(w, c.chunkSize)
+		if valid {
+			key = appendChunkBytes(key[:0], w, headerBytes, kl)
+			value = appendChunkBytes(value[:0], w, headerBytes+kl, vl)
+		}
+		if w[0].Load() == s1 {
+			if !valid {
+				return nil, nil, false
+			}
+			return key, value, true
+		}
 	}
-	c := a.classes[ci]
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if idx >= uint64(len(c.meta)) || !c.meta[idx].live {
-		return nil, nil, false
+}
+
+// ReadInto appends the value stored at h to dst, returning the extended
+// slice. It is lock-free (seqlock copy-then-validate); ok is false when h is
+// not live, in which case dst is returned unchanged. This is the RD task's
+// real contract: the returned bytes are a stable copy, not an arena alias.
+func (a *Allocator) ReadInto(h Handle, dst []byte) ([]byte, bool) {
+	c, w, ok := a.snapshot(h)
+	if !ok {
+		return dst, false
 	}
-	m := &c.meta[idx]
-	b := a.chunkBytes(c, idx)
-	key = b[headerBytes : headerBytes+int(m.keyLen)]
-	value = b[headerBytes+int(m.keyLen) : headerBytes+int(m.keyLen)+int(m.valLen)]
-	return key, value, true
+	mark := len(dst)
+	for {
+		s1 := w[0].Load()
+		if s1&1 != 0 {
+			return dst[:mark], false
+		}
+		kl, vl, valid := loadLens(w, c.chunkSize)
+		if valid {
+			dst = appendChunkBytes(dst[:mark], w, headerBytes+kl, vl)
+		}
+		if w[0].Load() == s1 {
+			if !valid {
+				return dst[:mark], false
+			}
+			return dst, true
+		}
+	}
+}
+
+// MatchKey reports whether h is live and stores exactly key (the KC task).
+// It is lock-free and allocation-free.
+func (a *Allocator) MatchKey(h Handle, key []byte) bool {
+	c, w, ok := a.snapshot(h)
+	if !ok {
+		return false
+	}
+	for {
+		s1 := w[0].Load()
+		if s1&1 != 0 {
+			return false
+		}
+		kl, _, valid := loadLens(w, c.chunkSize)
+		match := valid && kl == len(key) && chunkBytesEqual(w, headerBytes, key)
+		if w[0].Load() == s1 {
+			return match
+		}
+	}
+}
+
+// ReadIfMatch appends the value at h to dst iff h is live and stores exactly
+// key, under a single seqlock validation spanning both the compare and the
+// copy (the fused KC+RD fast path of a GET). On a miss dst is returned
+// unchanged.
+func (a *Allocator) ReadIfMatch(h Handle, key, dst []byte) ([]byte, bool) {
+	c, w, ok := a.snapshot(h)
+	if !ok {
+		return dst, false
+	}
+	mark := len(dst)
+	for {
+		s1 := w[0].Load()
+		if s1&1 != 0 {
+			return dst[:mark], false
+		}
+		kl, vl, valid := loadLens(w, c.chunkSize)
+		match := valid && kl == len(key) && chunkBytesEqual(w, headerBytes, key)
+		if match {
+			dst = appendChunkBytes(dst[:mark], w, headerBytes+kl, vl)
+		}
+		if w[0].Load() == s1 {
+			if !match {
+				return dst[:mark], false
+			}
+			return dst, true
+		}
+	}
 }
 
 // Touch marks h as accessed at sampling timestamp now: it bumps the object to
@@ -356,6 +602,7 @@ func (a *Allocator) Free(h Handle) {
 		return
 	}
 	c.lruRemove(int32(idx))
+	c.lockedWords(idx)[0].Add(1) // even → odd: kill in-flight readers
 	c.meta[idx].live = false
 	c.live--
 	c.free = append(c.free, idx)

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# check.sh — the repo's CI gate: vet, build, race-enabled tests, and a short
-# protocol-parser fuzz smoke.
+# check.sh — the repo's CI gate: vet, build, race-enabled tests, a focused
+# concurrency pass over the store/slab read path, a benchmark smoke, and a
+# short protocol-parser fuzz smoke.
 #
 # Usage: scripts/check.sh [fuzztime]
 #   fuzztime  per-target fuzz duration (default 10s; "0" skips fuzzing)
@@ -15,8 +16,21 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+# The simulation figure suite (internal/bench) legitimately needs >10min
+# under the race detector on small machines; raise the per-package timeout.
 echo "== go test -race =="
-go test -race ./...
+go test -race -timeout 1800s ./...
+
+# The seqlock read path and eviction stress live here; run them un-cached so
+# every CI pass exercises the concurrency machinery (incl. the -race pass on
+# TestConcurrentEvictionStress).
+echo "== store/slab concurrency (-race, -count=1) =="
+go test -count=1 -race -timeout 900s ./internal/store ./internal/slab
+
+# Benchmark smoke: one iteration each, just proving the benchmarks still
+# compile and run (allocation regressions show up in the full bench runs).
+echo "== benchmark smoke =="
+go test -run='^$' -bench=. -benchtime=1x ./internal/store ./internal/slab ./internal/cuckoo
 
 if [ "$FUZZTIME" != "0" ]; then
     echo "== fuzz smoke ($FUZZTIME per target) =="

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"net"
+	"net/netip"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +19,13 @@ type Backend interface {
 	Get(key []byte) ([]byte, bool)
 	Set(key, value []byte) error
 	Delete(key []byte) bool
+}
+
+// GetIntoBackend is an optional Backend extension. When the backend provides
+// it (as *Store does), the server serves GETs by appending values into a
+// pooled per-frame buffer instead of allocating a copy per query.
+type GetIntoBackend interface {
+	GetInto(key, dst []byte) ([]byte, bool)
 }
 
 // ServerOptions tunes the fault-tolerance behavior of a Server. The zero
@@ -56,8 +64,9 @@ const (
 // frame cannot kill the serve loop (per-frame recover), and Close drains
 // in-flight frames before the socket is torn down.
 type Server struct {
-	store Backend
-	opts  ServerOptions
+	store   Backend
+	getInto GetIntoBackend // non-nil when store implements the fast GET path
+	opts    ServerOptions
 
 	mu     sync.Mutex
 	conn   net.PacketConn
@@ -67,13 +76,25 @@ type Server struct {
 	wg      sync.WaitGroup
 	replies *replyCache
 	bufs    sync.Pool
+	scratch sync.Pool // *frameScratch: per-frame query/response/value reuse
+	addrs   addrCache
 
-	served    stats.Counter
-	frames    stats.Counter
-	shed      stats.Counter
-	replayed  stats.Counter
-	malformed stats.Counter
-	panics    stats.Counter
+	served     stats.Counter
+	frames     stats.Counter
+	shed       stats.Counter
+	replayed   stats.Counter
+	dupDropped stats.Counter
+	malformed  stats.Counter
+	panics     stats.Counter
+}
+
+// frameScratch holds the per-frame slices that are pooled across frames so
+// the steady-state GET path performs no allocations: parsed queries, the
+// response set, and a flat arena the backend appends values into.
+type frameScratch struct {
+	queries []proto.Query
+	resps   []proto.Response
+	vals    []byte
 }
 
 // NewServer returns a UDP server over b with default options.
@@ -95,10 +116,14 @@ func NewServerOpts(b Backend, opts ServerOptions) *Server {
 		opts:   opts,
 		tokens: make(chan struct{}, opts.MaxInFlight),
 	}
+	if gi, ok := b.(GetIntoBackend); ok {
+		s.getInto = gi
+	}
 	if cacheSize > 0 {
 		s.replies = newReplyCache(cacheSize)
 	}
 	s.bufs.New = func() any { return make([]byte, proto.MaxFrameBytes) }
+	s.scratch.New = func() any { return &frameScratch{} }
 	return s
 }
 
@@ -160,35 +185,94 @@ func (s *Server) serveLoop(pc net.PacketConn) error {
 		// A retried frame whose reply was already computed is answered from
 		// the cache without re-executing it or consuming a token; this is
 		// what makes client retries of SET safe (at-most-once execution).
+		// A retry that lands while the original frame is still executing is
+		// dropped — admitting it would re-execute the SET before the reply
+		// cache is populated, reopening the at-most-once hole. The client
+		// simply retries again and is then answered from the cache.
+		var akey string
+		tracked := false
 		if v2 && reqID != 0 && s.replies != nil {
-			if frames, ok := s.replies.get(raddr.String(), reqID); ok {
+			akey = s.addrs.keyFor(raddr)
+			frames, state := s.replies.begin(akey, reqID)
+			switch state {
+			case replyCached:
 				for _, f := range frames {
 					pc.WriteTo(f, raddr)
 				}
 				s.replayed.Inc()
 				s.bufs.Put(buf)
 				continue
+			case replyInFlight:
+				s.dupDropped.Inc()
+				s.bufs.Put(buf)
+				continue
+			case replyAdmitted:
+				tracked = true
 			}
 		}
 		select {
 		case s.tokens <- struct{}{}:
 		default:
 			// Overload: shed the whole frame now rather than queuing it.
+			if tracked {
+				s.replies.abort(akey, reqID)
+			}
 			s.shed.Inc()
 			s.writeBusy(pc, raddr, reqID, v2, count)
 			s.bufs.Put(buf)
 			continue
 		}
 		s.wg.Add(1)
-		go s.handleFrame(pc, buf, n, raddr, reqID, v2)
+		go s.handleFrame(pc, buf, n, raddr, akey, reqID, v2, tracked)
 	}
 }
 
+// addrCache memoizes net.Addr → string conversions so the reply-cache path
+// does not allocate a fresh address string per datagram. UDP addresses are
+// keyed by their comparable netip.AddrPort form; other address types fall
+// back to String().
+type addrCache struct {
+	mu sync.Mutex
+	m  map[netip.AddrPort]string
+}
+
+// addrCacheMax bounds the memoized address set; beyond it the map is reset
+// (a full rebuild is cheaper than tracking recency for a niche overflow).
+const addrCacheMax = 4096
+
+func (ac *addrCache) keyFor(a net.Addr) string {
+	ua, ok := a.(*net.UDPAddr)
+	if !ok {
+		return a.String()
+	}
+	ap := ua.AddrPort()
+	ac.mu.Lock()
+	if s, ok := ac.m[ap]; ok {
+		ac.mu.Unlock()
+		return s
+	}
+	ac.mu.Unlock()
+	s := a.String()
+	ac.mu.Lock()
+	if ac.m == nil || len(ac.m) >= addrCacheMax {
+		ac.m = make(map[netip.AddrPort]string, 64)
+	}
+	ac.m[ap] = s
+	ac.mu.Unlock()
+	return s
+}
+
 // handleFrame processes one admitted frame in its own goroutine.
-func (s *Server) handleFrame(pc net.PacketConn, buf []byte, n int, raddr net.Addr, reqID uint64, v2 bool) {
+func (s *Server) handleFrame(pc net.PacketConn, buf []byte, n int, raddr net.Addr, akey string, reqID uint64, v2, tracked bool) {
 	defer s.wg.Done()
 	defer func() { <-s.tokens }()
 	defer s.bufs.Put(buf)
+	if tracked {
+		// Clear the in-flight marker on every exit path (panic, malformed,
+		// failed send); a successful sendResponses clears it atomically with
+		// the reply-cache fill, making this a no-op.
+		defer s.replies.abort(akey, reqID)
+	}
 	// One poisoned frame must not kill the serve loop: the client times out
 	// and retries; everyone else is unaffected.
 	defer func() {
@@ -196,14 +280,18 @@ func (s *Server) handleFrame(pc net.PacketConn, buf []byte, n int, raddr net.Add
 			s.panics.Inc()
 		}
 	}()
-	queries, _, err := proto.ParseFrameID(buf[:n], nil)
+	sc := s.scratch.Get().(*frameScratch)
+	defer s.scratch.Put(sc)
+	queries, _, err := proto.ParseFrameID(buf[:n], sc.queries[:0])
+	sc.queries = queries[:0]
 	if err != nil {
 		s.malformed.Inc()
 		return
 	}
 	s.frames.Inc()
-	resps := s.process(queries, nil)
-	s.sendResponses(pc, raddr, reqID, v2, true, resps)
+	resps := s.process(queries, sc)
+	s.sendResponses(pc, raddr, akey, reqID, v2, true, resps)
+	sc.resps = resps[:0]
 }
 
 // maxResponsePayload keeps each response frame within a safe UDP datagram.
@@ -211,8 +299,9 @@ const maxResponsePayload = 60 << 10
 
 // sendResponses writes resps split across as many frames as needed (the
 // client reassembles by offset) and, for cacheable v2 requests, retains the
-// encoded frames for duplicate suppression.
-func (s *Server) sendResponses(pc net.PacketConn, raddr net.Addr, reqID uint64, v2, cache bool, resps []proto.Response) {
+// encoded frames for duplicate suppression. akey is the memoized raddr
+// string (may be empty when no caching applies).
+func (s *Server) sendResponses(pc net.PacketConn, raddr net.Addr, akey string, reqID uint64, v2, cache bool, resps []proto.Response) {
 	var frames [][]byte
 	sendOK := true
 	start := 0
@@ -244,7 +333,10 @@ func (s *Server) sendResponses(pc net.PacketConn, raddr net.Addr, reqID uint64, 
 		}
 	}
 	if cache && sendOK && v2 && reqID != 0 && s.replies != nil {
-		s.replies.put(raddr.String(), reqID, frames)
+		if akey == "" {
+			akey = s.addrs.keyFor(raddr)
+		}
+		s.replies.finish(akey, reqID, frames)
 	}
 }
 
@@ -256,15 +348,30 @@ func (s *Server) writeBusy(pc net.PacketConn, raddr net.Addr, reqID uint64, v2 b
 	for i := range resps {
 		resps[i].Status = proto.StatusBusy
 	}
-	s.sendResponses(pc, raddr, reqID, v2, false, resps)
+	s.sendResponses(pc, raddr, "", reqID, v2, false, resps)
 }
 
-// process executes one frame's queries.
-func (s *Server) process(queries []proto.Query, resps []proto.Response) []proto.Response {
+// process executes one frame's queries, reusing sc's pooled response slice
+// and value arena. Values are appended into sc.vals and responses reference
+// subslices of it; if an append grows the arena, earlier responses keep
+// pointing into the previous backing array, which remains intact — so the
+// references stay valid for the lifetime of the frame.
+func (s *Server) process(queries []proto.Query, sc *frameScratch) []proto.Response {
+	resps := sc.resps[:0]
+	sc.vals = sc.vals[:0]
 	for _, q := range queries {
 		switch q.Op {
 		case proto.OpGet:
-			if v, ok := s.store.Get(q.Key); ok {
+			if s.getInto != nil {
+				mark := len(sc.vals)
+				if out, ok := s.getInto.GetInto(q.Key, sc.vals); ok {
+					sc.vals = out
+					v := sc.vals[mark:len(sc.vals):len(sc.vals)]
+					resps = append(resps, proto.Response{Status: proto.StatusOK, Value: v})
+				} else {
+					resps = append(resps, proto.Response{Status: proto.StatusNotFound})
+				}
+			} else if v, ok := s.store.Get(q.Key); ok {
 				resps = append(resps, proto.Response{Status: proto.StatusOK, Value: v})
 			} else {
 				resps = append(resps, proto.Response{Status: proto.StatusNotFound})
@@ -308,6 +415,9 @@ type ServerStats struct {
 	Shed uint64
 	// Replayed counts retried frames answered from the reply cache.
 	Replayed uint64
+	// DupDropped counts duplicate frames dropped while the original request
+	// was still executing (at-most-once in-flight tracking).
+	DupDropped uint64
 	// Malformed counts dropped undecodable or corrupted frames.
 	Malformed uint64
 	// Panics counts frames whose processing panicked (and was contained).
@@ -322,8 +432,9 @@ func (s *Server) Stats() ServerStats {
 		Served:    s.served.Load(),
 		Frames:    s.frames.Load(),
 		Shed:      s.shed.Load(),
-		Replayed:  s.replayed.Load(),
-		Malformed: s.malformed.Load(),
+		Replayed:   s.replayed.Load(),
+		DupDropped: s.dupDropped.Load(),
+		Malformed:  s.malformed.Load(),
 		Panics:    s.panics.Load(),
 		InFlight:  len(s.tokens),
 	}
@@ -352,32 +463,57 @@ type replyKey struct {
 }
 
 // replyCache retains the encoded response frames of recent requests so a
-// retried (duplicate) frame is answered without re-execution. Eviction is
-// FIFO over distinct requests.
+// retried (duplicate) frame is answered without re-execution, and tracks
+// which requests are currently executing so a retry cannot race the original
+// into a second execution. Eviction is FIFO over distinct requests.
 type replyCache struct {
-	mu   sync.Mutex
-	max  int
-	m    map[replyKey][][]byte
-	fifo []replyKey
+	mu       sync.Mutex
+	max      int
+	m        map[replyKey][][]byte
+	fifo     []replyKey
+	inflight map[replyKey]struct{}
 }
+
+// begin outcomes.
+const (
+	replyAdmitted = iota // no reply yet and not executing: caller may execute
+	replyCached          // reply available: answer from the returned frames
+	replyInFlight        // original still executing: drop the duplicate
+)
 
 func newReplyCache(max int) *replyCache {
-	return &replyCache{max: max, m: make(map[replyKey][][]byte, max)}
+	return &replyCache{
+		max:      max,
+		m:        make(map[replyKey][][]byte, max),
+		inflight: make(map[replyKey]struct{}),
+	}
 }
 
-func (rc *replyCache) get(addr string, id uint64) ([][]byte, bool) {
-	rc.mu.Lock()
-	defer rc.mu.Unlock()
-	frames, ok := rc.m[replyKey{addr, id}]
-	return frames, ok
-}
-
-func (rc *replyCache) put(addr string, id uint64, frames [][]byte) {
+// begin classifies an arriving (addr, id) frame. On replyAdmitted the pair is
+// marked in-flight; the caller must hand it to finish or abort eventually.
+func (rc *replyCache) begin(addr string, id uint64) ([][]byte, int) {
 	k := replyKey{addr, id}
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
+	if frames, ok := rc.m[k]; ok {
+		return frames, replyCached
+	}
+	if _, ok := rc.inflight[k]; ok {
+		return nil, replyInFlight
+	}
+	rc.inflight[k] = struct{}{}
+	return nil, replyAdmitted
+}
+
+// finish records the computed reply and clears the in-flight marker in one
+// step, so no retry can slip between execution and cache fill.
+func (rc *replyCache) finish(addr string, id uint64, frames [][]byte) {
+	k := replyKey{addr, id}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	delete(rc.inflight, k)
 	if _, ok := rc.m[k]; ok {
-		rc.m[k] = frames // concurrent duplicate recomputed the same reply
+		rc.m[k] = frames // recomputed after cache eviction: same reply
 		return
 	}
 	rc.m[k] = frames
@@ -386,6 +522,15 @@ func (rc *replyCache) put(addr string, id uint64, frames [][]byte) {
 		delete(rc.m, rc.fifo[0])
 		rc.fifo = rc.fifo[1:]
 	}
+}
+
+// abort clears the in-flight marker without recording a reply (shed frame,
+// malformed payload, failed send, contained panic). Idempotent.
+func (rc *replyCache) abort(addr string, id uint64) {
+	k := replyKey{addr, id}
+	rc.mu.Lock()
+	delete(rc.inflight, k)
+	rc.mu.Unlock()
 }
 
 // ClientConn is the conn surface the Client drives; *net.UDPConn implements

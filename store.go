@@ -14,6 +14,12 @@ type StoreConfig struct {
 	IndexEntries int
 	// Seed makes hashing deterministic (0 picks a fixed default).
 	Seed uint64
+	// Shards splits the store into independent index+arena pairs routed by
+	// key hash (rounded up to a power of two, clamped to [1, 16]; 0 means 1).
+	// More shards let concurrent writers proceed without contending on the
+	// same slab-class locks; the memory budget is divided evenly, so very
+	// small arenas should stay at 1.
+	Shards int
 }
 
 // Store is a concurrent in-memory key-value store: a cuckoo-hash index over
@@ -30,12 +36,21 @@ func NewStore(cfg StoreConfig) *Store {
 		MemoryBytes:  cfg.MemoryBytes,
 		IndexEntries: cfg.IndexEntries,
 		Seed:         cfg.Seed,
+		Shards:       cfg.Shards,
 	})}
 }
 
 // Get returns a copy of the value stored under key.
 func (s *Store) Get(key []byte) ([]byte, bool) {
 	return s.inner.Get(key)
+}
+
+// GetInto appends the value stored under key to dst, returning the extended
+// slice; on a miss dst is returned unchanged. With a reused dst of
+// sufficient capacity the lookup performs no allocations — this is the
+// server's GET hot path.
+func (s *Store) GetInto(key, dst []byte) ([]byte, bool) {
+	return s.inner.GetInto(key, dst)
 }
 
 // Set stores value under key, overwriting any prior value. Under memory
