@@ -36,6 +36,8 @@ func main() {
 	warm := flag.Bool("warm", true, "pre-load the population before measuring")
 	seed := flag.Int64("seed", 1, "generator seed")
 
+	report := flag.Duration("report", 0, "progress report interval (0 disables)")
+
 	timeout := flag.Duration("timeout", dido.DefaultClientTimeout, "per-attempt response timeout")
 	retries := flag.Int("retries", dido.DefaultClientRetries, "resend attempts per frame (negative disables)")
 	backoff := flag.Duration("backoff", dido.DefaultClientBackoff, "initial retry backoff (doubles, jittered)")
@@ -108,7 +110,19 @@ func main() {
 	deadline := time.Now().Add(*dur)
 	var sent, hits, misses, failedBusy, failedTimeout uint64
 	start := time.Now()
+	lastReport, lastSent := start, uint64(0)
 	for time.Now().Before(deadline) {
+		if *report > 0 {
+			if now := time.Now(); now.Sub(lastReport) >= *report {
+				// Interval throughput, so pipeline reconfiguration and
+				// convergence are visible as the run progresses.
+				window := now.Sub(lastReport)
+				fmt.Printf("t=%v %.1f KOPS (interval)\n",
+					now.Sub(start).Round(time.Second),
+					float64(sent-lastSent)/window.Seconds()/1000)
+				lastReport, lastSent = now, sent
+			}
+		}
 		qs := gen.Batch(*batch)
 		resps, err := c.Do(qs)
 		if err != nil {

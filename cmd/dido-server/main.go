@@ -7,9 +7,15 @@
 // injector in front of the socket (drop / duplicate / reorder / corrupt /
 // delay, both directions) for chaos testing.
 //
+// With -pipeline on, admitted frames are served through the batched
+// task-granular pipeline (DIDO's staged execution) instead of a goroutine per
+// frame; -adapt additionally closes the paper's adaptation loop, re-planning
+// the pipeline online from measured per-batch profiles.
+//
 // Usage:
 //
 //	dido-server -addr 127.0.0.1:11311 -mem 268435456
+//	dido-server -pipeline on -adapt -batch-interval 500us
 //	dido-server -fault-drop 0.1 -fault-dup 0.05 -fault-reorder 0.1
 package main
 
@@ -32,10 +38,14 @@ func main() {
 	textAddr := flag.String("text", "", "optional TCP listen address for the memcached ASCII protocol")
 	mem := flag.Int64("mem", 256<<20, "key-value arena bytes")
 	shards := flag.Int("shards", 0, "store shards (power of two, 0 = 1; divides the arena budget)")
-	statsEvery := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
+	statsEvery := flag.Duration("stats-interval", 10*time.Second, "stats print interval (0 disables)")
 	maxInflight := flag.Int("max-inflight", dido.DefaultMaxInFlight, "frames processed concurrently before shedding with StatusBusy")
 	replyCache := flag.Int("reply-cache", dido.DefaultReplyCacheSize, "retried-request reply cache entries (negative disables)")
 	maxSessions := flag.Int("text-max-sessions", 0, "text protocol session budget (0 = unlimited)")
+
+	pipelineMode := flag.String("pipeline", "off", "serving path: off = goroutine per frame, on = batched task-granular pipeline")
+	batchInterval := flag.Duration("batch-interval", 500*time.Microsecond, "pipeline: max wait before a partial batch executes")
+	adapt := flag.Bool("adapt", false, "pipeline: online reconfiguration from measured per-batch profiles")
 
 	faultDrop := flag.Float64("fault-drop", 0, "inject: datagram drop rate [0,1], both directions")
 	faultDup := flag.Float64("fault-dup", 0, "inject: datagram duplication rate [0,1]")
@@ -47,6 +57,13 @@ func main() {
 
 	st := dido.NewStore(dido.StoreConfig{MemoryBytes: *mem, Shards: *shards})
 	opts := dido.ServerOptions{MaxInFlight: *maxInflight, ReplyCacheSize: *replyCache}
+	switch *pipelineMode {
+	case "on":
+		opts.Pipeline = &dido.PipelineOptions{BatchInterval: *batchInterval, Adapt: *adapt}
+	case "off":
+	default:
+		log.Fatalf("-pipeline must be on or off, got %q", *pipelineMode)
+	}
 
 	profile := faults.Profile{
 		Drop:    *faultDrop,
@@ -75,7 +92,8 @@ func main() {
 	for srv.Addr() == nil {
 		time.Sleep(time.Millisecond)
 	}
-	log.Printf("dido-server listening on %s (arena %d MB, max-inflight %d)", srv.Addr(), *mem>>20, *maxInflight)
+	log.Printf("dido-server listening on %s (arena %d MB, max-inflight %d, pipeline=%s adapt=%v)",
+		srv.Addr(), *mem>>20, *maxInflight, *pipelineMode, *adapt)
 
 	var textSrv *dido.TextServer
 	if *textAddr != "" {
@@ -104,6 +122,19 @@ func main() {
 					fs := injector.Stats()
 					line += fmt.Sprintf(" faults[drop=%d dup=%d reorder=%d corrupt=%d]",
 						fs.Dropped, fs.Duplicated, fs.Reordered, fs.Corrupted)
+				}
+				if ps, ok := srv.PipelineStats(); ok {
+					line += fmt.Sprintf(" | pipe batches=%d target=%d reconfigs=%d shed=%d panics=%d",
+						ps.Batches, ps.Target, ps.Reconfigs, ps.SubmitShed, ps.Panics)
+					if replans, ok := srv.PipelineReplans(); ok {
+						line += fmt.Sprintf(" replans=%d", replans)
+					}
+					if sq, ok := srv.PipelineStageQuantiles(0.5, 0.99, 0.999); ok {
+						for si := range sq {
+							line += fmt.Sprintf(" s%d[p50=%.0fus p99=%.0fus p999=%.0fus]",
+								si+1, sq[si][0], sq[si][1], sq[si][2])
+						}
+					}
 				}
 				log.Print(line)
 			}

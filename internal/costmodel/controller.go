@@ -1,0 +1,92 @@
+package costmodel
+
+import (
+	"sync"
+
+	"repro/internal/pipeline"
+	"repro/internal/profiler"
+	"repro/internal/task"
+)
+
+// Controller closes the paper's adaptation loop over the *live* serving
+// pipeline: it implements pipeline.ConfigProvider by feeding each completed
+// batch's measured profile through the workload profiler and, when the
+// profiler's 10% change trigger fires, re-running the cost-model search to
+// install a new (config, batch size) pair at the next batch boundary. It is
+// the live analogue of internal/dido.System.NextConfig, consuming profiles
+// measured on real hardware instead of the simulator's.
+//
+// Unlike the simulated loop, the controller never layers work-stealing onto
+// the chosen shape: the live stage workers do not implement stealing, so
+// advertising a stolen-batch size the executor cannot deliver would be
+// dishonest. The searched space is pipeline shapes and index assignments
+// only.
+type Controller struct {
+	Planner  *Planner
+	Profiler *profiler.Profiler
+	Sizer    *pipeline.BatchSizer
+
+	mu      sync.Mutex
+	cfg     pipeline.Config
+	replans uint64
+}
+
+// NewController returns a controller starting at initial. A nil sizer gets
+// one derived from the planner's interval and batch bounds.
+func NewController(pl *Planner, prof *profiler.Profiler, initial pipeline.Config, sizer *pipeline.BatchSizer) *Controller {
+	if sizer == nil {
+		sizer = &pipeline.BatchSizer{Interval: pl.Interval, Min: pl.MinBatch, Max: pl.MaxBatch}
+		sizer.Set(pipeline.DefaultInitialBatch)
+	}
+	return &Controller{Planner: pl, Profiler: prof, Sizer: sizer, cfg: initial}
+}
+
+// keep filters the searched space to what the live executor can run: no
+// work-stealing variants (see type comment).
+func (c *Controller) keep(cfg pipeline.Config) bool { return !cfg.WorkStealing }
+
+// NextConfig implements pipeline.ConfigProvider. The live runner serializes
+// calls (one per batch boundary), so the only concurrency to guard is the
+// accessor methods.
+func (c *Controller) NextConfig(prev *pipeline.Batch) (pipeline.Config, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev == nil {
+		return c.cfg, c.Sizer.Current()
+	}
+	measured, replan := c.Profiler.Observe(prev.Profile)
+	if replan {
+		best, _ := c.Planner.BestFiltered(c.plannerProfile(measured), c.keep)
+		if best.ThroughputOPS > 0 {
+			c.cfg = best.Config
+			c.Sizer.Set(best.Batch)
+			c.replans++
+			return c.cfg, c.Sizer.Current()
+		}
+	}
+	// Between replans the batch size follows the shared feedback controller,
+	// nudging measured Tmax toward the scheduling interval.
+	return c.cfg, c.Sizer.Observe(prev)
+}
+
+// plannerProfile strips measurements the cost model must derive analytically
+// (same honesty rule as the simulated loop: the planner computes the
+// cache-hit portion from Zipf's law, it does not get told).
+func (c *Controller) plannerProfile(p task.Profile) task.Profile {
+	p.CacheHitPortion = 0
+	return p
+}
+
+// Replans returns how many times the loop installed a re-planned config.
+func (c *Controller) Replans() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.replans
+}
+
+// CurrentConfig returns the config the controller last handed out.
+func (c *Controller) CurrentConfig() pipeline.Config {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg
+}

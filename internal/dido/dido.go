@@ -78,7 +78,7 @@ type System struct {
 	opts Options
 
 	cfg     pipeline.Config
-	batch   int
+	sizer   pipeline.BatchSizer
 	replans uint64
 }
 
@@ -113,8 +113,9 @@ func New(opts Options) *System {
 		Runner:   &pipeline.Runner{Exec: exec},
 		opts:     opts,
 		cfg:      pipeline.MegaKV(),
-		batch:    1024,
+		sizer:    pipeline.BatchSizer{Interval: interval, Min: planner.MinBatch, Max: planner.MaxBatch},
 	}
+	s.sizer.Set(pipeline.DefaultInitialBatch)
 	if opts.StaticConfig != nil {
 		s.cfg = *opts.StaticConfig
 	}
@@ -158,15 +159,11 @@ func (s *System) keep(cfg pipeline.Config) bool {
 // NextConfig implements pipeline.ConfigProvider: the adaptation loop.
 func (s *System) NextConfig(prev *pipeline.Batch) (pipeline.Config, int) {
 	if prev == nil {
-		if s.opts.StaticConfig == nil {
-			return s.cfg, s.batch
-		}
-		return s.cfg, s.batch
+		return s.cfg, s.sizer.Current()
 	}
 	if s.opts.StaticConfig != nil {
 		// Baseline mode: static config, feedback-sized batches.
-		s.feedbackSize(prev)
-		return s.cfg, s.batch
+		return s.cfg, s.sizer.Observe(prev)
 	}
 	measured, replan := s.Profiler.Observe(prev.Profile)
 	if replan {
@@ -186,35 +183,14 @@ func (s *System) NextConfig(prev *pipeline.Batch) (pipeline.Config, int) {
 				}
 			}
 			s.cfg = cfg
-			s.batch = batch
+			s.sizer.Set(batch)
 			s.replans++
-			return s.cfg, s.batch
+			return s.cfg, s.sizer.Current()
 		}
 	}
-	s.feedbackSize(prev)
-	return s.cfg, s.batch
-}
-
-// feedbackSize nudges the batch size toward the scheduling interval, exactly
-// like the baseline's periodic scheduling.
-func (s *System) feedbackSize(prev *pipeline.Batch) {
-	if prev.Times.Tmax <= 0 {
-		return
-	}
-	ratio := float64(s.Planner.Interval) / float64(prev.Times.Tmax)
-	if ratio > 2 {
-		ratio = 2
-	}
-	if ratio < 0.5 {
-		ratio = 0.5
-	}
-	s.batch = int(float64(s.batch) * ratio)
-	if s.batch < s.Planner.MinBatch {
-		s.batch = s.Planner.MinBatch
-	}
-	if s.batch > s.Planner.MaxBatch {
-		s.batch = s.Planner.MaxBatch
-	}
+	// Between replans the size follows the shared feedback controller,
+	// nudging Tmax toward the scheduling interval.
+	return s.cfg, s.sizer.Observe(prev)
 }
 
 // plannerProfile strips ground-truth-only measurements before handing the

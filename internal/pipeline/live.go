@@ -1,0 +1,944 @@
+package pipeline
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cuckoo"
+	"repro/internal/proto"
+	"repro/internal/stats"
+	"repro/internal/task"
+)
+
+// This file is the live (wall-clock) counterpart of runner.go: the same
+// Batch / Config / ConfigProvider abstractions, executed against a real
+// store on goroutine stage groups instead of the discrete-event engine.
+// RV/PP happen at the submitter (the server's socket reader parses the frame
+// before Submit); IN(Search), IN(Insert), IN(Delete), the fused KC+RD, and
+// WR run on whichever stage group the batch's sealed Config maps them to;
+// SD is the Done callback delivering each frame's responses.
+
+// LiveStore is the store surface the live pipeline executes against, split
+// along the paper's task boundaries so each piece can run in its own stage.
+type LiveStore interface {
+	// Search performs IN(Search): append candidate locations for key to dst.
+	// Implementations without a task-granular index may return dst unchanged
+	// and resolve the read entirely in ReadCandidates.
+	Search(key []byte, dst []cuckoo.Location) []cuckoo.Location
+	// ReadCandidates performs the fused KC+RD tasks: verify the candidates
+	// against key and append the live value to dst. When every candidate is
+	// stale (the batch's Search raced a writer) the implementation must fall
+	// back to an authoritative lookup rather than reporting a miss.
+	ReadCandidates(key []byte, cands []cuckoo.Location, dst []byte) ([]byte, bool)
+	// Set performs the composite MM + IN(Insert) + IN(Delete) write.
+	Set(key, value []byte) error
+	// Delete performs IN(Delete) for an explicit DELETE query.
+	Delete(key []byte) bool
+}
+
+// LiveStoreMetrics is an optional LiveStore extension supplying the workload
+// counters the adaptation profile cannot measure per batch.
+type LiveStoreMetrics interface {
+	// LiveMetrics returns the live object count, cumulative evictions, and
+	// the cumulative average cuckoo buckets probed per index insert.
+	LiveMetrics() (liveObjects, evictions uint64, avgInsertBuckets float64)
+}
+
+// LiveFrame is one client frame travelling through the live pipeline. The
+// submitter fills Queries, ParseNanos and Ctx; the WR stage fills Resps; the
+// Done callback receives the frame after its batch's last stage.
+type LiveFrame struct {
+	// Queries must hold only valid ops (GET/SET/DELETE — what the server's
+	// parser admits): the response arena is recycled without clearing on the
+	// strength of every valid op's response being written by its stage.
+	Queries []proto.Query
+	// Resps holds one response per query after the WR stage. Values alias
+	// the batch's value arena and are only valid inside the Done callback.
+	Resps []proto.Response
+	// Err reports that this frame's execution died (a stage panicked on one
+	// of its queries): Resps is empty and the client is answered by retry,
+	// exactly like a poisoned frame on the per-frame path.
+	Err bool
+	// ParseNanos carries the submitter's measured RV+PP cost (socket read
+	// and frame parse) so the profile's RV/SD unit costs are measured, not
+	// assumed.
+	ParseNanos int64
+	// Ctx is the submitter's per-frame context, carried through untouched.
+	Ctx any
+}
+
+// Defaults for LiveOptions zero fields.
+const (
+	DefaultLiveBatchInterval = 500 * time.Microsecond
+	DefaultLiveMaxPending    = 4
+	DefaultLiveMinBatch      = 64
+	DefaultLiveMaxBatch      = 8192
+)
+
+// liveMetricsRefresh bounds how often buildProfile polls LiveStoreMetrics:
+// the store's population count is an index scan, far too expensive per batch,
+// and adaptation only reacts at workload-shift timescales anyway.
+const liveMetricsRefresh = 20 * time.Millisecond
+
+// DefaultLiveConfig is the pipeline shape the live runner starts with when
+// the provider has no opinion yet: Mega-KV's static partitioning. On a
+// CPU-only host the "GPU" stage is simply the middle worker group; what the
+// config controls is which group runs which tasks.
+func DefaultLiveConfig() Config { return MegaKV() }
+
+// LiveOptions configures a LiveRunner.
+type LiveOptions struct {
+	// Provider chooses the (config, batch size) installed at each batch
+	// boundary; in-flight batches keep the config they were sealed with.
+	// Defaults to a StaticProvider running DefaultLiveConfig.
+	Provider ConfigProvider
+	// BatchInterval bounds how long a partially-filled batch may wait before
+	// it is sealed anyway. Default DefaultLiveBatchInterval.
+	BatchInterval time.Duration
+	// MaxPending bounds sealed batches queued ahead of each stage; Submit
+	// rejects new work (shed upstream) when stage 1's queue is full.
+	// Default DefaultLiveMaxPending.
+	MaxPending int
+	// Workers sets the goroutine count per stage group; entries ≤ 0 mean 1.
+	Workers [3]int
+	// OnBatchDone, when set, observes every completed batch after its frames
+	// were delivered. The *Batch is recycled after the callback returns;
+	// copy what outlives it.
+	OnBatchDone func(*Batch)
+	// Done delivers each completed frame (the SD task). It runs on a stage
+	// worker, so it must not block indefinitely.
+	Done func(*LiveFrame)
+	// DoneBatch, when set, replaces Done: it is called once per completed
+	// batch with the batch's frames in submission order, letting the
+	// consumer amortize per-frame delivery costs (e.g. one batched send
+	// syscall for all response datagrams). The slice is reused by the
+	// runner; the consumer must not retain it. One of Done / DoneBatch is
+	// required.
+	DoneBatch func(frames []*LiveFrame)
+}
+
+// liveBatch is a Batch in flight through the live stage groups, plus the
+// arenas its frames share. Queries are never copied out of their frames: the
+// stages iterate each frame's own slice, and b.b.Queries stays empty (the
+// provider reads only Batch.Times and Batch.Profile).
+type liveBatch struct {
+	b      Batch
+	frames []*LiveFrame
+	// nq is the total query count across frames (the flattened length).
+	nq int
+	// frameOff[i] is the index of frames[i]'s first query in the shared
+	// arenas (resps, candLo, candHi).
+	frameOff []int32
+
+	// cands is the IN(Search) result arena; query q's candidates live at
+	// cands[candLo[q]:candHi[q]]. Valid only when searched is set: when the
+	// config fuses IN(Search) into the KC stage the search is skipped and
+	// the read resolves each key in a single authoritative pass.
+	searched       bool
+	cands          []cuckoo.Location
+	candLo, candHi []int32
+	// vals is the value arena the KC+RD stage appends into; resps holds one
+	// response per query, partitioned to frames by the WR stage.
+	vals  []byte
+	resps []proto.Response
+
+	// lastStage is the last stage the sealed config maps work onto; the
+	// batch completes there instead of traversing empty stages (stamped by
+	// sealLocked).
+	lastStage Stage
+
+	firstAt  time.Time
+	sealedAt time.Time
+	// taskNanos/taskUnits accumulate measured per-task cost and unit counts.
+	taskNanos [task.NumTasks]int64
+	taskUnits [task.NumTasks]int64
+
+	gets, sets, dels   int
+	setErrs            int
+	keyBytes, valBytes int
+	wireBytes          int
+	parseNanos         int64
+}
+
+func (b *liveBatch) reset() {
+	b.b = Batch{}
+	b.frames = b.frames[:0]
+	b.nq = 0
+	b.frameOff = b.frameOff[:0]
+	b.searched = false
+	b.cands = b.cands[:0]
+	b.candLo = b.candLo[:0]
+	b.candHi = b.candHi[:0]
+	b.vals = b.vals[:0]
+	b.resps = b.resps[:0]
+	b.firstAt, b.sealedAt = time.Time{}, time.Time{}
+	b.taskNanos = [task.NumTasks]int64{}
+	b.taskUnits = [task.NumTasks]int64{}
+	b.gets, b.sets, b.dels, b.setErrs = 0, 0, 0, 0
+	b.keyBytes, b.valBytes, b.wireBytes = 0, 0, 0
+	b.parseNanos = 0
+}
+
+// prepare sizes the response arena once the batch is sealed (run by the
+// first stage worker, off the submitter's hot path). Reused entries are NOT
+// cleared: every valid op's response is fully assigned by exactly one stage
+// (runSets/runDeletes/runReads), and poisoned frames never deliver theirs —
+// which is why LiveFrame.Queries must only hold parser-validated ops.
+func (b *liveBatch) prepare() {
+	n := b.nq
+	if cap(b.resps) < n {
+		b.resps = make([]proto.Response, n)
+	} else {
+		b.resps = b.resps[:n]
+	}
+}
+
+func sizeI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// frameRange returns the half-open arena index range of frame fi.
+func (b *liveBatch) frameRange(fi int) (int, int) {
+	lo := int(b.frameOff[fi])
+	hi := b.nq
+	if fi+1 < len(b.frameOff) {
+		hi = int(b.frameOff[fi+1])
+	}
+	return lo, hi
+}
+
+// LiveRunner executes the real serving path as DIDO's batched, staged
+// pipeline: submitted frames accumulate into a pending batch; sealing stamps
+// the currently-installed (Config, size) pair into the batch; three stage
+// worker groups execute each batch's tasks under its own sealed config; and
+// at every batch boundary the ConfigProvider may install a new pair for
+// future batches — in-flight batches always complete under the scheme they
+// started with (§III-B1).
+//
+// Submit must not be called concurrently with or after Close.
+type LiveRunner struct {
+	store LiveStore
+	opts  LiveOptions
+	// wantProfile is false when the provider declared (via ProfileConsumer)
+	// that it never reads Batch.Profile; buildProfile is skipped then.
+	wantProfile bool
+
+	mu      sync.Mutex // guards pending, cfg, target, seq, closed
+	pending *liveBatch
+	cfg     Config
+	target  int
+	seq     uint64
+	closed  bool
+
+	provMu sync.Mutex // serializes provider calls across stage-3 workers
+	// LiveMetrics cache (under provMu): polling the store is O(index size)
+	// — a population scan — so buildProfile refreshes it at most every
+	// liveMetricsRefresh and reuses the cached values in between.
+	lastEvic         uint64 // cumulative eviction count at the last poll
+	metricsAt        time.Time
+	setsSinceMetrics int
+	cachedPop        uint64
+	cachedEvicRate   float64
+	cachedAvgIns     float64
+
+	ch        [3]chan *liveBatch
+	stageWG   [3]sync.WaitGroup
+	flushStop chan struct{}
+	flushDone chan struct{}
+	drained   chan struct{}
+	// stage1Busy counts stage-1 workers currently executing a batch; with
+	// ch[0] empty it tells Submit the pipeline is starving and the pending
+	// batch should seal now instead of waiting out the flush interval.
+	stage1Busy atomic.Int32
+
+	pool sync.Pool // *liveBatch
+
+	batches   stats.Counter
+	queries   stats.Counter
+	panics    stats.Counter
+	reconfigs stats.Counter
+	shedFull  stats.Counter
+
+	stageHist [3]*stats.Histogram             // per-batch stage wall time, µs
+	taskHist  [task.NumTasks]*stats.Histogram // per-unit task cost, ns
+}
+
+// NewLiveRunner starts a live runner over s: its stage workers and batch
+// flusher run from construction until Close.
+func NewLiveRunner(s LiveStore, opts LiveOptions) *LiveRunner {
+	if opts.Done == nil && opts.DoneBatch == nil {
+		panic("pipeline: one of LiveOptions.Done / DoneBatch is required")
+	}
+	if opts.BatchInterval <= 0 {
+		opts.BatchInterval = DefaultLiveBatchInterval
+	}
+	if opts.MaxPending <= 0 {
+		opts.MaxPending = DefaultLiveMaxPending
+	}
+	if opts.Provider == nil {
+		opts.Provider = &StaticProvider{
+			Config:   DefaultLiveConfig(),
+			Interval: opts.BatchInterval,
+			MinBatch: DefaultLiveMinBatch,
+			MaxBatch: DefaultLiveMaxBatch,
+		}
+	}
+	for i := range opts.Workers {
+		if opts.Workers[i] <= 0 {
+			opts.Workers[i] = 1
+		}
+	}
+	r := &LiveRunner{
+		store:       s,
+		opts:        opts,
+		wantProfile: true,
+		flushStop:   make(chan struct{}),
+		flushDone:   make(chan struct{}),
+		drained:     make(chan struct{}),
+	}
+	if pc, ok := opts.Provider.(ProfileConsumer); ok {
+		r.wantProfile = pc.WantsProfile()
+	}
+	r.cfg, r.target = opts.Provider.NextConfig(nil)
+	if r.target < 1 {
+		r.target = 1
+	}
+	r.pool.New = func() any { return &liveBatch{} }
+	for si := 0; si < 3; si++ {
+		r.ch[si] = make(chan *liveBatch, opts.MaxPending)
+		r.stageHist[si] = stats.NewHistogram(stats.LatencyBoundsMicros()...)
+		r.stageWG[si].Add(opts.Workers[si])
+		for w := 0; w < opts.Workers[si]; w++ {
+			go r.stageWorker(si)
+		}
+	}
+	for t := range r.taskHist {
+		r.taskHist[t] = stats.NewHistogram(stats.UnitCostBoundsNanos()...)
+	}
+	go r.flusher()
+	return r
+}
+
+// Submit hands a parsed frame to the pipeline. It reports false when the
+// runner is closed or saturated (every stage-1 slot already holds a sealed
+// batch); the caller sheds the frame upstream (StatusBusy), which keeps
+// admission latency bounded exactly like the per-frame path's token pool.
+func (r *LiveRunner) Submit(f *LiveFrame) bool {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	if r.pending == nil {
+		if len(r.ch[0]) == cap(r.ch[0]) {
+			r.mu.Unlock()
+			r.shedFull.Inc()
+			return false
+		}
+		b := r.pool.Get().(*liveBatch)
+		b.reset()
+		r.pending = b
+	}
+	b := r.pending
+	if len(b.frames) == 0 {
+		b.firstAt = time.Now()
+	}
+	b.frameOff = append(b.frameOff, int32(b.nq))
+	b.frames = append(b.frames, f)
+	b.nq += len(f.Queries)
+	b.parseNanos += f.ParseNanos
+	var sealed *liveBatch
+	// Seal at the size target — or immediately when stage 1 is starving
+	// (nothing queued, worker idle): batching only pays while the pipeline
+	// is busy, and making an idle stage wait for the flush tick would trade
+	// latency AND throughput for nothing (adaptive batching). The timer
+	// below remains the bound for frames that arrive while stage 1 is busy.
+	if b.nq >= r.target || (len(r.ch[0]) == 0 && r.stage1Busy.Load() == 0) {
+		sealed = r.sealLocked()
+	}
+	r.mu.Unlock()
+	if sealed != nil {
+		r.dispatch(sealed)
+	}
+	return true
+}
+
+// sealLocked stamps the pending batch with the installed config and removes
+// it from accumulation. The config travels with the batch from here on: a
+// reconfiguration at a later batch boundary never touches it.
+func (r *LiveRunner) sealLocked() *liveBatch {
+	b := r.pending
+	r.pending = nil
+	b.b.Seq = r.seq
+	r.seq++
+	b.b.Config = r.cfg
+	b.lastStage = lastLiveStage(r.cfg)
+	b.sealedAt = time.Now()
+	return b
+}
+
+// lastLiveStage returns the last stage cfg maps any executable task onto.
+// Later stages would be pure pass-through — two channel handoffs and two
+// goroutine wakeups for nothing — so the runner completes the batch at this
+// stage instead. SD (frame delivery) runs in complete wherever that is.
+func lastLiveStage(c Config) Stage {
+	if c.GPUDepth == 0 {
+		return StageCPUPre // single CPU stage runs everything
+	}
+	if c.GPUDepth >= MaxGPUDepth {
+		return StageGPU // WR moved to the GPU: CPU-post would be empty
+	}
+	return StageCPUPost
+}
+
+// dispatch may block when stage 1's queue is momentarily full; total work is
+// bounded by the server's admission tokens, and Submit refuses to open a new
+// batch while the queue is full, so the wait is short and deadlock-free
+// (stage workers never call back into Submit).
+func (r *LiveRunner) dispatch(b *liveBatch) { r.ch[0] <- b }
+
+// trySealIdle seals the pending batch when stage 1 has gone idle (nothing
+// queued, no worker executing). Called by stage-1 workers after handing off a
+// batch: frames that arrived while the stage was busy start immediately
+// instead of waiting for the next Submit or flush tick.
+func (r *LiveRunner) trySealIdle() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.pending == nil || len(r.pending.frames) == 0 ||
+		len(r.ch[0]) != 0 || r.stage1Busy.Load() != 0 {
+		return
+	}
+	sealed := r.sealLocked()
+	select {
+	case r.ch[0] <- sealed:
+	default:
+		// Lost the queue slot to a concurrent dispatch (Submit or the
+		// flusher, which send outside the lock). Revert the seal — stage 1
+		// has work again, so the batch can keep accumulating.
+		r.seq--
+		r.pending = sealed
+	}
+}
+
+// flusher seals partially-filled batches on a BatchInterval cadence, so a
+// trickle of traffic is never parked waiting for a full batch.
+func (r *LiveRunner) flusher() {
+	defer close(r.flushDone)
+	t := time.NewTicker(r.opts.BatchInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.flushStop:
+			return
+		case <-t.C:
+			r.mu.Lock()
+			var sealed *liveBatch
+			if !r.closed && r.pending != nil && len(r.pending.frames) > 0 {
+				sealed = r.sealLocked()
+			}
+			r.mu.Unlock()
+			if sealed != nil {
+				r.dispatch(sealed)
+			}
+		}
+	}
+}
+
+func (r *LiveRunner) stageWorker(si int) {
+	defer r.stageWG[si].Done()
+	for b := range r.ch[si] {
+		if si == 0 {
+			r.stage1Busy.Add(1)
+		}
+		start := time.Now()
+		r.runStage(b, Stage(si))
+		d := time.Since(start)
+		b.b.Times.Dur[si] = d
+		if d > b.b.Times.Tmax {
+			b.b.Times.Tmax = d
+		}
+		r.stageHist[si].Observe(float64(d) / float64(time.Microsecond))
+		if si < 2 && Stage(si) < b.lastStage {
+			r.ch[si+1] <- b
+		} else {
+			r.complete(b)
+		}
+		if si == 0 {
+			r.stage1Busy.Add(-1)
+			// The batch just left stage 1; if that starved the stage,
+			// promote whatever accumulated meanwhile instead of letting it
+			// wait out the flush tick with an idle worker.
+			r.trySealIdle()
+		}
+	}
+}
+
+// runStage executes the tasks b's sealed config maps onto stage s, in
+// pipeline order: Search, then index writes, then the fused KC+RD, then WR.
+// The config invariants guarantee a batch's index writes execute before its
+// reads and its searches no later than its reads, so within one batch a GET
+// observes the batch's SETs (stale candidates fall back to the authoritative
+// lookup) — see DESIGN.md §5.10 for the intra-batch ordering contract.
+func (r *LiveRunner) runStage(b *liveBatch, s Stage) {
+	cfg := b.b.Config
+	if s == StageCPUPre {
+		b.prepare()
+		// RV/PP already happened at the submitter; book their measured cost.
+		b.taskNanos[task.RV] += b.parseNanos
+		b.taskUnits[task.RV] += int64(b.nq)
+	}
+	// When the config puts IN(Search) and KC on the same stage the separate
+	// candidate collection would walk the index twice per GET for nothing:
+	// skip it and let ReadCandidates' authoritative path resolve each key in
+	// one pass (the fused-read counterpart of the KC+RD fusion).
+	if cfg.StageOf(task.INSearch) == s && cfg.StageOf(task.KC) != s {
+		r.runSearch(b)
+	}
+	insHere := cfg.StageOf(task.INInsert) == s
+	delHere := cfg.StageOf(task.INDelete) == s
+	switch {
+	case insHere && delHere:
+		// Both write kinds on one stage (the common case): one fused pass
+		// over the queries instead of two.
+		r.runWrites(b)
+	case insHere:
+		r.runSets(b)
+	case delHere:
+		r.runDeletes(b)
+	}
+	if cfg.StageOf(task.KC) == s {
+		r.runReads(b)
+	}
+	if cfg.StageOf(task.WR) == s {
+		r.runRespond(b)
+	}
+}
+
+// eachFrame applies fn to every healthy frame, containing panics per frame:
+// a panicking frame is marked Err and skipped by later stages, so one
+// poisoned query cannot take down its batchmates — the same blast radius as
+// the per-frame path, just reached through the staged executor.
+func (r *LiveRunner) eachFrame(b *liveBatch, fn func(fi int, f *LiveFrame)) {
+	for fi, f := range b.frames {
+		if f.Err {
+			continue
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					f.Err = true
+					r.panics.Inc()
+				}
+			}()
+			fn(fi, f)
+		}()
+	}
+}
+
+// taskStart returns the start time for a per-task cost measurement, or the
+// zero time when no provider consumes profiles — the clock reads and per-task
+// bookkeeping are pure overhead then.
+func (r *LiveRunner) taskStart() time.Time {
+	if r.wantProfile {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// taskDone books a task's unit count and (when measuring) its elapsed cost.
+func (b *liveBatch) taskDone(id task.ID, start time.Time, units int) {
+	b.taskUnits[id] += int64(units)
+	if !start.IsZero() {
+		b.taskNanos[id] += time.Since(start).Nanoseconds()
+	}
+}
+
+// runSearch performs IN(Search) for every GET, collecting candidate
+// locations into the batch's shared arena.
+func (r *LiveRunner) runSearch(b *liveBatch) {
+	start := r.taskStart()
+	b.searched = true
+	b.candLo = sizeI32(b.candLo, b.nq)
+	b.candHi = sizeI32(b.candHi, b.nq)
+	units := 0
+	r.eachFrame(b, func(fi int, f *LiveFrame) {
+		lo := int(b.frameOff[fi])
+		for i := range f.Queries {
+			if f.Queries[i].Op != proto.OpGet {
+				continue
+			}
+			m := int32(len(b.cands))
+			b.cands = r.store.Search(f.Queries[i].Key, b.cands)
+			b.candLo[lo+i], b.candHi[lo+i] = m, int32(len(b.cands))
+			units++
+		}
+	})
+	b.taskDone(task.INSearch, start, units)
+}
+
+// runSets performs the composite write (MM + IN.Insert + IN.Delete) for
+// every SET in the batch.
+// runWrites performs both write kinds (SET's composite MM + IN.Insert, and
+// IN.Delete) in a single pass — the fusion of runSets and runDeletes used
+// when the config maps both onto the same stage. Measured pass time is split
+// between the two tasks by unit count.
+func (r *LiveRunner) runWrites(b *liveBatch) {
+	start := r.taskStart()
+	sets, dels := 0, 0
+	r.eachFrame(b, func(fi int, f *LiveFrame) {
+		lo := int(b.frameOff[fi])
+		for i := range f.Queries {
+			q := &f.Queries[i]
+			switch q.Op {
+			case proto.OpSet:
+				sets++
+				b.keyBytes += len(q.Key)
+				b.valBytes += len(q.Value)
+				if r.wantProfile {
+					b.wireBytes += proto.EncodedQueryLen(*q)
+				}
+				if err := r.store.Set(q.Key, q.Value); err != nil {
+					b.resps[lo+i] = proto.Response{Status: proto.StatusError}
+					b.setErrs++
+				} else {
+					b.resps[lo+i] = proto.Response{Status: proto.StatusOK}
+				}
+			case proto.OpDelete:
+				dels++
+				b.keyBytes += len(q.Key)
+				if r.wantProfile {
+					b.wireBytes += proto.EncodedQueryLen(*q)
+				}
+				if r.store.Delete(q.Key) {
+					b.resps[lo+i] = proto.Response{Status: proto.StatusOK}
+				} else {
+					b.resps[lo+i] = proto.Response{Status: proto.StatusNotFound}
+				}
+			}
+		}
+	})
+	b.sets += sets
+	b.dels += dels
+	if !start.IsZero() && sets+dels > 0 {
+		nanos := time.Since(start).Nanoseconds()
+		b.taskNanos[task.INInsert] += nanos * int64(sets) / int64(sets+dels)
+		b.taskNanos[task.INDelete] += nanos * int64(dels) / int64(sets+dels)
+	}
+	b.taskUnits[task.INInsert] += int64(sets)
+	b.taskUnits[task.INDelete] += int64(dels)
+}
+
+func (r *LiveRunner) runSets(b *liveBatch) {
+	start := r.taskStart()
+	units := 0
+	r.eachFrame(b, func(fi int, f *LiveFrame) {
+		lo := int(b.frameOff[fi])
+		for i := range f.Queries {
+			q := &f.Queries[i]
+			if q.Op != proto.OpSet {
+				continue
+			}
+			units++
+			b.keyBytes += len(q.Key)
+			b.valBytes += len(q.Value)
+			if r.wantProfile {
+				b.wireBytes += proto.EncodedQueryLen(*q)
+			}
+			if err := r.store.Set(q.Key, q.Value); err != nil {
+				b.resps[lo+i] = proto.Response{Status: proto.StatusError}
+				b.setErrs++
+			} else {
+				b.resps[lo+i] = proto.Response{Status: proto.StatusOK}
+			}
+		}
+	})
+	b.sets += units
+	b.taskDone(task.INInsert, start, units)
+}
+
+// runDeletes performs IN(Delete) for every DELETE in the batch.
+func (r *LiveRunner) runDeletes(b *liveBatch) {
+	start := r.taskStart()
+	units := 0
+	r.eachFrame(b, func(fi int, f *LiveFrame) {
+		lo := int(b.frameOff[fi])
+		for i := range f.Queries {
+			q := &f.Queries[i]
+			if q.Op != proto.OpDelete {
+				continue
+			}
+			units++
+			b.keyBytes += len(q.Key)
+			if r.wantProfile {
+				b.wireBytes += proto.EncodedQueryLen(*q)
+			}
+			if r.store.Delete(q.Key) {
+				b.resps[lo+i] = proto.Response{Status: proto.StatusOK}
+			} else {
+				b.resps[lo+i] = proto.Response{Status: proto.StatusNotFound}
+			}
+		}
+	})
+	b.dels += units
+	b.taskDone(task.INDelete, start, units)
+}
+
+// runReads performs the fused KC+RD for every GET, appending values into the
+// batch's arena. Growing the arena keeps earlier backing arrays alive, so
+// responses already built remain valid for the batch's lifetime.
+func (r *LiveRunner) runReads(b *liveBatch) {
+	start := r.taskStart()
+	units := 0
+	r.eachFrame(b, func(fi int, f *LiveFrame) {
+		lo := int(b.frameOff[fi])
+		for i := range f.Queries {
+			q := &f.Queries[i]
+			if q.Op != proto.OpGet {
+				continue
+			}
+			units++
+			b.keyBytes += len(q.Key)
+			if r.wantProfile {
+				b.wireBytes += proto.EncodedQueryLen(*q)
+			}
+			var cands []cuckoo.Location
+			if b.searched {
+				cands = b.cands[b.candLo[lo+i]:b.candHi[lo+i]]
+			}
+			mark := len(b.vals)
+			if out, ok := r.store.ReadCandidates(q.Key, cands, b.vals); ok {
+				b.vals = out
+				v := b.vals[mark:len(b.vals):len(b.vals)]
+				b.resps[lo+i] = proto.Response{Status: proto.StatusOK, Value: v}
+				b.valBytes += len(v)
+				b.b.Hits++
+			} else {
+				b.resps[lo+i] = proto.Response{Status: proto.StatusNotFound}
+				b.b.Misses++
+			}
+		}
+	})
+	b.gets += units
+	b.taskDone(task.KC, start, units)
+}
+
+// runRespond is WR: partition the response arena back to the frames.
+func (r *LiveRunner) runRespond(b *liveBatch) {
+	start := r.taskStart()
+	r.eachFrame(b, func(fi int, f *LiveFrame) {
+		lo, hi := b.frameRange(fi)
+		f.Resps = b.resps[lo:hi:hi]
+	})
+	b.taskDone(task.WR, start, b.nq)
+}
+
+// complete delivers b's frames (the SD task), measures the batch profile,
+// consults the provider, installs the returned (config, size) pair for
+// future seals, and recycles the batch.
+func (r *LiveRunner) complete(b *liveBatch) {
+	sdStart := r.taskStart()
+	if r.opts.DoneBatch != nil {
+		r.opts.DoneBatch(b.frames)
+	} else {
+		for _, f := range b.frames {
+			r.opts.Done(f)
+		}
+	}
+	b.taskDone(task.SD, sdStart, len(b.frames))
+
+	r.batches.Inc()
+	r.queries.Add(uint64(b.nq))
+	if r.wantProfile {
+		for id := 0; id < task.NumTasks; id++ {
+			if b.taskUnits[id] > 0 {
+				r.taskHist[id].Observe(float64(b.taskNanos[id]) / float64(b.taskUnits[id]))
+			}
+		}
+	}
+
+	// The provider is consulted one batch at a time (it keeps state), and
+	// the installed pair takes effect at the next seal — never on batches
+	// already in flight.
+	r.provMu.Lock()
+	if r.wantProfile {
+		r.buildProfile(b)
+	}
+	cfg, n := r.opts.Provider.NextConfig(&b.b)
+	r.provMu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	r.mu.Lock()
+	if cfg != r.cfg {
+		r.reconfigs.Inc()
+	}
+	r.cfg, r.target = cfg, n
+	r.mu.Unlock()
+
+	if r.opts.OnBatchDone != nil {
+		r.opts.OnBatchDone(&b.b)
+	}
+	for i := range b.frames {
+		b.frames[i] = nil
+	}
+	r.pool.Put(b)
+}
+
+// buildProfile fills b.b.Profile with the workload characteristics measured
+// while executing the batch — the live analogue of the simulated executor's
+// runSemantics, feeding the same planner. Caller holds provMu (the eviction
+// delta is stateful).
+func (r *LiveRunner) buildProfile(b *liveBatch) {
+	n := b.nq
+	p := task.Profile{N: n, SearchProbes: cuckoo.SearchProbesTheoretical(2)}
+	if n > 0 {
+		p.GetRatio = float64(b.gets) / float64(n)
+	}
+	if ops := b.gets + b.sets + b.dels; ops > 0 {
+		p.KeySize = float64(b.keyBytes) / float64(ops)
+	}
+	if reads := b.b.Hits + b.sets; reads > 0 {
+		p.ValueSize = float64(b.valBytes) / float64(reads)
+	}
+	// wireBytes was accumulated by the op loops (the queries live in frames
+	// already recycled by the SD delivery above, so it cannot be recomputed
+	// here); it covers only ops the stages visited, which is every query of
+	// every healthy frame.
+	if ops := b.gets + b.sets + b.dels; ops > 0 {
+		p.WireQueryBytes = float64(b.wireBytes) / float64(ops)
+	}
+	if b.taskUnits[task.RV] > 0 {
+		p.RVUnitNanos = float64(b.taskNanos[task.RV]) / float64(b.taskUnits[task.RV])
+	}
+	if b.taskUnits[task.SD] > 0 && n > 0 {
+		p.SDUnitNanos = float64(b.taskNanos[task.SD]) / float64(n)
+	}
+	if m, ok := r.store.(LiveStoreMetrics); ok {
+		r.setsSinceMetrics += b.sets
+		if r.metricsAt.IsZero() || time.Since(r.metricsAt) >= liveMetricsRefresh {
+			live, evic, avgIns := m.LiveMetrics()
+			r.cachedPop = live
+			r.cachedAvgIns = avgIns
+			if r.setsSinceMetrics > 0 && evic >= r.lastEvic {
+				r.cachedEvicRate = float64(evic-r.lastEvic) / float64(r.setsSinceMetrics)
+				if r.cachedEvicRate > 1 {
+					r.cachedEvicRate = 1
+				}
+			}
+			r.lastEvic = evic
+			r.setsSinceMetrics = 0
+			r.metricsAt = time.Now()
+		}
+		p.Population = r.cachedPop
+		p.AvgInsertBuckets = r.cachedAvgIns
+		p.EvictionRate = r.cachedEvicRate
+	}
+	if p.AvgInsertBuckets == 0 {
+		p.AvgInsertBuckets = 2 // analytic floor before any insert was measured
+	}
+	b.b.Profile = p
+}
+
+// Close seals whatever is pending, drains every in-flight batch through the
+// stages (their frames are still delivered), and stops the workers. It must
+// not race Submit: the server stops admitting and drains its frames first.
+func (r *LiveRunner) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		<-r.drained
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.flushStop)
+	<-r.flushDone
+	r.mu.Lock()
+	var sealed *liveBatch
+	if r.pending != nil {
+		if len(r.pending.frames) > 0 {
+			sealed = r.sealLocked()
+		} else {
+			r.pool.Put(r.pending)
+			r.pending = nil
+		}
+	}
+	r.mu.Unlock()
+	if sealed != nil {
+		r.dispatch(sealed)
+	}
+	for si := 0; si < 3; si++ {
+		close(r.ch[si])
+		r.stageWG[si].Wait()
+	}
+	close(r.drained)
+}
+
+// LiveStats is a snapshot of the live runner's counters. Fields are each
+// individually monotonic, not a consistent cut.
+type LiveStats struct {
+	// Batches and Queries count completed batches and the queries in them.
+	Batches, Queries uint64
+	// Panics counts frames poisoned inside a stage (contained per frame).
+	Panics uint64
+	// Reconfigs counts batch boundaries that installed a different config.
+	Reconfigs uint64
+	// SubmitShed counts frames rejected because every stage-1 slot was full.
+	SubmitShed uint64
+	// Config and Target are the currently installed config and batch size.
+	Config Config
+	Target int
+}
+
+// Stats returns current counters.
+func (r *LiveRunner) Stats() LiveStats {
+	r.mu.Lock()
+	cfg, target := r.cfg, r.target
+	r.mu.Unlock()
+	return LiveStats{
+		Batches:    r.batches.Load(),
+		Queries:    r.queries.Load(),
+		Panics:     r.panics.Load(),
+		Reconfigs:  r.reconfigs.Load(),
+		SubmitShed: r.shedFull.Load(),
+		Config:     cfg,
+		Target:     target,
+	}
+}
+
+// WantsProfile reports whether the runner's provider consumes measured
+// profiles; submitters may skip timing RV/PP (LiveFrame.ParseNanos) when it
+// does not — two clock reads per frame nobody will read.
+func (r *LiveRunner) WantsProfile() bool { return r.wantProfile }
+
+// CurrentConfig returns the config that will be stamped into the next seal.
+func (r *LiveRunner) CurrentConfig() Config {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cfg
+}
+
+// StageQuantiles returns, per stage, the given quantiles of per-batch wall
+// time in microseconds (each stage's values from one consistent snapshot).
+func (r *LiveRunner) StageQuantiles(qs ...float64) [3][]float64 {
+	var out [3][]float64
+	for si := 0; si < 3; si++ {
+		out[si] = r.stageHist[si].Quantiles(qs...)
+	}
+	return out
+}
+
+// StageHistogram exposes the per-batch wall-time histogram of stage s (µs).
+func (r *LiveRunner) StageHistogram(s Stage) *stats.Histogram { return r.stageHist[s] }
+
+// TaskHistogram exposes the measured per-unit cost histogram of task id (ns
+// per query for IN/KC/WR, ns per frame for SD).
+func (r *LiveRunner) TaskHistogram(id task.ID) *stats.Histogram { return r.taskHist[id] }

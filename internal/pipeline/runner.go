@@ -22,6 +22,12 @@ type ConfigProvider interface {
 	NextConfig(prev *Batch) (Config, int)
 }
 
+// ProfileConsumer is an optional ConfigProvider extension: a provider that
+// returns false from WantsProfile never reads Batch.Profile, which lets the
+// live runner skip the per-batch workload measurement (including the
+// O(index-size) population poll) entirely.
+type ProfileConsumer interface{ WantsProfile() bool }
+
 // StaticProvider always returns the same config and uses a feedback batch
 // sizer targeting the scheduling interval (the periodic scheduling of
 // Mega-KV: the batch grows until the bottleneck stage fills the interval).
@@ -31,36 +37,21 @@ type StaticProvider struct {
 	// MinBatch/MaxBatch clamp the controller.
 	MinBatch, MaxBatch int
 
-	cur int
+	sizer *BatchSizer
 }
 
-// NextConfig implements ConfigProvider with multiplicative feedback.
+// NextConfig implements ConfigProvider, delegating sizing to the shared
+// BatchSizer (multiplicative feedback toward the interval).
 func (p *StaticProvider) NextConfig(prev *Batch) (Config, int) {
-	if p.cur == 0 {
-		p.cur = p.MinBatch
-		if p.cur == 0 {
-			p.cur = 1024
-		}
+	if p.sizer == nil {
+		p.sizer = &BatchSizer{Interval: p.Interval, Min: p.MinBatch, Max: p.MaxBatch}
 	}
-	if prev != nil && prev.Times.Tmax > 0 {
-		ratio := float64(p.Interval) / float64(prev.Times.Tmax)
-		// Dampen to avoid oscillation.
-		if ratio > 2 {
-			ratio = 2
-		}
-		if ratio < 0.5 {
-			ratio = 0.5
-		}
-		p.cur = int(float64(p.cur) * ratio)
-	}
-	if p.MinBatch > 0 && p.cur < p.MinBatch {
-		p.cur = p.MinBatch
-	}
-	if p.MaxBatch > 0 && p.cur > p.MaxBatch {
-		p.cur = p.MaxBatch
-	}
-	return p.Config, p.cur
+	return p.Config, p.sizer.Observe(prev)
 }
+
+// WantsProfile reports that the static provider only reads batch timings
+// (for the sizer), never the measured workload profile.
+func (p *StaticProvider) WantsProfile() bool { return false }
 
 // TracePoint is one sample of the throughput trace (Fig 20).
 type TracePoint struct {

@@ -1,0 +1,74 @@
+package pipeline
+
+import "time"
+
+// BatchSizer is the multiplicative-feedback batch-size controller shared by
+// the simulated runner (StaticProvider — Mega-KV's periodic scheduling) and
+// the live serving pipeline: the batch grows until the bottleneck stage fills
+// the scheduling interval (Tmax ≈ Interval), with the per-step growth ratio
+// dampened to avoid oscillation and the result clamped to [Min, Max].
+//
+// BatchSizer is not safe for concurrent use; callers serialize it (the live
+// runner consults its provider under a mutex).
+type BatchSizer struct {
+	// Interval is the target for the bottleneck stage time Tmax.
+	Interval time.Duration
+	// Min and Max clamp the size (0 disables the respective bound). A zero
+	// Min leaves the initial size at DefaultInitialBatch.
+	Min, Max int
+
+	cur int
+}
+
+// DefaultInitialBatch seeds the controller when Min is unset.
+const DefaultInitialBatch = 1024
+
+// Current returns the size the controller currently recommends, initializing
+// it on first use.
+func (z *BatchSizer) Current() int {
+	if z.cur == 0 {
+		z.cur = z.Min
+		if z.cur == 0 {
+			z.cur = DefaultInitialBatch
+		}
+		z.cur = z.clamp(z.cur)
+	}
+	return z.cur
+}
+
+// Set overrides the current size (a planner solved for one); it is clamped.
+func (z *BatchSizer) Set(n int) {
+	if n <= 0 {
+		return
+	}
+	z.cur = z.clamp(n)
+}
+
+// Observe feeds back the previously executed batch and returns the next
+// size: the current size scaled by Interval/Tmax, dampened to [0.5, 2] per
+// step so one noisy batch cannot swing the size wildly.
+func (z *BatchSizer) Observe(prev *Batch) int {
+	cur := z.Current()
+	if prev != nil && prev.Times.Tmax > 0 && z.Interval > 0 {
+		ratio := float64(z.Interval) / float64(prev.Times.Tmax)
+		if ratio > 2 {
+			ratio = 2
+		}
+		if ratio < 0.5 {
+			ratio = 0.5
+		}
+		cur = z.clamp(int(float64(cur) * ratio))
+		z.cur = cur
+	}
+	return cur
+}
+
+func (z *BatchSizer) clamp(n int) int {
+	if z.Min > 0 && n < z.Min {
+		n = z.Min
+	}
+	if z.Max > 0 && n > z.Max {
+		n = z.Max
+	}
+	return n
+}

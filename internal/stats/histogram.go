@@ -49,6 +49,17 @@ func LatencyBoundsMicros() []float64 {
 	return b
 }
 
+// UnitCostBoundsNanos returns a bucket layout for nanosecond-scale per-unit
+// costs (1 ns .. ~4 ms, roughly ×2 per bucket) — the range measured per-task
+// unit costs live in on the live serving pipeline.
+func UnitCostBoundsNanos() []float64 {
+	var b []float64
+	for v := 1.0; v <= 4_194_304; v *= 2 {
+		b = append(b, v)
+	}
+	return b
+}
+
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
@@ -108,6 +119,22 @@ func (h *Histogram) Max() float64 {
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+// Quantiles estimates several quantiles under one lock, so all values
+// describe the same sample set even while other goroutines keep observing.
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, q := range qs {
+		out[i] = h.quantileLocked(q)
+	}
+	return out
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
 	if h.n == 0 {
 		return 0
 	}

@@ -1,0 +1,91 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/cuckoo"
+)
+
+func TestReadCandidatesHit(t *testing.T) {
+	s := newTestStore()
+	if _, _, err := s.Set([]byte("alpha"), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	cands := s.IndexSearch([]byte("alpha"), nil)
+	if len(cands) == 0 {
+		t.Fatal("IndexSearch found no candidates for a present key")
+	}
+	out, ok := s.ReadCandidates([]byte("alpha"), cands, nil)
+	if !ok || string(out) != "one" {
+		t.Fatalf("ReadCandidates = %q/%v, want one/true", out, ok)
+	}
+	// Appends to dst like GetInto.
+	out2, ok := s.ReadCandidates([]byte("alpha"), cands, []byte("x"))
+	if !ok || string(out2) != "xone" {
+		t.Fatalf("ReadCandidates append = %q/%v, want xone/true", out2, ok)
+	}
+}
+
+func TestReadCandidatesStaleFallsBack(t *testing.T) {
+	s := newTestStore()
+	if _, _, err := s.Set([]byte("alpha"), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	stale := s.IndexSearch([]byte("alpha"), nil)
+	// Overwrite (retires the old slab handle) after the search collected its
+	// candidates — the pipelined window a concurrent SET can land in.
+	if _, _, err := s.Set([]byte("alpha"), []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	out, ok := s.ReadCandidates([]byte("alpha"), stale, nil)
+	if !ok || string(out) != "two" {
+		t.Fatalf("ReadCandidates with stale cands = %q/%v, want authoritative two/true", out, ok)
+	}
+}
+
+func TestReadCandidatesEmptyFallsBack(t *testing.T) {
+	s := newTestStore()
+	if _, _, err := s.Set([]byte("alpha"), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	// No candidates at all (a same-batch insert the search ran before):
+	// must still resolve via the authoritative read, not report a miss.
+	out, ok := s.ReadCandidates([]byte("alpha"), nil, nil)
+	if !ok || string(out) != "one" {
+		t.Fatalf("ReadCandidates(nil cands) = %q/%v, want one/true", out, ok)
+	}
+}
+
+func TestReadCandidatesMiss(t *testing.T) {
+	s := newTestStore()
+	if _, _, err := s.Set([]byte("alpha"), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	// A deleted key with its (now stale) candidates must miss, and the dst
+	// prefix must come back untouched.
+	cands := s.IndexSearch([]byte("alpha"), nil)
+	s.Delete([]byte("alpha"))
+	out, ok := s.ReadCandidates([]byte("alpha"), cands, []byte("pfx"))
+	if ok || string(out) != "pfx" {
+		t.Fatalf("ReadCandidates after delete = %q/%v, want pfx/false", out, ok)
+	}
+}
+
+func TestReadCandidatesForeignShardSkipped(t *testing.T) {
+	s := New(Config{MemoryBytes: 8 << 20, IndexEntries: 4096, Seed: 3, Shards: 4})
+	if _, _, err := s.Set([]byte("alpha"), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Set([]byte("beta"), []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	// Hand alpha's read the candidates of a key from (likely) another shard
+	// mixed with garbage: only same-shard candidates may be considered, and
+	// the verified fallback still resolves the right value.
+	wrong := s.IndexSearch([]byte("beta"), nil)
+	wrong = append(wrong, cuckoo.Location(0))
+	out, ok := s.ReadCandidates([]byte("alpha"), wrong, nil)
+	if !ok || string(out) != "one" {
+		t.Fatalf("ReadCandidates with foreign cands = %q/%v, want one/true", out, ok)
+	}
+}

@@ -210,6 +210,14 @@ func (s *Store) Get(key []byte) ([]byte, bool) {
 func (s *Store) GetInto(key, dst []byte) ([]byte, bool) {
 	s.gets.Inc()
 	_, sh, hv := s.shardFor(key)
+	return s.readVerified(sh, hv, key, dst)
+}
+
+// readVerified is the version-validated search+read loop shared by GetInto
+// and the staged read path's fallback (ReadCandidates): search the shard's
+// index, verify-and-copy candidates under the slab seqlock, and reprobe when
+// an index mutation raced the probe. It maintains the hit/miss counters.
+func (s *Store) readVerified(sh *shard, hv uint64, key, dst []byte) ([]byte, bool) {
 	for attempt := 0; ; attempt++ {
 		v1 := sh.idx.Version()
 		var buf [cuckoo.MaxCandidates]cuckoo.Location

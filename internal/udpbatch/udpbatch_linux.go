@@ -1,0 +1,256 @@
+//go:build linux && (amd64 || arm64)
+
+package udpbatch
+
+import (
+	"net"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// mmsghdr mirrors the kernel's struct mmsghdr (msghdr + sent-length out
+// parameter, padded to 8 bytes).
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// sendChunk bounds one sendmmsg call; the kernel caps vlen at UIO_MAXIOV
+// (1024) anyway, and smaller chunks keep the staging arrays modest.
+const sendChunk = 128
+
+// sysSendmmsg is the sendmmsg syscall number (absent from the stdlib syscall
+// tables on linux/amd64, hence spelled out per architecture here).
+var sysSendmmsg = func() uintptr {
+	if runtime.GOARCH == "arm64" {
+		return 269
+	}
+	return 307 // amd64
+}()
+
+type sendScratch struct {
+	rc   syscall.RawConn
+	hdrs []mmsghdr
+	iovs []syscall.Iovec
+	sa4  []syscall.RawSockaddrInet4
+	sa6  []syscall.RawSockaddrInet6
+}
+
+func (sc *sendScratch) init(uc *net.UDPConn) bool {
+	rc, err := uc.SyscallConn()
+	if err != nil {
+		return false
+	}
+	sc.rc = rc
+	sc.hdrs = make([]mmsghdr, sendChunk)
+	sc.iovs = make([]syscall.Iovec, sendChunk)
+	sc.sa4 = make([]syscall.RawSockaddrInet4, sendChunk)
+	sc.sa6 = make([]syscall.RawSockaddrInet6, sendChunk)
+	return true
+}
+
+// send transmits msgs via sendmmsg in chunks and returns the messages it
+// could not handle (unconvertible address, or everything left after a hard
+// syscall error); the caller falls back to WriteTo for those.
+func (sc *sendScratch) send(msgs []Message) []Message {
+	var rest []Message
+	for len(msgs) > 0 {
+		// Stage up to one chunk.
+		n := 0
+		for n < sendChunk && len(msgs) > 0 {
+			m := &msgs[0]
+			msgs = msgs[1:]
+			ua, ok := m.Addr.(*net.UDPAddr)
+			if !ok || len(m.Buf) == 0 {
+				rest = append(rest, *m)
+				continue
+			}
+			ap := ua.AddrPort()
+			addr := ap.Addr()
+			h := &sc.hdrs[n]
+			h.hdr = syscall.Msghdr{}
+			h.n = 0
+			iov := &sc.iovs[n]
+			iov.Base = &m.Buf[0]
+			iov.SetLen(len(m.Buf))
+			h.hdr.Iov = iov
+			h.hdr.Iovlen = 1
+			port := ap.Port()
+			switch {
+			case addr.Is4() || addr.Is4In6():
+				sa := &sc.sa4[n]
+				sa.Family = syscall.AF_INET
+				sa.Port = port<<8 | port>>8 // network byte order
+				sa.Addr = addr.Unmap().As4()
+				h.hdr.Name = (*byte)(unsafe.Pointer(sa))
+				h.hdr.Namelen = syscall.SizeofSockaddrInet4
+			default:
+				sa := &sc.sa6[n]
+				sa.Family = syscall.AF_INET6
+				sa.Port = port<<8 | port>>8
+				sa.Addr = addr.As16()
+				sa.Scope_id = 0
+				h.hdr.Name = (*byte)(unsafe.Pointer(sa))
+				h.hdr.Namelen = syscall.SizeofSockaddrInet6
+			}
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		sent := 0
+		hardErr := false
+		err := sc.rc.Write(func(fd uintptr) bool {
+			for sent < n {
+				r, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+					uintptr(unsafe.Pointer(&sc.hdrs[sent])), uintptr(n-sent), 0, 0, 0)
+				switch errno {
+				case 0:
+					sent += int(r)
+				case syscall.EINTR:
+					// retry
+				case syscall.EAGAIN:
+					return false // wait for writability, then be called again
+				default:
+					hardErr = true
+					return true
+				}
+			}
+			return true
+		})
+		if err != nil || hardErr {
+			// Datagrams already handed to the kernel are gone either way;
+			// everything not yet sent goes to the portable path.
+			for i := sent; i < n; i++ {
+				rest = append(rest, iovMessage(&sc.hdrs[i], sc))
+			}
+			rest = append(rest, msgs...)
+			runtime.KeepAlive(msgs)
+			return rest
+		}
+	}
+	runtime.KeepAlive(msgs)
+	return rest
+}
+
+// recvChunk bounds one recvmmsg call. The reader drains whatever the socket
+// holds; sixteen frames per crossing already amortizes the syscall well past
+// the batch sizes the pipeline sees.
+const recvChunk = 16
+
+// sysRecvmmsg is the recvmmsg syscall number (spelled out per architecture
+// for the same reason as sysSendmmsg).
+var sysRecvmmsg = func() uintptr {
+	if runtime.GOARCH == "arm64" {
+		return 243
+	}
+	return 299 // amd64
+}()
+
+type recvScratch struct {
+	rc    syscall.RawConn
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	names []syscall.RawSockaddrInet6 // large enough for v4 and v6 sources
+}
+
+func (sc *recvScratch) init(uc *net.UDPConn) bool {
+	rc, err := uc.SyscallConn()
+	if err != nil {
+		return false
+	}
+	sc.rc = rc
+	sc.hdrs = make([]mmsghdr, recvChunk)
+	sc.iovs = make([]syscall.Iovec, recvChunk)
+	sc.names = make([]syscall.RawSockaddrInet6, recvChunk)
+	return true
+}
+
+// recv blocks until the socket is readable (rc.Read honors the conn's read
+// deadline), then takes up to len(bufs) datagrams in one recvmmsg call. The
+// socket is non-blocking, so the kernel returns as soon as the queue is
+// empty rather than waiting to fill the whole vector.
+func (sc *recvScratch) recv(bufs [][]byte, addrs []net.Addr, sizes []int) (int, error) {
+	n := len(bufs)
+	if n > recvChunk {
+		n = recvChunk
+	}
+	for i := 0; i < n; i++ {
+		iov := &sc.iovs[i]
+		iov.Base = &bufs[i][0]
+		iov.SetLen(len(bufs[i]))
+		h := &sc.hdrs[i]
+		h.hdr = syscall.Msghdr{}
+		h.n = 0
+		h.hdr.Iov = iov
+		h.hdr.Iovlen = 1
+		h.hdr.Name = (*byte)(unsafe.Pointer(&sc.names[i]))
+		h.hdr.Namelen = syscall.SizeofSockaddrInet6
+	}
+	got := 0
+	var hardErr error
+	err := sc.rc.Read(func(fd uintptr) bool {
+		for {
+			r, _, errno := syscall.Syscall6(sysRecvmmsg, fd,
+				uintptr(unsafe.Pointer(&sc.hdrs[0])), uintptr(n), 0, 0, 0)
+			switch errno {
+			case 0:
+				got = int(r)
+				return true
+			case syscall.EINTR:
+				// retry
+			case syscall.EAGAIN:
+				return false // wait for readability, then be called again
+			default:
+				hardErr = errno
+				return true
+			}
+		}
+	})
+	if err != nil {
+		return 0, err // includes deadline expiry on the conn
+	}
+	if hardErr != nil {
+		return 0, hardErr
+	}
+	for i := 0; i < got; i++ {
+		sizes[i] = int(sc.hdrs[i].n)
+		addrs[i] = sourceAddr(&sc.names[i])
+	}
+	runtime.KeepAlive(bufs)
+	return got, nil
+}
+
+// sourceAddr converts a kernel-filled sockaddr into a *net.UDPAddr, copying
+// the IP out of the scratch array (the caller keeps the addr past the next
+// recv).
+func sourceAddr(sa6 *syscall.RawSockaddrInet6) net.Addr {
+	switch sa6.Family {
+	case syscall.AF_INET:
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa6))
+		return &net.UDPAddr{IP: append(net.IP(nil), sa.Addr[:]...), Port: int(sa.Port<<8 | sa.Port>>8)}
+	case syscall.AF_INET6:
+		return &net.UDPAddr{IP: append(net.IP(nil), sa6.Addr[:]...), Port: int(sa6.Port<<8 | sa6.Port>>8)}
+	}
+	return nil
+}
+
+// iovMessage reconstructs the Message staged in h (buffer plus address) so a
+// failed chunk can be retried via the portable path.
+func iovMessage(h *mmsghdr, sc *sendScratch) Message {
+	buf := unsafe.Slice(h.hdr.Iov.Base, h.hdr.Iov.Len)
+	var addr net.Addr
+	switch h.hdr.Namelen {
+	case syscall.SizeofSockaddrInet4:
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(h.hdr.Name))
+		// Copy the IP out of the scratch array: the caller uses the Message
+		// after the scratch lock is released.
+		addr = &net.UDPAddr{IP: append(net.IP(nil), sa.Addr[:]...), Port: int(sa.Port<<8 | sa.Port>>8)}
+	case syscall.SizeofSockaddrInet6:
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(h.hdr.Name))
+		addr = &net.UDPAddr{IP: append(net.IP(nil), sa.Addr[:]...), Port: int(sa.Port<<8 | sa.Port>>8)}
+	}
+	return Message{Buf: buf, Addr: addr}
+}

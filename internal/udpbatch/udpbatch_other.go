@@ -1,0 +1,23 @@
+//go:build !linux || !(amd64 || arm64)
+
+package udpbatch
+
+import "net"
+
+// sendScratch is a stub off Linux: the batched path never engages and every
+// send goes through the portable WriteTo loop.
+type sendScratch struct{}
+
+func (sc *sendScratch) init(*net.UDPConn) bool { return false }
+
+func (sc *sendScratch) send(msgs []Message) []Message { return msgs }
+
+// recvScratch is likewise a stub: Recv always uses the single-datagram
+// ReadFrom path.
+type recvScratch struct{}
+
+func (sc *recvScratch) init(*net.UDPConn) bool { return false }
+
+func (sc *recvScratch) recv([][]byte, []net.Addr, []int) (int, error) {
+	panic("udpbatch: recvScratch.recv on unsupported platform")
+}

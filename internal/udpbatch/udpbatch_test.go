@@ -1,0 +1,160 @@
+package udpbatch
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestSenderDelivers sends a batch of distinct datagrams (enough to span
+// multiple sendmmsg chunks) from one UDP socket to another and checks every
+// payload arrives intact.
+func TestSenderDelivers(t *testing.T) {
+	recv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	send, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+
+	const n = sendChunk + 17 // force a second chunk on the batched path
+	raddr := recv.LocalAddr().(*net.UDPAddr)
+	msgs := make([]Message, n)
+	for i := range msgs {
+		msgs[i] = Message{Buf: []byte(fmt.Sprintf("msg-%03d", i)), Addr: raddr}
+	}
+	NewSender(send).Send(msgs)
+
+	got := make(map[string]bool, n)
+	buf := make([]byte, 64)
+	recv.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for len(got) < n {
+		m, _, err := recv.ReadFrom(buf)
+		if err != nil {
+			t.Fatalf("received %d/%d datagrams, then: %v", len(got), n, err)
+		}
+		got[string(buf[:m])] = true
+	}
+	for i := 0; i < n; i++ {
+		if !got[fmt.Sprintf("msg-%03d", i)] {
+			t.Fatalf("datagram %d missing", i)
+		}
+	}
+}
+
+// TestSenderFallback drives Send through a non-UDPConn PacketConn (the
+// wrapped-socket case, e.g. the fault injector) and checks delivery via the
+// portable path.
+func TestSenderFallback(t *testing.T) {
+	recv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	send, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+
+	s := NewSender(wrapped{send})
+	if s.batched {
+		t.Fatal("wrapped conn must not take the batched path")
+	}
+	raddr := recv.LocalAddr()
+	s.Send([]Message{{Buf: []byte("a"), Addr: raddr}, {Buf: []byte("b"), Addr: raddr}})
+
+	buf := make([]byte, 16)
+	recv.SetReadDeadline(time.Now().Add(2 * time.Second))
+	seen := map[string]bool{}
+	for len(seen) < 2 {
+		m, _, err := recv.ReadFrom(buf)
+		if err != nil {
+			t.Fatalf("received %d/2, then: %v", len(seen), err)
+		}
+		seen[string(buf[:m])] = true
+	}
+	if !seen["a"] || !seen["b"] {
+		t.Fatalf("wrong payloads: %v", seen)
+	}
+}
+
+// wrapped hides the *net.UDPConn type, like the fault injector's conn wrapper.
+type wrapped struct{ net.PacketConn }
+
+// TestReceiverDrains sends a burst of datagrams and checks the Receiver
+// returns every payload with the right size and a usable source address,
+// across however many Recv calls the kernel needs.
+func TestReceiverDrains(t *testing.T) {
+	recv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	send, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+
+	const n = 37 // more than one recv burst
+	raddr := recv.LocalAddr().(*net.UDPAddr)
+	for i := 0; i < n; i++ {
+		if _, err := send.WriteTo([]byte(fmt.Sprintf("msg-%03d", i)), raddr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := NewReceiver(recv)
+	bufs := make([][]byte, 8)
+	for i := range bufs {
+		bufs[i] = make([]byte, 64)
+	}
+	addrs := make([]net.Addr, len(bufs))
+	sizes := make([]int, len(bufs))
+	got := make(map[string]bool, n)
+	recv.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for len(got) < n {
+		k, err := r.Recv(bufs, addrs, sizes)
+		if err != nil {
+			t.Fatalf("received %d/%d datagrams, then: %v", len(got), n, err)
+		}
+		want := send.LocalAddr().(*net.UDPAddr)
+		for i := 0; i < k; i++ {
+			if ua, ok := addrs[i].(*net.UDPAddr); !ok || ua.Port != want.Port || !ua.IP.Equal(want.IP) {
+				t.Fatalf("datagram %d: source %v, want %v", i, addrs[i], want)
+			}
+			got[string(bufs[i][:sizes[i]])] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !got[fmt.Sprintf("msg-%03d", i)] {
+			t.Fatalf("datagram %d missing", i)
+		}
+	}
+}
+
+// TestReceiverDeadline checks Recv surfaces the read deadline as a timeout
+// (the serve loop relies on this to poll its shutdown flag).
+func TestReceiverDeadline(t *testing.T) {
+	recv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	r := NewReceiver(recv)
+	bufs := [][]byte{make([]byte, 64), make([]byte, 64)}
+	recv.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	_, err = r.Recv(bufs, make([]net.Addr, 2), make([]int, 2))
+	var ne net.Error
+	if err == nil || !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("want timeout net.Error, got %v", err)
+	}
+}

@@ -27,10 +27,33 @@ go test -race -timeout 1800s ./...
 echo "== store/slab concurrency (-race, -count=1) =="
 go test -count=1 -race -timeout 900s ./internal/store ./internal/slab
 
+# The live batched pipeline (stage workers, online reconfiguration, batched
+# UDP send/recv) is the other concurrency-heavy surface; run it un-cached
+# under the race detector every pass too.
+echo "== pipeline concurrency (-race, -count=1) =="
+go test -count=1 -race -timeout 900s ./internal/pipeline ./internal/costmodel ./internal/udpbatch
+
 # Benchmark smoke: one iteration each, just proving the benchmarks still
 # compile and run (allocation regressions show up in the full bench runs).
 echo "== benchmark smoke =="
 go test -run='^$' -bench=. -benchtime=1x ./internal/store ./internal/slab ./internal/cuckoo
+
+# End-to-end smoke of the real binaries on the batched pipeline path: a
+# dido-server with -pipeline on -adapt serving a short dido-loadgen run must
+# finish with zero errors (proves the pipelined serving path works outside
+# the test harness, CLI flags included).
+echo "== pipelined server/loadgen smoke =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'kill "$SERVER_PID" 2>/dev/null || true; wait "$SERVER_PID" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+go build -o "$SMOKE_DIR/dido-server" ./cmd/dido-server
+go build -o "$SMOKE_DIR/dido-loadgen" ./cmd/dido-loadgen
+SMOKE_ADDR="127.0.0.1:13311"
+"$SMOKE_DIR/dido-server" -addr "$SMOKE_ADDR" -pipeline on -adapt -stats-interval 0 &
+SERVER_PID=$!
+sleep 0.3
+"$SMOKE_DIR/dido-loadgen" -addr "$SMOKE_ADDR" -workload K16-G95-S -duration 2s -population 10000
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
 
 if [ "$FUZZTIME" != "0" ]; then
     echo "== fuzz smoke ($FUZZTIME per target) =="

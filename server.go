@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/proto"
 	"repro/internal/stats"
+	"repro/internal/udpbatch"
 )
 
 // Backend is the store surface the UDP server serves. *Store implements it;
@@ -45,6 +46,11 @@ type ServerOptions struct {
 	// WrapConn, when set, wraps the listening socket before serving. This
 	// is the hook the fault injector (internal/faults) uses.
 	WrapConn func(net.PacketConn) net.PacketConn
+	// Pipeline, when non-nil, serves admitted frames through the batched
+	// task-granular pipeline (see server_pipeline.go) instead of one
+	// goroutine per frame. Admission, dedupe and at-most-once semantics are
+	// identical on both paths.
+	Pipeline *PipelineOptions
 }
 
 // Defaults for ServerOptions zero fields.
@@ -71,6 +77,8 @@ type Server struct {
 	mu     sync.Mutex
 	conn   net.PacketConn
 	closed atomic.Bool
+
+	pipe *serverPipeline // non-nil when opts.Pipeline is set
 
 	tokens  chan struct{}
 	wg      sync.WaitGroup
@@ -124,6 +132,9 @@ func NewServerOpts(b Backend, opts ServerOptions) *Server {
 	}
 	s.bufs.New = func() any { return make([]byte, proto.MaxFrameBytes) }
 	s.scratch.New = func() any { return &frameScratch{} }
+	if opts.Pipeline != nil {
+		s.initPipeline(opts.Pipeline)
+	}
 	return s
 }
 
@@ -147,9 +158,14 @@ func (s *Server) Serve(addr string) error {
 	s.conn = pc
 	s.mu.Unlock()
 	// Close may have run before the conn was published; it then had nothing
-	// to close, so re-check and shut the listener down ourselves.
+	// to close, so re-check and shut the listener down ourselves. (The
+	// pipeline runner may already be closed by Close, or not; its Close is
+	// idempotent.)
 	if s.closed.Load() {
 		pc.Close()
+		if s.pipe != nil {
+			s.pipe.runner.Close()
+		}
 		return nil
 	}
 	return s.serveLoop(pc)
@@ -157,74 +173,141 @@ func (s *Server) Serve(addr string) error {
 
 // serveLoop is the read/admit/dispatch loop.
 func (s *Server) serveLoop(pc net.PacketConn) error {
+	if s.pipe != nil {
+		return s.serveLoopBatched(pc)
+	}
 	for {
 		buf := s.bufs.Get().([]byte)
 		n, raddr, err := pc.ReadFrom(buf)
 		if err != nil {
 			s.bufs.Put(buf) //nolint:staticcheck // fixed-size buffer
-			if s.closed.Load() {
-				// Graceful drain: in-flight frames finish and write their
-				// responses before the socket goes away.
-				s.wg.Wait()
-				pc.Close()
-				return nil
+			if done, serr := s.readErr(pc, err); done {
+				return serr
 			}
-			var ne net.Error
-			if errors.As(err, &ne) && ne.Timeout() {
-				continue
-			}
-			return err
-		}
-		count, reqID, v2, herr := proto.FrameHeader(buf[:n])
-		if herr != nil {
-			// Malformed or corrupted frame: drop, as a UDP service must.
-			s.malformed.Inc()
-			s.bufs.Put(buf)
 			continue
 		}
-		// A retried frame whose reply was already computed is answered from
-		// the cache without re-executing it or consuming a token; this is
-		// what makes client retries of SET safe (at-most-once execution).
-		// A retry that lands while the original frame is still executing is
-		// dropped — admitting it would re-execute the SET before the reply
-		// cache is populated, reopening the at-most-once hole. The client
-		// simply retries again and is then answered from the cache.
-		var akey string
-		tracked := false
-		if v2 && reqID != 0 && s.replies != nil {
-			akey = s.addrs.keyFor(raddr)
-			frames, state := s.replies.begin(akey, reqID)
-			switch state {
-			case replyCached:
-				for _, f := range frames {
-					pc.WriteTo(f, raddr)
-				}
-				s.replayed.Inc()
-				s.bufs.Put(buf)
-				continue
-			case replyInFlight:
-				s.dupDropped.Inc()
-				s.bufs.Put(buf)
-				continue
-			case replyAdmitted:
-				tracked = true
-			}
-		}
-		select {
-		case s.tokens <- struct{}{}:
-		default:
-			// Overload: shed the whole frame now rather than queuing it.
-			if tracked {
-				s.replies.abort(akey, reqID)
-			}
-			s.shed.Inc()
-			s.writeBusy(pc, raddr, reqID, v2, count)
-			s.bufs.Put(buf)
-			continue
-		}
-		s.wg.Add(1)
-		go s.handleFrame(pc, buf, n, raddr, akey, reqID, v2, tracked)
+		s.admit(pc, buf, n, raddr)
 	}
+}
+
+// serveLoopBatched is the pipelined-path variant of serveLoop: it drains
+// bursts of datagrams per kernel crossing (recvmmsg where available) before
+// running the same per-datagram admission. Batching receives mirrors the
+// batched response sends — once frames are executed batch-at-a-time, the
+// recv syscall is the remaining per-frame kernel crossing worth amortizing.
+func (s *Server) serveLoopBatched(pc net.PacketConn) error {
+	rcv := udpbatch.NewReceiver(pc)
+	const burst = 16
+	bufs := make([][]byte, burst)
+	addrs := make([]net.Addr, burst)
+	sizes := make([]int, burst)
+	for {
+		for i := range bufs {
+			if bufs[i] == nil {
+				bufs[i] = s.bufs.Get().([]byte)
+			}
+		}
+		got, err := rcv.Recv(bufs, addrs, sizes)
+		if err != nil {
+			if done, serr := s.readErr(pc, err); done {
+				for _, buf := range bufs {
+					if buf != nil {
+						s.bufs.Put(buf) //nolint:staticcheck // fixed-size buffer
+					}
+				}
+				return serr
+			}
+			continue
+		}
+		for i := 0; i < got; i++ {
+			buf := bufs[i]
+			bufs[i] = nil // ownership moves to admit
+			s.admit(pc, buf, sizes[i], addrs[i])
+		}
+	}
+}
+
+// readErr handles a receive error shared by both serve loops: it reports
+// whether the loop should exit, performing the graceful drain on shutdown.
+func (s *Server) readErr(pc net.PacketConn, err error) (done bool, _ error) {
+	if s.closed.Load() {
+		// Graceful drain: in-flight frames finish and write their
+		// responses before the socket goes away. On the pipelined
+		// path wg.Wait needs the runner still executing, so the
+		// runner shuts down after the drain.
+		s.wg.Wait()
+		if s.pipe != nil {
+			s.pipe.runner.Close()
+		}
+		pc.Close()
+		return true, nil
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return false, nil
+	}
+	return true, err
+}
+
+// admit runs the per-datagram admission pipeline — header check, reply-cache
+// dedupe, token gate — and dispatches the frame to the configured serving
+// path. It takes ownership of buf.
+func (s *Server) admit(pc net.PacketConn, buf []byte, n int, raddr net.Addr) {
+	count, reqID, v2, herr := proto.FrameHeader(buf[:n])
+	if herr != nil {
+		// Malformed or corrupted frame: drop, as a UDP service must.
+		s.malformed.Inc()
+		s.bufs.Put(buf)
+		return
+	}
+	// A retried frame whose reply was already computed is answered from
+	// the cache without re-executing it or consuming a token; this is
+	// what makes client retries of SET safe (at-most-once execution).
+	// A retry that lands while the original frame is still executing is
+	// dropped — admitting it would re-execute the SET before the reply
+	// cache is populated, reopening the at-most-once hole. The client
+	// simply retries again and is then answered from the cache.
+	var akey string
+	tracked := false
+	if v2 && reqID != 0 && s.replies != nil {
+		akey = s.addrs.keyFor(raddr)
+		frames, state := s.replies.begin(akey, reqID)
+		switch state {
+		case replyCached:
+			for _, f := range frames {
+				pc.WriteTo(f, raddr)
+			}
+			s.replayed.Inc()
+			s.bufs.Put(buf)
+			return
+		case replyInFlight:
+			s.dupDropped.Inc()
+			s.bufs.Put(buf)
+			return
+		case replyAdmitted:
+			tracked = true
+		}
+	}
+	select {
+	case s.tokens <- struct{}{}:
+	default:
+		// Overload: shed the whole frame now rather than queuing it.
+		if tracked {
+			s.replies.abort(akey, reqID)
+		}
+		s.shed.Inc()
+		s.writeBusy(pc, raddr, reqID, v2, count)
+		s.bufs.Put(buf)
+		return
+	}
+	s.wg.Add(1)
+	if s.pipe != nil {
+		// Pipelined path: parse here (RV/PP on the socket reader) and
+		// batch the frame into the staged executor.
+		s.submitPipelined(pc, buf, n, raddr, akey, reqID, v2, tracked)
+		return
+	}
+	go s.handleFrame(pc, buf, n, raddr, akey, reqID, v2, tracked)
 }
 
 // addrCache memoizes net.Addr → string conversions so the reply-cache path
@@ -297,13 +380,11 @@ func (s *Server) handleFrame(pc net.PacketConn, buf []byte, n int, raddr net.Add
 // maxResponsePayload keeps each response frame within a safe UDP datagram.
 const maxResponsePayload = 60 << 10
 
-// sendResponses writes resps split across as many frames as needed (the
-// client reassembles by offset) and, for cacheable v2 requests, retains the
-// encoded frames for duplicate suppression. akey is the memoized raddr
-// string (may be empty when no caching applies).
-func (s *Server) sendResponses(pc net.PacketConn, raddr net.Addr, akey string, reqID uint64, v2, cache bool, resps []proto.Response) {
-	var frames [][]byte
-	sendOK := true
+// appendResponseFrames encodes resps split across as many datagrams as
+// needed (the client reassembles by offset), appending each encoded frame to
+// dst. The returned frames are freshly allocated: the reply cache retains
+// them across retries.
+func appendResponseFrames(dst [][]byte, reqID uint64, v2 bool, resps []proto.Response) [][]byte {
 	start := 0
 	for {
 		end := start
@@ -316,20 +397,29 @@ func (s *Server) sendResponses(pc net.PacketConn, raddr net.Addr, akey string, r
 			bytes += rlen
 			end++
 		}
-		var out []byte
 		if v2 {
-			out = proto.EncodeResponseFrameV2(nil, reqID, start, resps[start:end])
+			dst = append(dst, proto.EncodeResponseFrameV2(nil, reqID, start, resps[start:end]))
 		} else {
-			out = proto.EncodeResponseFrame(nil, resps[start:end])
+			dst = append(dst, proto.EncodeResponseFrame(nil, resps[start:end]))
 		}
+		start = end
+		if start >= len(resps) {
+			return dst
+		}
+	}
+}
+
+// sendResponses writes resps split across as many frames as needed and, for
+// cacheable v2 requests, retains the encoded frames for duplicate
+// suppression. akey is the memoized raddr string (may be empty when no
+// caching applies).
+func (s *Server) sendResponses(pc net.PacketConn, raddr net.Addr, akey string, reqID uint64, v2, cache bool, resps []proto.Response) {
+	frames := appendResponseFrames(nil, reqID, v2, resps)
+	sendOK := true
+	for _, out := range frames {
 		if _, err := pc.WriteTo(out, raddr); err != nil {
 			sendOK = false
 			break // oversized single value or transient error: drop rest
-		}
-		frames = append(frames, out)
-		start = end
-		if start >= len(resps) {
-			break
 		}
 	}
 	if cache && sendOK && v2 && reqID != 0 && s.replies != nil {
@@ -407,7 +497,10 @@ func (s *Server) Addr() net.Addr {
 // Served returns the number of queries processed.
 func (s *Server) Served() uint64 { return s.served.Load() }
 
-// ServerStats is a snapshot of the server's serving counters.
+// ServerStats is a snapshot of the server's serving counters. Each field is
+// individually monotonic (atomically read), but the struct is not a
+// consistent cut: counters keep advancing while the snapshot is assembled,
+// so cross-field arithmetic (e.g. Served/Frames) is approximate under load.
 type ServerStats struct {
 	// Served counts queries executed; Frames counts frames executed.
 	Served, Frames uint64
@@ -429,14 +522,14 @@ type ServerStats struct {
 // Stats returns current serving counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		Served:    s.served.Load(),
-		Frames:    s.frames.Load(),
-		Shed:      s.shed.Load(),
+		Served:     s.served.Load(),
+		Frames:     s.frames.Load(),
+		Shed:       s.shed.Load(),
 		Replayed:   s.replayed.Load(),
 		DupDropped: s.dupDropped.Load(),
 		Malformed:  s.malformed.Load(),
-		Panics:    s.panics.Load(),
-		InFlight:  len(s.tokens),
+		Panics:     s.panics.Load(),
+		InFlight:   len(s.tokens),
 	}
 }
 
@@ -448,9 +541,18 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.conn != nil {
-		return s.conn.SetReadDeadline(time.Now())
+	conn := s.conn
+	s.mu.Unlock()
+	if conn != nil {
+		// The serve loop notices closed, drains, and shuts the pipeline
+		// runner down itself.
+		return conn.SetReadDeadline(time.Now())
+	}
+	// Serve never ran (or has not published its socket yet): the pipeline
+	// workers started at construction, so release them here. Serve's
+	// closed re-check covers the not-yet-published race.
+	if s.pipe != nil {
+		s.pipe.runner.Close()
 	}
 	return nil
 }
@@ -656,7 +758,9 @@ var (
 // missing ones; Do now returns ErrTimeout instead. Kept for API stability.
 var ErrShortResponse = errors.New("dido: response frame shorter than query frame")
 
-// ClientStats is a snapshot of the client's resilience counters.
+// ClientStats is a snapshot of the client's resilience counters. Like
+// ServerStats, each field is individually monotonic but the struct is not a
+// consistent cut across fields.
 type ClientStats struct {
 	// Retries counts frame resends (timeout- or busy-triggered).
 	Retries uint64

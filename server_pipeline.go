@@ -1,0 +1,339 @@
+package dido
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/apu"
+	"repro/internal/costmodel"
+	"repro/internal/cuckoo"
+	"repro/internal/pipeline"
+	"repro/internal/profiler"
+	"repro/internal/proto"
+	"repro/internal/store"
+	"repro/internal/udpbatch"
+)
+
+// This file routes the UDP server's admitted frames through the task-granular
+// live pipeline (internal/pipeline.LiveRunner) instead of one goroutine per
+// frame: the socket reader performs RV/PP (parse) and submits, stage worker
+// groups execute IN/KC+RD/WR batched under each batch's sealed config, and
+// the SD callback sends the responses and releases the frame's admission
+// token. Dedupe, shedding and at-most-once semantics are exactly the
+// per-frame path's: a frame passes the same reply-cache begin / token gate
+// before it ever reaches the pipeline, and its in-flight marker is cleared
+// only when its responses were sent (or it was poisoned and the client must
+// retry).
+
+// PipelineOptions configures the server's batched pipeline serving path.
+//
+// Ordering contract: within one batch the pipeline executes all index writes
+// before all reads (the paper's staged semantics), so a GET observes any SET
+// or DELETE batched with it — including ones later in the same frame. The
+// per-frame path executes a frame's queries in program order instead.
+// Clients that need read-then-write ordering for the same key put the
+// operations in separate requests.
+type PipelineOptions struct {
+	// BatchInterval bounds how long a partial batch waits before execution.
+	// Default pipeline.DefaultLiveBatchInterval.
+	BatchInterval time.Duration
+	// MaxBatch caps the batch size in queries (even when adaptation would
+	// prefer more, latency stays bounded). Default pipeline.DefaultLiveMaxBatch.
+	MaxBatch int
+	// Workers sets goroutines per pipeline stage group; entries ≤ 0 mean 1.
+	Workers [3]int
+	// Adapt turns on online reconfiguration: per-batch measured profiles feed
+	// the workload profiler and cost model, and a new (config, batch size)
+	// pair is installed at batch boundaries when the workload shifts >10%.
+	// Requires the backend to be a *Store (the profiler reads its access
+	// counters); otherwise the static default config is used.
+	Adapt bool
+	// Provider overrides the config provider entirely (tests); when set,
+	// Adapt is ignored.
+	Provider pipeline.ConfigProvider
+}
+
+// serverPipeline is the server's handle on the live runner.
+type serverPipeline struct {
+	runner *pipeline.LiveRunner
+	ctrl   *costmodel.Controller // non-nil only when adapting
+	frames sync.Pool             // *pframe
+	// measureParse mirrors runner.WantsProfile(): whether to time RV/PP on
+	// the socket reader (the cost feeds only the measured profile).
+	measureParse bool
+
+	// sendMu guards the lazily-built batched sender (one per listening
+	// socket; the socket exists only once Serve has bound it).
+	sendMu   sync.Mutex
+	sender   *udpbatch.Sender
+	senderPC net.PacketConn
+}
+
+// senderFor returns the batched sender over pc, building it on first use.
+func (p *serverPipeline) senderFor(pc net.PacketConn) *udpbatch.Sender {
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	if p.senderPC != pc {
+		p.sender = udpbatch.NewSender(pc)
+		p.senderPC = pc
+	}
+	return p.sender
+}
+
+// pframe is the server-side context of one frame travelling through the
+// pipeline: everything pipelineBatchDone needs to answer the client and
+// release the frame's resources.
+type pframe struct {
+	lf      pipeline.LiveFrame
+	queries []proto.Query
+	buf     []byte
+	pc      net.PacketConn
+	raddr   net.Addr
+	akey    string
+	reqID   uint64
+	v2      bool
+	tracked bool
+	// respFrames holds the encoded response datagrams between the batched
+	// send and the reply-cache fill. Freshly allocated per frame — the cache
+	// retains them.
+	respFrames [][]byte
+}
+
+// initPipeline wires the live runner into s; called from NewServerOpts when
+// opts.Pipeline is set. The runner's workers start here — a pipelined server
+// must be Closed even if Serve is never called.
+func (s *Server) initPipeline(po *PipelineOptions) {
+	interval := po.BatchInterval
+	if interval <= 0 {
+		interval = pipeline.DefaultLiveBatchInterval
+	}
+	maxBatch := po.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = pipeline.DefaultLiveMaxBatch
+	}
+	ls, inner := newLiveStore(s.store)
+	pipe := &serverPipeline{}
+	provider := po.Provider
+	if provider == nil {
+		if po.Adapt && inner != nil {
+			pl := costmodel.NewPlanner(apu.KaveriPlatform(), interval)
+			pl.MinBatch = pipeline.DefaultLiveMinBatch
+			pl.MaxBatch = maxBatch
+			sizer := &pipeline.BatchSizer{Interval: interval, Min: pl.MinBatch, Max: maxBatch}
+			sizer.Set(pipeline.DefaultInitialBatch)
+			pipe.ctrl = costmodel.NewController(pl, profiler.New(inner), pipeline.DefaultLiveConfig(), sizer)
+			provider = pipe.ctrl
+		} else {
+			provider = &pipeline.StaticProvider{
+				Config:   pipeline.DefaultLiveConfig(),
+				Interval: interval,
+				MinBatch: pipeline.DefaultLiveMinBatch,
+				MaxBatch: maxBatch,
+			}
+		}
+	}
+	pipe.frames.New = func() any { return &pframe{} }
+	pipe.runner = pipeline.NewLiveRunner(ls, pipeline.LiveOptions{
+		Provider:      provider,
+		BatchInterval: interval,
+		Workers:       po.Workers,
+		DoneBatch:     s.pipelineBatchDone,
+	})
+	pipe.measureParse = pipe.runner.WantsProfile()
+	s.pipe = pipe
+}
+
+// submitPipelined parses an admitted frame (the RV/PP tasks, on the socket
+// reader) and hands it to the pipeline. The caller has already passed the
+// dedupe gate and acquired a token and a wg slot; every exit path here or in
+// pipelineBatchDone releases all three.
+func (s *Server) submitPipelined(pc net.PacketConn, buf []byte, n int, raddr net.Addr, akey string, reqID uint64, v2, tracked bool) {
+	release := func() {
+		if tracked {
+			s.replies.abort(akey, reqID)
+		}
+		<-s.tokens
+		s.bufs.Put(buf) //nolint:staticcheck // fixed-size buffer
+		s.wg.Done()
+	}
+	pf := s.pipe.frames.Get().(*pframe)
+	var parseStart time.Time
+	if s.pipe.measureParse {
+		parseStart = time.Now()
+	}
+	queries, _, err := proto.ParseFrameID(buf[:n], pf.queries[:0])
+	var parseNanos int64
+	if s.pipe.measureParse {
+		parseNanos = time.Since(parseStart).Nanoseconds()
+	}
+	if err != nil {
+		s.malformed.Inc()
+		s.pipe.frames.Put(pf)
+		release()
+		return
+	}
+	s.frames.Inc()
+	pf.queries = queries
+	pf.buf = buf
+	pf.pc = pc
+	pf.raddr = raddr
+	pf.akey = akey
+	pf.reqID = reqID
+	pf.v2 = v2
+	pf.tracked = tracked
+	pf.lf = pipeline.LiveFrame{
+		Queries:    queries,
+		ParseNanos: parseNanos,
+		Ctx:        pf,
+	}
+	if !s.pipe.runner.Submit(&pf.lf) {
+		// Pipeline saturated (or closing): shed like the token path does, so
+		// the client backs off instead of timing out.
+		s.shed.Inc()
+		s.writeBusy(pc, raddr, reqID, v2, len(queries))
+		s.pipe.frames.Put(pf)
+		release()
+	}
+}
+
+// pipelineBatchDone is the SD task for one completed batch: it encodes every
+// healthy frame's responses, transmits all the batch's datagrams in one
+// batched send (Linux sendmmsg — the WR/SD counterpart of batching queries
+// into frames, §V-A), fills the reply cache, and releases each frame's
+// token, buffer and wg slot. A poisoned frame (lf.Err) sends nothing — its
+// in-flight marker is cleared so the client's retry is re-admitted, same as
+// the per-frame path.
+//
+// Reply caching here does not depend on send success: the batched sender is
+// best-effort (UDP gives no per-datagram delivery signal), so a computed
+// reply is always cached and a retry whose response was dropped is answered
+// by replay instead of re-execution — the same at-most-once outcome as the
+// per-frame path.
+func (s *Server) pipelineBatchDone(lfs []*pipeline.LiveFrame) {
+	var (
+		msgs = make([]udpbatch.Message, 0, len(lfs))
+		pc   net.PacketConn
+	)
+	for _, lf := range lfs {
+		pf := lf.Ctx.(*pframe)
+		if lf.Err {
+			s.panics.Inc()
+			continue
+		}
+		s.served.Add(uint64(len(lf.Queries)))
+		pf.respFrames = appendResponseFrames(nil, pf.reqID, pf.v2, lf.Resps)
+		for _, out := range pf.respFrames {
+			msgs = append(msgs, udpbatch.Message{Buf: out, Addr: pf.raddr})
+		}
+		pc = pf.pc
+	}
+	if len(msgs) > 0 {
+		s.pipe.senderFor(pc).Send(msgs)
+	}
+	for _, lf := range lfs {
+		pf := lf.Ctx.(*pframe)
+		if pf.tracked {
+			if lf.Err {
+				// Clear the in-flight marker so the retry is re-admitted.
+				s.replies.abort(pf.akey, pf.reqID)
+			} else {
+				s.replies.finish(pf.akey, pf.reqID, pf.respFrames)
+			}
+		}
+		<-s.tokens
+		s.bufs.Put(pf.buf) //nolint:staticcheck // fixed-size buffer
+		queries := pf.queries[:0]
+		*pf = pframe{queries: queries}
+		s.pipe.frames.Put(pf)
+		s.wg.Done()
+	}
+}
+
+// newLiveStore adapts the server's Backend to the pipeline's task-granular
+// store surface. A real *Store exposes its index search and fused KC+RD
+// directly (and its metrics for the adaptation profile); any other backend —
+// test fakes, the fault injector — is wrapped so every query still flows
+// through it, with Search degenerating to a no-op and ReadCandidates to a
+// plain lookup.
+func newLiveStore(b Backend) (pipeline.LiveStore, *store.Store) {
+	if st, ok := b.(*Store); ok {
+		return storeLive{st.inner}, st.inner
+	}
+	gi, _ := b.(GetIntoBackend)
+	return backendLive{b: b, gi: gi}, nil
+}
+
+type storeLive struct{ s *store.Store }
+
+func (l storeLive) Search(key []byte, dst []cuckoo.Location) []cuckoo.Location {
+	return l.s.IndexSearch(key, dst)
+}
+
+func (l storeLive) ReadCandidates(key []byte, cands []cuckoo.Location, dst []byte) ([]byte, bool) {
+	return l.s.ReadCandidates(key, cands, dst)
+}
+
+func (l storeLive) Set(key, value []byte) error {
+	_, _, err := l.s.Set(key, value)
+	return err
+}
+
+func (l storeLive) Delete(key []byte) bool { return l.s.Delete(key) }
+
+func (l storeLive) LiveMetrics() (liveObjects, evictions uint64, avgInsertBuckets float64) {
+	st := l.s.StatsSnapshot()
+	return uint64(st.LiveObjects), st.Evictions, st.AvgInsertBucketsProbed
+}
+
+type backendLive struct {
+	b  Backend
+	gi GetIntoBackend
+}
+
+func (l backendLive) Search(_ []byte, dst []cuckoo.Location) []cuckoo.Location { return dst }
+
+func (l backendLive) ReadCandidates(key []byte, _ []cuckoo.Location, dst []byte) ([]byte, bool) {
+	if l.gi != nil {
+		return l.gi.GetInto(key, dst)
+	}
+	v, ok := l.b.Get(key)
+	if !ok {
+		return dst, false
+	}
+	return append(dst, v...), true
+}
+
+func (l backendLive) Set(key, value []byte) error { return l.b.Set(key, value) }
+
+func (l backendLive) Delete(key []byte) bool { return l.b.Delete(key) }
+
+// LivePipelineStats re-exports the live runner's counter snapshot.
+type LivePipelineStats = pipeline.LiveStats
+
+// PipelineStats returns the live pipeline's counters; ok is false when the
+// server runs the per-frame path.
+func (s *Server) PipelineStats() (LivePipelineStats, bool) {
+	if s.pipe == nil {
+		return LivePipelineStats{}, false
+	}
+	return s.pipe.runner.Stats(), true
+}
+
+// PipelineStageQuantiles returns, per pipeline stage, the given quantiles of
+// per-batch stage wall time in microseconds.
+func (s *Server) PipelineStageQuantiles(qs ...float64) ([3][]float64, bool) {
+	if s.pipe == nil {
+		return [3][]float64{}, false
+	}
+	return s.pipe.runner.StageQuantiles(qs...), true
+}
+
+// PipelineReplans returns how many times online adaptation installed a
+// re-planned config; ok is false unless the server is pipelined with Adapt.
+func (s *Server) PipelineReplans() (uint64, bool) {
+	if s.pipe == nil || s.pipe.ctrl == nil {
+		return 0, false
+	}
+	return s.pipe.ctrl.Replans(), true
+}

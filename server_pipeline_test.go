@@ -1,0 +1,432 @@
+package dido
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/proto"
+)
+
+// pipelinedServer builds a server with the batched pipeline path enabled and
+// a batch interval short enough for request/response tests.
+func pipelinedServer(b Backend, opts ServerOptions) *Server {
+	if opts.Pipeline == nil {
+		opts.Pipeline = &PipelineOptions{BatchInterval: 200 * time.Microsecond}
+	}
+	return NewServerOpts(b, opts)
+}
+
+// TestPipelinedServeBasic drives mixed operations through the pipelined path
+// against a real store and checks the answers match the per-frame contract.
+func TestPipelinedServeBasic(t *testing.T) {
+	st := NewStore(StoreConfig{MemoryBytes: 8 << 20})
+	srv := pipelinedServer(st, ServerOptions{})
+	addr, errc := startServer(t, srv)
+	defer srv.Close()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 20; i++ {
+		key := []byte(fmt.Sprintf("k%d", i))
+		if err := c.Set(key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+	}
+	var qs []Query
+	for i := 0; i < 20; i++ {
+		qs = append(qs, Query{Op: OpGet, Key: []byte(fmt.Sprintf("k%d", i))})
+	}
+	qs = append(qs, Query{Op: OpGet, Key: []byte("missing")})
+	resps, err := c.Do(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		want := fmt.Sprintf("v%d", i)
+		if resps[i].Status != StatusOK || string(resps[i].Value) != want {
+			t.Fatalf("GET k%d = %d %q, want OK %q", i, resps[i].Status, resps[i].Value, want)
+		}
+	}
+	if resps[20].Status != StatusNotFound {
+		t.Fatalf("GET missing = %+v, want NotFound", resps[20])
+	}
+	// Writes and reads of the same key are split across requests: within one
+	// batch the pipeline executes index writes before reads (§III-B batched
+	// semantics), so same-frame read-then-delete order is not preserved.
+	resps, err = c.Do([]Query{{Op: OpDelete, Key: []byte("k0")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resps[0].Status != StatusOK {
+		t.Fatalf("DELETE k0 = %+v, want OK", resps[0])
+	}
+	if _, ok := st.Get([]byte("k0")); ok {
+		t.Fatal("DELETE k0 not applied")
+	}
+
+	ps, ok := srv.PipelineStats()
+	if !ok {
+		t.Fatal("PipelineStats reports the pipeline off")
+	}
+	if ps.Batches == 0 || ps.Queries == 0 {
+		t.Fatalf("pipeline idle: %+v — frames did not go through the batched path", ps)
+	}
+	if ss := srv.Stats(); ss.Served == 0 || ss.Frames == 0 {
+		t.Fatalf("server counters idle on the pipelined path: %+v", ss)
+	}
+	srv.Close()
+	waitServe(t, errc)
+}
+
+// TestPipelinedDupWhileInFlight re-runs the PR-2 at-most-once pin with the
+// batched path: a retry landing while the original SET is parked inside a
+// pipeline stage must be dropped, not re-executed — batching must not reopen
+// the in-flight hole.
+func TestPipelinedDupWhileInFlight(t *testing.T) {
+	st := NewStore(StoreConfig{MemoryBytes: 4 << 20})
+	gb := &gatedBackend{
+		inner:   st,
+		entered: make(chan struct{}, 8),
+		release: make(chan struct{}),
+	}
+	srv := pipelinedServer(gb, ServerOptions{})
+	addr, errc := startServer(t, srv)
+	defer srv.Close()
+
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	frame := proto.EncodeFrameV2(nil, 55501, []Query{{Op: OpSet, Key: []byte("dup"), Value: []byte("v")}})
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-gb.entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("original SET never reached the backend through the pipeline")
+	}
+
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Stats().DupDropped == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("duplicate was never observed/dropped")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	close(gb.release)
+	buf := make([]byte, proto.MaxFrameBytes)
+	readResp := func() []proto.Response {
+		t.Helper()
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		n, err := conn.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, id, _, err := proto.ParseResponseFrameID(buf[:n], nil)
+		if err != nil || id != 55501 {
+			t.Fatalf("response id %d err %v", id, err)
+		}
+		return rs
+	}
+	if rs := readResp(); len(rs) != 1 || rs[0].Status != proto.StatusOK {
+		t.Fatalf("original response = %+v", rs)
+	}
+	// Retry after completion: replayed from cache, still one execution.
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if rs := readResp(); len(rs) != 1 || rs[0].Status != proto.StatusOK {
+		t.Fatalf("replayed response = %+v", rs)
+	}
+	if n := gb.setCount(); n != 1 {
+		t.Fatalf("SET executed %d times through the pipeline, want 1", n)
+	}
+	ss := srv.Stats()
+	if ss.DupDropped != 1 || ss.Replayed != 1 {
+		t.Fatalf("dup-dropped=%d replayed=%d, want 1/1", ss.DupDropped, ss.Replayed)
+	}
+	srv.Close()
+	waitServe(t, errc)
+}
+
+// TestPipelinedChaosAtMostOnce is the chaos e2e on the batched path: under
+// drop/dup/reorder every acknowledged SET executed exactly once and every
+// GET returns the value written — identical guarantees to -pipeline=off.
+func TestPipelinedChaosAtMostOnce(t *testing.T) {
+	st := NewStore(StoreConfig{MemoryBytes: 8 << 20})
+	cb := &countingBackend{inner: st}
+	var injector *faults.Conn
+	srv := pipelinedServer(cb, ServerOptions{
+		WrapConn: func(pc net.PacketConn) net.PacketConn {
+			injector = faults.Wrap(pc, faults.Symmetric(42, faults.Profile{
+				Drop:    0.10,
+				Dup:     0.05,
+				Reorder: 0.10,
+			}))
+			return injector
+		},
+	})
+	addr, errc := startServer(t, srv)
+	defer srv.Close()
+
+	c, err := DialOpts(addr, ClientOptions{
+		Timeout:    50 * time.Millisecond,
+		Retries:    30,
+		Backoff:    2 * time.Millisecond,
+		MaxBackoff: 20 * time.Millisecond,
+		Seed:       99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const rounds = 40
+	const batch = 8
+	totalSets := 0
+	for r := 0; r < rounds; r++ {
+		var sets []Query
+		for i := 0; i < batch; i++ {
+			sets = append(sets, Query{
+				Op:    OpSet,
+				Key:   []byte(fmt.Sprintf("r%02d:k%d", r, i)),
+				Value: []byte(fmt.Sprintf("val-%d-%d", r, i)),
+			})
+		}
+		resps, err := c.Do(sets)
+		if err != nil {
+			t.Fatalf("round %d SET: %v", r, err)
+		}
+		for i, resp := range resps {
+			if resp.Status != StatusOK {
+				t.Fatalf("round %d SET %d status %d", r, i, resp.Status)
+			}
+		}
+		totalSets += batch
+		var gets []Query
+		for i := 0; i < batch; i++ {
+			gets = append(gets, Query{Op: OpGet, Key: sets[i].Key})
+		}
+		resps, err = c.Do(gets)
+		if err != nil {
+			t.Fatalf("round %d GET: %v", r, err)
+		}
+		for i, resp := range resps {
+			want := fmt.Sprintf("val-%d-%d", r, i)
+			if resp.Status != StatusOK || string(resp.Value) != want {
+				t.Fatalf("round %d GET %d = %d %q, want OK %q", r, i, resp.Status, resp.Value, want)
+			}
+		}
+	}
+
+	// The at-most-once acceptance: despite duplicated and retried frames,
+	// each distinct acknowledged SET ran exactly once.
+	if n := cb.setCount(); n != totalSets {
+		t.Fatalf("backend executed %d SETs for %d distinct acknowledged SETs", n, totalSets)
+	}
+	fs := injector.Stats()
+	if fs.Dropped == 0 || fs.Duplicated == 0 {
+		t.Fatalf("injector idle: %+v", fs)
+	}
+	if cs := c.Stats(); cs.Retries == 0 {
+		t.Fatal("no retries under 10%% drop — faults not exercised")
+	}
+	ps, _ := srv.PipelineStats()
+	ss := srv.Stats()
+	t.Logf("pipelined chaos: faults=%+v pipe=%+v server={served:%d replayed:%d dup-dropped:%d}",
+		fs, ps, ss.Served, ss.Replayed, ss.DupDropped)
+	srv.Close()
+	waitServe(t, errc)
+}
+
+// TestPipelinedOverloadSheds checks StatusBusy shedding still bounds
+// admission on the batched path (tokens are held from admission to SD).
+func TestPipelinedOverloadSheds(t *testing.T) {
+	st := NewStore(StoreConfig{MemoryBytes: 8 << 20})
+	slow := faults.WrapBackend(st, faults.BackendConfig{Seed: 5, StallRate: 1, Stall: 5 * time.Millisecond})
+	srv := pipelinedServer(slow, ServerOptions{MaxInFlight: 2})
+	addr, errc := startServer(t, srv)
+	defer srv.Close()
+
+	const clients = 8
+	const perClient = 10
+	var (
+		mu        sync.Mutex
+		okCount   int
+		busyRound uint64
+	)
+	var wg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := DialOpts(addr, ClientOptions{
+				Timeout: 500 * time.Millisecond,
+				Retries: 2,
+				Backoff: time.Millisecond,
+				Seed:    int64(ci + 1),
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < perClient; i++ {
+				_, err := c.Do([]Query{{Op: OpSet, Key: []byte(fmt.Sprintf("c%d-k%d", ci, i)), Value: []byte("v")}})
+				if err != nil && !errors.Is(err, ErrBusy) && !errors.Is(err, ErrTimeout) {
+					t.Errorf("client %d req %d: %v", ci, i, err)
+				}
+				mu.Lock()
+				if err == nil {
+					okCount++
+				}
+				mu.Unlock()
+			}
+			mu.Lock()
+			busyRound += c.Stats().BusyRounds
+			mu.Unlock()
+		}(ci)
+	}
+	wg.Wait()
+
+	if ss := srv.Stats(); ss.Shed == 0 {
+		t.Fatalf("pipelined server never shed over budget 2: %+v", ss)
+	}
+	if busyRound == 0 {
+		t.Fatal("no client observed StatusBusy")
+	}
+	if okCount == 0 {
+		t.Fatal("no request was admitted")
+	}
+	srv.Close()
+	waitServe(t, errc)
+}
+
+// TestPipelinedPanicAllowsRetry checks per-frame panic containment inside a
+// batch clears the in-flight marker so the client's retry is re-admitted.
+func TestPipelinedPanicAllowsRetry(t *testing.T) {
+	st := NewStore(StoreConfig{MemoryBytes: 4 << 20})
+	pb := &panicOnceBackend{inner: st}
+	srv := pipelinedServer(pb, ServerOptions{})
+	addr, errc := startServer(t, srv)
+	defer srv.Close()
+
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	frame := proto.EncodeFrameV2(nil, 90211, []Query{{Op: OpSet, Key: []byte("retry"), Value: []byte("v")}})
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Stats().Panics == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("panicked frame never observed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, proto.MaxFrameBytes)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatalf("retry after poisoned frame got no reply: %v", err)
+	}
+	rs, id, _, err := proto.ParseResponseFrameID(buf[:n], nil)
+	if err != nil || id != 90211 || len(rs) != 1 || rs[0].Status != proto.StatusOK {
+		t.Fatalf("retry response = %+v id %d err %v", rs, id, err)
+	}
+	if v, ok := st.Get([]byte("retry")); !ok || string(v) != "v" {
+		t.Fatalf("retried SET not applied: %q/%v", v, ok)
+	}
+	srv.Close()
+	waitServe(t, errc)
+}
+
+// TestPipelinedAdaptReplans drives a GET-heavy workload with online
+// adaptation on and checks the controller actually re-planned (the first
+// measured profile always triggers a plan) while serving stayed correct.
+func TestPipelinedAdaptReplans(t *testing.T) {
+	st := NewStore(StoreConfig{MemoryBytes: 16 << 20})
+	srv := NewServerOpts(st, ServerOptions{Pipeline: &PipelineOptions{
+		BatchInterval: 200 * time.Microsecond,
+		Adapt:         true,
+	}})
+	addr, errc := startServer(t, srv)
+	defer srv.Close()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const keys = 200
+	for i := 0; i < keys; i++ {
+		if err := c.Set([]byte(fmt.Sprintf("k%03d", i)), []byte("value-abcdefgh")); err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+	}
+	// ~95% GET traffic in frame-sized batches.
+	for round := 0; round < 50; round++ {
+		var qs []Query
+		for i := 0; i < 19; i++ {
+			qs = append(qs, Query{Op: OpGet, Key: []byte(fmt.Sprintf("k%03d", (round*19+i)%keys))})
+		}
+		qs = append(qs, Query{Op: OpSet, Key: []byte(fmt.Sprintf("k%03d", round%keys)), Value: []byte("value-abcdefgh")})
+		resps, err := c.Do(qs)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i := 0; i < 19; i++ {
+			if resps[i].Status != StatusOK {
+				t.Fatalf("round %d GET %d = %+v", round, i, resps[i])
+			}
+		}
+	}
+
+	replans, ok := srv.PipelineReplans()
+	if !ok {
+		t.Fatal("PipelineReplans reports adaptation off")
+	}
+	if replans == 0 {
+		t.Fatal("adaptation never re-planned despite measured profiles")
+	}
+	ps, _ := srv.PipelineStats()
+	if ps.Batches == 0 {
+		t.Fatalf("no batches completed: %+v", ps)
+	}
+	t.Logf("adapt: replans=%d stats=%+v", replans, ps)
+	srv.Close()
+	waitServe(t, errc)
+}
