@@ -46,6 +46,7 @@ func main() {
 	pipelineMode := flag.String("pipeline", "off", "serving path: off = goroutine per frame, on = batched task-granular pipeline")
 	batchInterval := flag.Duration("batch-interval", 500*time.Microsecond, "pipeline: max wait before a partial batch executes")
 	adapt := flag.Bool("adapt", false, "pipeline: online reconfiguration from measured per-batch profiles")
+	wideMin := flag.Int("wide-min", 0, "pipeline: min GETs per batch for the wide batched index path (0 = default, negative = disable)")
 
 	faultDrop := flag.Float64("fault-drop", 0, "inject: datagram drop rate [0,1], both directions")
 	faultDup := flag.Float64("fault-dup", 0, "inject: datagram duplication rate [0,1]")
@@ -59,7 +60,7 @@ func main() {
 	opts := dido.ServerOptions{MaxInFlight: *maxInflight, ReplyCacheSize: *replyCache}
 	switch *pipelineMode {
 	case "on":
-		opts.Pipeline = &dido.PipelineOptions{BatchInterval: *batchInterval, Adapt: *adapt}
+		opts.Pipeline = &dido.PipelineOptions{BatchInterval: *batchInterval, Adapt: *adapt, WideMinGets: *wideMin}
 	case "off":
 	default:
 		log.Fatalf("-pipeline must be on or off, got %q", *pipelineMode)
@@ -124,8 +125,8 @@ func main() {
 						fs.Dropped, fs.Duplicated, fs.Reordered, fs.Corrupted)
 				}
 				if ps, ok := srv.PipelineStats(); ok {
-					line += fmt.Sprintf(" | pipe batches=%d target=%d reconfigs=%d shed=%d panics=%d",
-						ps.Batches, ps.Target, ps.Reconfigs, ps.SubmitShed, ps.Panics)
+					line += fmt.Sprintf(" | pipe batches=%d wide=%d target=%d reconfigs=%d shed=%d panics=%d",
+						ps.Batches, ps.WideBatches, ps.Target, ps.Reconfigs, ps.SubmitShed, ps.Panics)
 					if replans, ok := srv.PipelineReplans(); ok {
 						line += fmt.Sprintf(" replans=%d", replans)
 					}

@@ -20,6 +20,7 @@
 package costmodel
 
 import (
+	"math"
 	"time"
 
 	"repro/internal/apu"
@@ -37,6 +38,15 @@ type Planner struct {
 	Interval time.Duration
 	// MinBatch/MaxBatch clamp the solved batch size.
 	MinBatch, MaxBatch int
+	// INSearchMLP, when > 1, models the wide batched IN(Search) executor: the
+	// wave-structured SearchBatch keeps several independent bucket-line misses
+	// in flight per core, so the task's random-access latency divides by an
+	// effective memory-level-parallelism factor that ramps from 1 at the wide
+	// path's engagement threshold up to INSearchMLP at large batches. Zero (or
+	// ≤ 1) leaves the scalar single-miss-at-a-time pricing — the default, so
+	// planners for the simulator's scalar executor are unchanged. The live
+	// server sets DefaultINSearchMLP when the wide path is enabled.
+	INSearchMLP float64
 
 	// phpCache memoizes CacheHitPortion per workload shape: the Zipf
 	// harmonic sums are the single most expensive part of evaluating the
@@ -48,6 +58,32 @@ type phpKey struct {
 	pop            uint64
 	keySz, valSz   float64
 	skew, cacheKiB float64
+}
+
+// DefaultINSearchMLP is the effective memory-level parallelism the wide
+// batched search reaches at large batches: out-of-order cores sustain a
+// handful of independent cache misses in flight (~4 across common cores once
+// address-generation and load-buffer limits are paid), which is also about
+// the speedup the batched-probe hash-join literature reports for
+// software-pipelined probes.
+const DefaultINSearchMLP = 4
+
+// inSearchMemDiv returns the divisor applied to a CPU task's random-access
+// latency term: >1 only for IN(Search) when the batched executor is modeled
+// (INSearchMLP set) and the batch is wide enough to engage it. The ramp is
+// logarithmic in batch size — each doubling past the engagement threshold
+// buys a deeper steady-state miss pipeline — reaching full INSearchMLP four
+// octaves in (n ≥ 16× the threshold, i.e. 512 at the default).
+func (pl *Planner) inSearchMemDiv(id task.ID, n int) float64 {
+	m := pl.INSearchMLP
+	if m <= 1 || id != task.INSearch || n < pipeline.DefaultWideMinGets {
+		return 1
+	}
+	ramp := math.Log2(float64(n)/float64(pipeline.DefaultWideMinGets)) / 4
+	if ramp > 1 {
+		ramp = 1
+	}
+	return 1 + (m-1)*ramp
 }
 
 // NewPlanner returns a planner with the µ table calibrated against a
@@ -152,7 +188,7 @@ func (pl *Planner) taskTime(id task.ID, prof task.Profile, cfg pipeline.Config, 
 		seqLine := spec.PrefetchHitRate*spec.CacheLatency.Seconds() +
 			(1-spec.PrefetchHitRate)*spec.MemLatency.Seconds()
 		per := d.Instr/spec.IPC*spec.CycleTime().Seconds() +
-			d.MemAccesses*spec.MemLatency.Seconds() +
+			d.MemAccesses*spec.MemLatency.Seconds()/pl.inSearchMemDiv(id, n) +
 			d.CacheAccesses*spec.CacheLatency.Seconds() +
 			d.SeqBytes/float64(spec.CacheLineBytes)*seqLine
 		return time.Duration(per * float64(d.Queries) / float64(cores) * float64(time.Second))
@@ -396,7 +432,7 @@ func (pl *Planner) taskTimeOnDevice(id task.ID, prof task.Profile, cfg pipeline.
 		seqLine := spec.PrefetchHitRate*spec.CacheLatency.Seconds() +
 			(1-spec.PrefetchHitRate)*spec.MemLatency.Seconds()
 		per := d.Instr/spec.IPC*spec.CycleTime().Seconds() +
-			d.MemAccesses*spec.MemLatency.Seconds() +
+			d.MemAccesses*spec.MemLatency.Seconds()/pl.inSearchMemDiv(id, n) +
 			d.CacheAccesses*spec.CacheLatency.Seconds() +
 			d.SeqBytes/float64(spec.CacheLineBytes)*seqLine
 		return time.Duration(per * float64(d.Queries) / float64(cores) * float64(time.Second))

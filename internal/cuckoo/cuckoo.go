@@ -104,6 +104,10 @@ func (t *Table) Buckets() int { return len(t.buckets) }
 // Capacity returns the total number of slots.
 func (t *Table) Capacity() int { return len(t.buckets) * SlotsPerBucket }
 
+// Seed returns the hash seed the table was built with, for callers that
+// precompute Hash values to feed SearchBufHash or SearchBatch.
+func (t *Table) Seed() uint64 { return t.seed }
+
 // hash derives the primary bucket index and the 16-bit signature for key.
 // The alternate bucket is sig-derived (partial-key cuckoo hashing), so an
 // entry can be displaced without access to the full key.

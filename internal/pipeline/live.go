@@ -45,6 +45,27 @@ type LiveStoreMetrics interface {
 	LiveMetrics() (liveObjects, evictions uint64, avgInsertBuckets float64)
 }
 
+// BatchReadStore is an optional LiveStore extension: the wide, shard-grouped
+// batched index path (the codebase's GPU-analog executor). When the store
+// implements it and a batch carries at least WideMinGets GETs, the IN stage
+// runs one SearchBatch over all the batch's GET keys and the KC+RD stage one
+// ReadCandidatesBatch / GetBatch, instead of one scalar call per key — the
+// batch-parallel execution the paper's IN stage gets from the GPU (§V).
+// Value spans use offset pairs into the shared vals arena; vlo[i] = -1 marks
+// a miss.
+type BatchReadStore interface {
+	// SearchBatch is the wide IN(Search): candidates for keys[i] are appended
+	// to dst with their span recorded in lo[i]:hi[i].
+	SearchBatch(keys [][]byte, dst []cuckoo.Location, lo, hi []int32) []cuckoo.Location
+	// ReadCandidatesBatch is the wide fused KC+RD over previously collected
+	// candidate spans; stale candidates must fall back to an authoritative
+	// lookup, exactly like the scalar ReadCandidates.
+	ReadCandidatesBatch(keys [][]byte, cands []cuckoo.Location, lo, hi []int32, vals []byte, vlo, vhi []int32) ([]byte, int)
+	// GetBatch is the fused wide search+read used when IN(Search) and KC
+	// share a stage (the batched counterpart of the search-skip fusion).
+	GetBatch(keys [][]byte, vals []byte, vlo, vhi []int32) ([]byte, int)
+}
+
 // LiveFrame is one client frame travelling through the live pipeline. The
 // submitter fills Queries, ParseNanos and Ctx; the WR stage fills Resps; the
 // Done callback receives the frame after its batch's last stage.
@@ -74,6 +95,10 @@ const (
 	DefaultLiveMaxPending    = 4
 	DefaultLiveMinBatch      = 64
 	DefaultLiveMaxBatch      = 8192
+	// DefaultWideMinGets is the GET count at which a batch switches from the
+	// scalar per-key IN/KC+RD loops to the wide batched path: below it the
+	// gather/scatter overhead outweighs the memory-parallelism win.
+	DefaultWideMinGets = 32
 )
 
 // liveMetricsRefresh bounds how often buildProfile polls LiveStoreMetrics:
@@ -102,6 +127,11 @@ type LiveOptions struct {
 	MaxPending int
 	// Workers sets the goroutine count per stage group; entries ≤ 0 mean 1.
 	Workers [3]int
+	// WideMinGets is the minimum number of GETs in a batch for the IN and
+	// KC+RD stages to use the store's wide batched path (BatchReadStore).
+	// 0 means DefaultWideMinGets; negative disables the wide path entirely.
+	// Ignored when the store does not implement BatchReadStore.
+	WideMinGets int
 	// OnBatchDone, when set, observes every completed batch after its frames
 	// were delivered. The *Batch is recycled after the callback returns;
 	// copy what outlives it.
@@ -143,6 +173,16 @@ type liveBatch struct {
 	vals  []byte
 	resps []proto.Response
 
+	// Wide-path gather arenas (reused): getKeys/getQ list every healthy
+	// frame's GET keys and their query-arena indexes (filled once per batch
+	// by gatherGets); glo/ghi and vlo/vhi are the per-GET candidate and
+	// value spans the batched store calls populate.
+	gathered bool
+	getKeys  [][]byte
+	getQ     []int32
+	glo, ghi []int32
+	vlo, vhi []int32
+
 	// lastStage is the last stage the sealed config maps work onto; the
 	// batch completes there instead of traversing empty stages (stamped by
 	// sealLocked).
@@ -172,6 +212,11 @@ func (b *liveBatch) reset() {
 	b.candHi = b.candHi[:0]
 	b.vals = b.vals[:0]
 	b.resps = b.resps[:0]
+	b.gathered = false
+	b.getKeys = b.getKeys[:0]
+	b.getQ = b.getQ[:0]
+	b.glo, b.ghi = b.glo[:0], b.ghi[:0]
+	b.vlo, b.vhi = b.vlo[:0], b.vhi[:0]
 	b.firstAt, b.sealedAt = time.Time{}, time.Time{}
 	b.taskNanos = [task.NumTasks]int64{}
 	b.taskUnits = [task.NumTasks]int64{}
@@ -230,6 +275,10 @@ type LiveRunner struct {
 	// wantProfile is false when the provider declared (via ProfileConsumer)
 	// that it never reads Batch.Profile; buildProfile is skipped then.
 	wantProfile bool
+	// wide is the store's batched path, nil when unsupported or disabled;
+	// wideMin is the per-batch GET count that engages it.
+	wide    BatchReadStore
+	wideMin int
 
 	mu      sync.Mutex // guards pending, cfg, target, seq, closed
 	pending *liveBatch
@@ -261,11 +310,12 @@ type LiveRunner struct {
 
 	pool sync.Pool // *liveBatch
 
-	batches   stats.Counter
-	queries   stats.Counter
-	panics    stats.Counter
-	reconfigs stats.Counter
-	shedFull  stats.Counter
+	batches     stats.Counter
+	queries     stats.Counter
+	panics      stats.Counter
+	reconfigs   stats.Counter
+	shedFull    stats.Counter
+	wideBatches stats.Counter
 
 	stageHist [3]*stats.Histogram             // per-batch stage wall time, µs
 	taskHist  [task.NumTasks]*stats.Histogram // per-unit task cost, ns
@@ -306,6 +356,15 @@ func NewLiveRunner(s LiveStore, opts LiveOptions) *LiveRunner {
 	}
 	if pc, ok := opts.Provider.(ProfileConsumer); ok {
 		r.wantProfile = pc.WantsProfile()
+	}
+	r.wideMin = opts.WideMinGets
+	if r.wideMin == 0 {
+		r.wideMin = DefaultWideMinGets
+	}
+	if r.wideMin > 0 {
+		if bs, ok := s.(BatchReadStore); ok {
+			r.wide = bs
+		}
 	}
 	r.cfg, r.target = opts.Provider.NextConfig(nil)
 	if r.target < 1 {
@@ -561,13 +620,75 @@ func (b *liveBatch) taskDone(id task.ID, start time.Time, units int) {
 	}
 }
 
+// gatherGets lists every healthy frame's GET keys (and their query-arena
+// indexes) into the batch's gather arenas, once per batch. This is the
+// scatter/gather step that turns the frame-structured batch into the flat key
+// vector the wide store calls consume.
+func (b *liveBatch) gatherGets() {
+	if b.gathered {
+		return
+	}
+	b.gathered = true
+	for fi, f := range b.frames {
+		if f.Err {
+			continue
+		}
+		lo := int(b.frameOff[fi])
+		for i := range f.Queries {
+			if f.Queries[i].Op != proto.OpGet {
+				continue
+			}
+			b.getKeys = append(b.getKeys, f.Queries[i].Key)
+			b.getQ = append(b.getQ, int32(lo+i))
+		}
+	}
+}
+
+// wideEligible reports whether b should run its GETs through the store's
+// batched path: the store supports it and the batch carries enough GETs to
+// amortize the gather/scatter overhead.
+func (r *LiveRunner) wideEligible(b *liveBatch) bool {
+	if r.wide == nil || b.nq < r.wideMin {
+		return false
+	}
+	b.gatherGets()
+	return len(b.getQ) >= r.wideMin
+}
+
+// wideSearch runs one SearchBatch over the batch's gathered GET keys and
+// scatters the candidate spans back to the per-query arena. A panic inside
+// the store reports false so the caller can rerun the scalar per-frame path,
+// which re-raises inside eachFrame and poisons only the offending frame.
+func (r *LiveRunner) wideSearch(b *liveBatch) (ok bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			ok = false
+		}
+	}()
+	ng := len(b.getQ)
+	b.glo = sizeI32(b.glo, ng)
+	b.ghi = sizeI32(b.ghi, ng)
+	b.cands = r.wide.SearchBatch(b.getKeys, b.cands[:0], b.glo, b.ghi)
+	for j, q := range b.getQ {
+		b.candLo[q], b.candHi[q] = b.glo[j], b.ghi[j]
+	}
+	return true
+}
+
 // runSearch performs IN(Search) for every GET, collecting candidate
-// locations into the batch's shared arena.
+// locations into the batch's shared arena. Large batches run the wide,
+// shard-grouped SearchBatch; small ones (and stores without the batched
+// extension) take the scalar per-key loop.
 func (r *LiveRunner) runSearch(b *liveBatch) {
 	start := r.taskStart()
 	b.searched = true
 	b.candLo = sizeI32(b.candLo, b.nq)
 	b.candHi = sizeI32(b.candHi, b.nq)
+	if r.wideEligible(b) && r.wideSearch(b) {
+		b.taskDone(task.INSearch, start, len(b.getQ))
+		return
+	}
+	b.cands = b.cands[:0] // discard any partial wide results before the rerun
 	units := 0
 	r.eachFrame(b, func(fi int, f *LiveFrame) {
 		lo := int(b.frameOff[fi])
@@ -691,11 +812,67 @@ func (r *LiveRunner) runDeletes(b *liveBatch) {
 	b.taskDone(task.INDelete, start, units)
 }
 
+// wideReads runs the fused KC+RD over the batch's gathered GETs in one
+// batched store call — ReadCandidatesBatch over the search stage's candidate
+// spans, or the fully-fused GetBatch when the search was skipped — then
+// scatters values, responses, and accounting back per query. All bookkeeping
+// happens after the store call returns, so a store panic (reported as false;
+// the scalar loop reruns and contains it per frame) cannot leave half-counted
+// stats behind.
+func (r *LiveRunner) wideReads(b *liveBatch) (ok bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			ok = false
+		}
+	}()
+	ng := len(b.getQ)
+	b.vlo = sizeI32(b.vlo, ng)
+	b.vhi = sizeI32(b.vhi, ng)
+	var hits int
+	if b.searched {
+		// Regather candidate spans from the per-query arena: the search stage
+		// may have run either wide or scalar, candLo/candHi is the contract.
+		b.glo = sizeI32(b.glo, ng)
+		b.ghi = sizeI32(b.ghi, ng)
+		for j, q := range b.getQ {
+			b.glo[j], b.ghi[j] = b.candLo[q], b.candHi[q]
+		}
+		b.vals, hits = r.wide.ReadCandidatesBatch(b.getKeys, b.cands, b.glo, b.ghi, b.vals, b.vlo, b.vhi)
+	} else {
+		b.vals, hits = r.wide.GetBatch(b.getKeys, b.vals, b.vlo, b.vhi)
+	}
+	for j, q := range b.getQ {
+		k := b.getKeys[j]
+		b.keyBytes += len(k)
+		if r.wantProfile {
+			b.wireBytes += proto.EncodedQueryLen(proto.Query{Op: proto.OpGet, Key: k})
+		}
+		if b.vlo[j] >= 0 {
+			v := b.vals[b.vlo[j]:b.vhi[j]:b.vhi[j]]
+			b.resps[q] = proto.Response{Status: proto.StatusOK, Value: v}
+			b.valBytes += len(v)
+		} else {
+			b.resps[q] = proto.Response{Status: proto.StatusNotFound}
+		}
+	}
+	b.b.Hits += hits
+	b.b.Misses += ng - hits
+	r.wideBatches.Inc()
+	return true
+}
+
 // runReads performs the fused KC+RD for every GET, appending values into the
 // batch's arena. Growing the arena keeps earlier backing arrays alive, so
-// responses already built remain valid for the batch's lifetime.
+// responses already built remain valid for the batch's lifetime. Large
+// batches take the wide batched path; the scalar per-frame loop is the
+// fallback and the panic-containment path.
 func (r *LiveRunner) runReads(b *liveBatch) {
 	start := r.taskStart()
+	if r.wideEligible(b) && r.wideReads(b) {
+		b.gets += len(b.getQ)
+		b.taskDone(task.KC, start, len(b.getQ))
+		return
+	}
 	units := 0
 	r.eachFrame(b, func(fi int, f *LiveFrame) {
 		lo := int(b.frameOff[fi])
@@ -788,6 +965,9 @@ func (r *LiveRunner) complete(b *liveBatch) {
 	}
 	for i := range b.frames {
 		b.frames[i] = nil
+	}
+	for i := range b.getKeys {
+		b.getKeys[i] = nil // key bytes belong to the delivered frames
 	}
 	r.pool.Put(b)
 }
@@ -893,6 +1073,8 @@ type LiveStats struct {
 	Reconfigs uint64
 	// SubmitShed counts frames rejected because every stage-1 slot was full.
 	SubmitShed uint64
+	// WideBatches counts KC+RD stage passes served by the wide batched path.
+	WideBatches uint64
 	// Config and Target are the currently installed config and batch size.
 	Config Config
 	Target int
@@ -904,13 +1086,14 @@ func (r *LiveRunner) Stats() LiveStats {
 	cfg, target := r.cfg, r.target
 	r.mu.Unlock()
 	return LiveStats{
-		Batches:    r.batches.Load(),
-		Queries:    r.queries.Load(),
-		Panics:     r.panics.Load(),
-		Reconfigs:  r.reconfigs.Load(),
-		SubmitShed: r.shedFull.Load(),
-		Config:     cfg,
-		Target:     target,
+		Batches:     r.batches.Load(),
+		Queries:     r.queries.Load(),
+		Panics:      r.panics.Load(),
+		Reconfigs:   r.reconfigs.Load(),
+		SubmitShed:  r.shedFull.Load(),
+		WideBatches: r.wideBatches.Load(),
+		Config:      cfg,
+		Target:      target,
 	}
 }
 

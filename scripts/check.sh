@@ -33,10 +33,25 @@ go test -count=1 -race -timeout 900s ./internal/store ./internal/slab
 echo "== pipeline concurrency (-race, -count=1) =="
 go test -count=1 -race -timeout 900s ./internal/pipeline ./internal/costmodel ./internal/udpbatch
 
+# The wide batched index path: cross-check SearchBatch/GetBatch against the
+# scalar search under concurrent churn (the amortized version-check fallback),
+# un-cached and race-enabled every pass.
+echo "== wide batch path (-race, -count=1) =="
+go test -count=1 -race -timeout 900s \
+    -run 'SearchBatch|GetBatch|ReadCandidatesBatch|BatchPath|LiveWide|PipelinedWidePath' \
+    ./internal/cuckoo ./internal/store ./internal/pipeline .
+
 # Benchmark smoke: one iteration each, just proving the benchmarks still
 # compile and run (allocation regressions show up in the full bench runs).
 echo "== benchmark smoke =="
 go test -run='^$' -bench=. -benchtime=1x ./internal/store ./internal/slab ./internal/cuckoo
+
+# Batched-search bench smoke: a short real run (not 1x) of the wide-vs-scalar
+# comparison, proving the wide path executes end-to-end at several batch
+# sizes and stays allocation-free (the -benchtime=8x run is long enough for
+# the alloc columns to be meaningful, short enough for CI).
+echo "== batched-search bench smoke =="
+go test -run='^$' -bench='BenchmarkSearchBatch' -benchtime=8x ./internal/store
 
 # End-to-end smoke of the real binaries on the batched pipeline path: a
 # dido-server with -pipeline on -adapt serving a short dido-loadgen run must
@@ -59,6 +74,7 @@ if [ "$FUZZTIME" != "0" ]; then
     echo "== fuzz smoke ($FUZZTIME per target) =="
     go test -run='^$' -fuzz=FuzzParseFrame -fuzztime="$FUZZTIME" ./internal/proto
     go test -run='^$' -fuzz=FuzzParseResponseFrame -fuzztime="$FUZZTIME" ./internal/proto
+    go test -run='^$' -fuzz=FuzzSearchBatchMatchesSearchBuf -fuzztime="$FUZZTIME" ./internal/cuckoo
 fi
 
 echo "== check.sh: all green =="

@@ -49,6 +49,11 @@ type PipelineOptions struct {
 	// Requires the backend to be a *Store (the profiler reads its access
 	// counters); otherwise the static default config is used.
 	Adapt bool
+	// WideMinGets is the per-batch GET count at which the IN and KC+RD stages
+	// switch from scalar per-key loops to the store's wide, shard-grouped
+	// batched path. 0 means pipeline.DefaultWideMinGets; negative disables
+	// the wide path. Only effective when the backend is a *Store.
+	WideMinGets int
 	// Provider overrides the config provider entirely (tests); when set,
 	// Adapt is ignored.
 	Provider pipeline.ConfigProvider
@@ -120,6 +125,12 @@ func (s *Server) initPipeline(po *PipelineOptions) {
 			pl := costmodel.NewPlanner(apu.KaveriPlatform(), interval)
 			pl.MinBatch = pipeline.DefaultLiveMinBatch
 			pl.MaxBatch = maxBatch
+			if po.WideMinGets >= 0 {
+				// The wide batched executor serves IN(Search); let the planner
+				// price its memory-level parallelism so it prefers wide IN
+				// stages at large batch sizes.
+				pl.INSearchMLP = costmodel.DefaultINSearchMLP
+			}
 			sizer := &pipeline.BatchSizer{Interval: interval, Min: pl.MinBatch, Max: maxBatch}
 			sizer.Set(pipeline.DefaultInitialBatch)
 			pipe.ctrl = costmodel.NewController(pl, profiler.New(inner), pipeline.DefaultLiveConfig(), sizer)
@@ -138,6 +149,7 @@ func (s *Server) initPipeline(po *PipelineOptions) {
 		Provider:      provider,
 		BatchInterval: interval,
 		Workers:       po.Workers,
+		WideMinGets:   po.WideMinGets,
 		DoneBatch:     s.pipelineBatchDone,
 	})
 	pipe.measureParse = pipe.runner.WantsProfile()
@@ -280,6 +292,21 @@ func (l storeLive) Set(key, value []byte) error {
 }
 
 func (l storeLive) Delete(key []byte) bool { return l.s.Delete(key) }
+
+// The wide batched path (pipeline.BatchReadStore) delegates straight to the
+// store's shard-grouped executors.
+
+func (l storeLive) SearchBatch(keys [][]byte, dst []cuckoo.Location, lo, hi []int32) []cuckoo.Location {
+	return l.s.SearchBatch(keys, dst, lo, hi)
+}
+
+func (l storeLive) ReadCandidatesBatch(keys [][]byte, cands []cuckoo.Location, lo, hi []int32, vals []byte, vlo, vhi []int32) ([]byte, int) {
+	return l.s.ReadCandidatesBatch(keys, cands, lo, hi, vals, vlo, vhi)
+}
+
+func (l storeLive) GetBatch(keys [][]byte, vals []byte, vlo, vhi []int32) ([]byte, int) {
+	return l.s.GetBatch(keys, vals, vlo, vhi)
+}
 
 func (l storeLive) LiveMetrics() (liveObjects, evictions uint64, avgInsertBuckets float64) {
 	st := l.s.StatsSnapshot()

@@ -430,3 +430,60 @@ func TestPipelinedAdaptReplans(t *testing.T) {
 	srv.Close()
 	waitServe(t, errc)
 }
+
+// TestPipelinedWidePath forces the wide batched index path (WideMinGets: 1)
+// through the real sharded store and checks end-to-end answers plus the
+// WideBatches counter — the server-level proof that SearchBatch /
+// ReadCandidatesBatch / GetBatch carried real traffic.
+func TestPipelinedWidePath(t *testing.T) {
+	st := NewStore(StoreConfig{MemoryBytes: 8 << 20, Shards: 4})
+	srv := pipelinedServer(st, ServerOptions{Pipeline: &PipelineOptions{
+		BatchInterval: 200 * time.Microsecond,
+		WideMinGets:   1,
+	}})
+	addr, errc := startServer(t, srv)
+	defer srv.Close()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const keys = 64
+	for i := 0; i < keys; i++ {
+		if err := c.Set([]byte(fmt.Sprintf("wk%03d", i)), []byte(fmt.Sprintf("wv%03d", i))); err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+	}
+	for round := 0; round < 10; round++ {
+		var qs []Query
+		for i := 0; i < 20; i++ {
+			qs = append(qs, Query{Op: OpGet, Key: []byte(fmt.Sprintf("wk%03d", (round*20+i)%keys))})
+		}
+		qs = append(qs, Query{Op: OpGet, Key: []byte("wk-missing")})
+		resps, err := c.Do(qs)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i := 0; i < 20; i++ {
+			want := fmt.Sprintf("wv%03d", (round*20+i)%keys)
+			if resps[i].Status != StatusOK || string(resps[i].Value) != want {
+				t.Fatalf("round %d GET %d = %d %q, want OK %q", round, i, resps[i].Status, resps[i].Value, want)
+			}
+		}
+		if resps[20].Status != StatusNotFound {
+			t.Fatalf("round %d missing = %+v, want NotFound", round, resps[20])
+		}
+	}
+
+	ps, ok := srv.PipelineStats()
+	if !ok {
+		t.Fatal("PipelineStats reports the pipeline off")
+	}
+	if ps.WideBatches == 0 {
+		t.Fatalf("WideBatches = 0 with WideMinGets=1: the wide path never served traffic (%+v)", ps)
+	}
+	srv.Close()
+	waitServe(t, errc)
+}
