@@ -8,18 +8,31 @@
 // The -fault-* flags put a deterministic fault injector on the client socket
 // for chaos testing against an unmodified server.
 //
+// With -scrape, the load generator doubles as an observability smoke check:
+// it scrapes the server's admin /metrics endpoint before and after the run,
+// prints counter deltas, and fetches /config and /trace. -scrape-assert turns
+// violations (a non-monotonic *_total counter, an unreachable endpoint, a
+// zero served count) into a non-zero exit for CI.
+//
 // Usage:
 //
 //	dido-loadgen -addr 127.0.0.1:11311 -workload K16-G95-S -duration 10s
 //	dido-loadgen -fault-drop 0.1 -fault-dup 0.05 -retries 10 -timeout 100ms
+//	dido-loadgen -scrape http://127.0.0.1:9090 -scrape-assert
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro"
@@ -48,6 +61,9 @@ func main() {
 	faultCorrupt := flag.Float64("fault-corrupt", 0, "inject: datagram corruption rate [0,1]")
 	faultDelay := flag.Duration("fault-delay", 0, "inject: per-datagram delay")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed (deterministic)")
+
+	scrape := flag.String("scrape", "", "admin base URL to scrape before/after the run, e.g. http://127.0.0.1:9090")
+	scrapeAssert := flag.Bool("scrape-assert", false, "exit non-zero on scrape violations (needs -scrape)")
 	flag.Parse()
 
 	spec, ok := workload.SpecByName(*wl)
@@ -83,6 +99,18 @@ func main() {
 		os.Exit(1)
 	}
 	defer c.Close()
+
+	var before map[string]float64
+	if *scrape != "" {
+		m, err := scrapeMetrics(*scrape)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scrape:", err)
+			if *scrapeAssert {
+				os.Exit(1)
+			}
+		}
+		before = m
+	}
 
 	gen := workload.NewGenerator(spec, *pop, *seed)
 	if *warm {
@@ -165,6 +193,112 @@ func main() {
 		fmt.Printf("faults injected: drop=%d dup=%d reorder=%d corrupt=%d delayed=%d\n",
 			fs.Dropped, fs.Duplicated, fs.Reordered, fs.Corrupted, fs.Delayed)
 	}
+
+	if *scrape != "" {
+		if err := checkScrape(*scrape, before); err != nil {
+			fmt.Fprintln(os.Stderr, "scrape:", err)
+			if *scrapeAssert {
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// scrapeMetrics fetches base+"/metrics" and parses the Prometheus text
+// exposition into sample (name with labels) → value. Comment lines are
+// skipped; anything else must parse, so a malformed exposition fails loudly.
+func scrapeMetrics(base string) (map[string]float64, error) {
+	body, err := adminGet(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("unparseable sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("unparseable value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out, nil
+}
+
+// checkScrape re-scrapes the admin endpoint after the run and audits it
+// against the pre-run snapshot: every *_total counter must be monotonic, the
+// server must have served something, and /config and /trace must answer with
+// valid JSON. The first violation is returned as an error.
+func checkScrape(base string, before map[string]float64) error {
+	after, err := scrapeMetrics(base)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for name := range before {
+		if strings.Contains(name, "_total") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	checked := 0
+	for _, name := range names {
+		v2, ok := after[name]
+		if !ok {
+			return fmt.Errorf("counter %s vanished between scrapes", name)
+		}
+		if v2 < before[name] {
+			return fmt.Errorf("counter %s went backwards: %v -> %v", name, before[name], v2)
+		}
+		checked++
+	}
+	if served := after["dido_served_queries_total"]; served == 0 {
+		return fmt.Errorf("dido_served_queries_total is 0 after the run")
+	}
+	fmt.Printf("scrape: %d samples, %d *_total counters monotonic, served=%.0f frames=%.0f\n",
+		len(after), checked, after["dido_served_queries_total"], after["dido_frames_total"])
+	for _, path := range []string{"/config", "/trace"} {
+		body, err := adminGet(base + path)
+		if err != nil {
+			// /trace 404s when the server runs without -adapt; that is a
+			// configuration, not a violation.
+			if path == "/trace" && errors.Is(err, errNotFound) {
+				continue
+			}
+			return err
+		}
+		var v any
+		if err := json.Unmarshal(body, &v); err != nil {
+			return fmt.Errorf("%s: not JSON: %v", path, err)
+		}
+	}
+	return nil
+}
+
+var errNotFound = errors.New("not found")
+
+func adminGet(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("GET %s: %v", url, err)
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("GET %s: %w", url, errNotFound)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return body, nil
 }
 
 func maxU(a, b uint64) uint64 {

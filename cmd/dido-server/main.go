@@ -31,6 +31,7 @@ import (
 
 	"repro"
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -48,6 +49,11 @@ func main() {
 	adapt := flag.Bool("adapt", false, "pipeline: online reconfiguration from measured per-batch profiles")
 	wideMin := flag.Int("wide-min", 0, "pipeline: min GETs per batch for the wide batched index path (0 = default, negative = disable)")
 
+	adminAddr := flag.String("admin", "", "HTTP observability address, e.g. :9090 (/metrics, /config, /trace, /slowlog, /debug/pprof; empty disables)")
+	slowQuery := flag.Duration("slow-query", 0, "record frames slower than this (0 disables the slow-query log)")
+	slowSample := flag.Int("slow-query-sample", 1, "record 1 of every N over-threshold frames")
+	slowEntries := flag.Int("slow-query-log", obs.DefaultSlowLogSize, "slow-query ring entries")
+
 	faultDrop := flag.Float64("fault-drop", 0, "inject: datagram drop rate [0,1], both directions")
 	faultDup := flag.Float64("fault-dup", 0, "inject: datagram duplication rate [0,1]")
 	faultReorder := flag.Float64("fault-reorder", 0, "inject: datagram reorder rate [0,1]")
@@ -58,9 +64,18 @@ func main() {
 
 	st := dido.NewStore(dido.StoreConfig{MemoryBytes: *mem, Shards: *shards})
 	opts := dido.ServerOptions{MaxInFlight: *maxInflight, ReplyCacheSize: *replyCache}
+	var slowLog *obs.SlowLog
+	if *slowQuery > 0 {
+		slowLog = obs.NewSlowLog(*slowQuery, *slowEntries, *slowSample)
+		opts.SlowLog = slowLog
+	}
+	var trace *obs.TraceRing
 	switch *pipelineMode {
 	case "on":
-		opts.Pipeline = &dido.PipelineOptions{BatchInterval: *batchInterval, Adapt: *adapt, WideMinGets: *wideMin}
+		if *adminAddr != "" && *adapt {
+			trace = obs.NewTraceRing(0)
+		}
+		opts.Pipeline = &dido.PipelineOptions{BatchInterval: *batchInterval, Adapt: *adapt, WideMinGets: *wideMin, Trace: trace}
 	case "off":
 	default:
 		log.Fatalf("-pipeline must be on or off, got %q", *pipelineMode)
@@ -96,6 +111,23 @@ func main() {
 	log.Printf("dido-server listening on %s (arena %d MB, max-inflight %d, pipeline=%s adapt=%v)",
 		srv.Addr(), *mem>>20, *maxInflight, *pipelineMode, *adapt)
 
+	var admin *obs.Admin
+	if *adminAddr != "" {
+		admin = obs.NewAdmin(obs.AdminOptions{
+			Collect: func(w *obs.MetricsWriter) {
+				srv.CollectMetrics(w)
+				st.CollectMetrics(w)
+			},
+			Config:  func() any { return srv.ConfigView() },
+			Trace:   trace,
+			SlowLog: slowLog,
+		})
+		if err := admin.Start(*adminAddr); err != nil {
+			log.Fatalf("admin listen: %v", err)
+		}
+		log.Printf("admin endpoint on http://%s (/metrics /config /trace /slowlog /debug/pprof)", admin.Addr())
+	}
+
 	var textSrv *dido.TextServer
 	if *textAddr != "" {
 		textSrv = dido.NewTextServer(st)
@@ -116,9 +148,10 @@ func main() {
 			for range time.Tick(*statsEvery) {
 				s := st.Stats()
 				ss := srv.Stats()
-				line := fmt.Sprintf("served=%d frames=%d shed=%d replayed=%d dup-dropped=%d malformed=%d panics=%d inflight=%d live=%d hits=%d misses=%d evictions=%d load=%.2f",
-					ss.Served, ss.Frames, ss.Shed, ss.Replayed, ss.DupDropped, ss.Malformed, ss.Panics, ss.InFlight,
-					s.LiveObjects, s.Hits, s.Misses, s.Evictions, s.IndexLoadFactor)
+				// The server half of the line renders through the same
+				// ServerStats.String the /metrics parity tests pin.
+				line := fmt.Sprintf("%s live=%d hits=%d misses=%d evictions=%d load=%.2f",
+					ss, s.LiveObjects, s.Hits, s.Misses, s.Evictions, s.IndexLoadFactor)
 				if injector != nil {
 					fs := injector.Stats()
 					line += fmt.Sprintf(" faults[drop=%d dup=%d reorder=%d corrupt=%d]",
@@ -146,6 +179,9 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down (draining in-flight frames)")
+	if admin != nil {
+		admin.Close()
+	}
 	if textSrv != nil {
 		textSrv.Close()
 	}

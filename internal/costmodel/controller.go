@@ -2,7 +2,9 @@ package costmodel
 
 import (
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/profiler"
 	"repro/internal/task"
@@ -25,10 +27,16 @@ type Controller struct {
 	Planner  *Planner
 	Profiler *profiler.Profiler
 	Sizer    *pipeline.BatchSizer
+	// Trace, when set, receives one event per batch-boundary decision —
+	// replans and keeps alike — making the adaptation loop auditable from
+	// the admin endpoint (/trace). Appending is O(1) and allocation-free,
+	// so tracing is safe to leave on in production.
+	Trace *obs.TraceRing
 
-	mu      sync.Mutex
-	cfg     pipeline.Config
-	replans uint64
+	mu       sync.Mutex
+	cfg      pipeline.Config
+	replans  uint64
+	lastPred Prediction // most recent installed plan; Tmax is its prediction
 }
 
 // NewController returns a controller starting at initial. A nil sizer gets
@@ -54,19 +62,42 @@ func (c *Controller) NextConfig(prev *pipeline.Batch) (pipeline.Config, int) {
 	if prev == nil {
 		return c.cfg, c.Sizer.Current()
 	}
+	oldCfg, oldTarget := c.cfg, c.Sizer.Current()
 	measured, replan := c.Profiler.Observe(prev.Profile)
+	replanned := false
+	var target int
 	if replan {
 		best, _ := c.Planner.BestFiltered(c.plannerProfile(measured), c.keep)
 		if best.ThroughputOPS > 0 {
 			c.cfg = best.Config
 			c.Sizer.Set(best.Batch)
 			c.replans++
-			return c.cfg, c.Sizer.Current()
+			c.lastPred = best
+			replanned = true
+			target = c.Sizer.Current()
 		}
 	}
-	// Between replans the batch size follows the shared feedback controller,
-	// nudging measured Tmax toward the scheduling interval.
-	return c.cfg, c.Sizer.Observe(prev)
+	if !replanned {
+		// Between replans the batch size follows the shared feedback
+		// controller, nudging measured Tmax toward the scheduling interval.
+		target = c.Sizer.Observe(prev)
+	}
+	if c.Trace != nil {
+		c.Trace.Append(obs.TraceEvent{
+			When:          time.Now(),
+			Seq:           prev.Seq,
+			Replan:        replanned,
+			Old:           oldCfg,
+			New:           c.cfg,
+			OldTarget:     oldTarget,
+			NewTarget:     target,
+			Profile:       measured,
+			PredictedTmax: c.lastPred.Tmax,
+			RealizedTmax:  prev.Times.Tmax,
+			RealizedWall:  prev.Wall,
+		})
+	}
+	return c.cfg, target
 }
 
 // plannerProfile strips measurements the cost model must derive analytically

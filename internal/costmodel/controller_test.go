@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/apu"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/profiler"
 	"repro/internal/store"
@@ -75,6 +76,67 @@ func TestControllerStableWorkloadNoReplan(t *testing.T) {
 	_, n := c.NextConfig(fast)
 	if n <= before && before < c.Planner.MaxBatch {
 		t.Fatalf("feedback sizing: %d → %d, want growth", before, n)
+	}
+}
+
+func TestControllerTraceRecordsEveryDecision(t *testing.T) {
+	c := newTestController()
+	c.Trace = obs.NewTraceRing(16)
+	c.NextConfig(nil) // initial handout: no completed batch, no event
+	if got := c.Trace.Total(); got != 0 {
+		t.Fatalf("initial NextConfig traced %d events, want 0", got)
+	}
+
+	// First measured batch always replans (profiler baseline).
+	b := measuredBatch(0.95)
+	b.Seq = 7
+	b.Wall = 250 * time.Microsecond
+	cfg1, n1 := c.NextConfig(b)
+	// A stable follow-up is a "keep" decision — still traced.
+	c.NextConfig(measuredBatch(0.95))
+
+	if got := c.Trace.Total(); got != 2 {
+		t.Fatalf("traced %d events over 2 decisions", got)
+	}
+	ev := c.Trace.Snapshot()
+	first, second := ev[0], ev[1]
+
+	if !first.Replan {
+		t.Fatal("first measured batch must trace as a replan")
+	}
+	if first.Seq != 7 {
+		t.Fatalf("Seq = %d, want 7", first.Seq)
+	}
+	if first.Old != pipeline.DefaultLiveConfig() {
+		t.Fatalf("old config = %v, want the initial config", first.Old)
+	}
+	if first.New != cfg1 || first.NewTarget != n1 {
+		t.Fatalf("new (%v, %d) disagrees with NextConfig (%v, %d)",
+			first.New, first.NewTarget, cfg1, n1)
+	}
+	if first.Profile.GetRatio != 0.95 {
+		t.Fatalf("profile not recorded: %+v", first.Profile)
+	}
+	if first.RealizedTmax != 200*time.Microsecond || first.RealizedWall != 250*time.Microsecond {
+		t.Fatalf("realized tmax=%v wall=%v", first.RealizedTmax, first.RealizedWall)
+	}
+	if first.PredictedTmax <= 0 {
+		t.Fatal("replan event missing the planner's predicted Tmax")
+	}
+	if first.When.IsZero() {
+		t.Fatal("event not timestamped")
+	}
+
+	if second.Replan {
+		t.Fatal("stable workload decision traced as a replan")
+	}
+	if second.Old != second.New {
+		t.Fatalf("keep decision changed config: %v → %v", second.Old, second.New)
+	}
+	// The keep decision still reports the standing plan's prediction.
+	if second.PredictedTmax != first.PredictedTmax {
+		t.Fatalf("keep event prediction %v != standing plan %v",
+			second.PredictedTmax, first.PredictedTmax)
 	}
 }
 

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// startAdmin binds an Admin on a loopback port and returns its base URL.
+func startAdmin(t *testing.T, opts AdminOptions) string {
+	t.Helper()
+	a := NewAdmin(opts)
+	if err := a.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("start admin: %v", err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return "http://" + a.Addr().String()
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	ring := NewTraceRing(8)
+	cfgOld := pipeline.Config{GPUDepth: 0}
+	cfgNew := pipeline.Config{GPUDepth: 2, CPUCoresPre: 1}
+	ring.Append(TraceEvent{
+		When: time.Now(), Seq: 1, Replan: true,
+		Old: cfgOld, New: cfgNew, OldTarget: 512, NewTarget: 1024,
+		PredictedTmax: 80 * time.Microsecond,
+		RealizedTmax:  95 * time.Microsecond,
+		RealizedWall:  120 * time.Microsecond,
+	})
+	sl := NewSlowLog(time.Microsecond, 8, 1)
+	sl.Observe(time.Millisecond, 2, 'g', []byte("slow"))
+
+	base := startAdmin(t, AdminOptions{
+		Collect: func(w *MetricsWriter) {
+			w.Counter("dido_app_frames_total", "App frames.", 7)
+		},
+		Config:  func() any { return map[string]any{"pipeline": cfgNew.String()} },
+		Trace:   ring,
+		SlowLog: sl,
+	})
+
+	t.Run("metrics", func(t *testing.T) {
+		code, body := get(t, base+"/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("status = %d", code)
+		}
+		for _, want := range []string{
+			"dido_app_frames_total 7",
+			"dido_trace_decisions_total 1",
+			"dido_slowlog_over_threshold_total 1",
+			"dido_slowlog_recorded_total 1",
+			"dido_slowlog_latency_micros_count 1",
+		} {
+			if !strings.Contains(body, want) {
+				t.Fatalf("missing %q in:\n%s", want, body)
+			}
+		}
+	})
+
+	t.Run("config", func(t *testing.T) {
+		code, body := get(t, base+"/config")
+		if code != http.StatusOK {
+			t.Fatalf("status = %d", code)
+		}
+		var v map[string]any
+		if err := json.Unmarshal([]byte(body), &v); err != nil {
+			t.Fatalf("config not JSON: %v\n%s", err, body)
+		}
+		if v["pipeline"] != cfgNew.String() {
+			t.Fatalf("config pipeline = %v, want %q", v["pipeline"], cfgNew.String())
+		}
+	})
+
+	t.Run("trace", func(t *testing.T) {
+		code, body := get(t, base+"/trace")
+		if code != http.StatusOK {
+			t.Fatalf("status = %d", code)
+		}
+		var v struct {
+			Total  uint64 `json:"total"`
+			Cap    int    `json:"cap"`
+			Events []struct {
+				Seq       uint64 `json:"seq"`
+				Replan    bool   `json:"replan"`
+				Old       string `json:"old"`
+				New       string `json:"new"`
+				OldTarget int    `json:"old_target"`
+				NewTarget int    `json:"new_target"`
+			} `json:"events"`
+		}
+		if err := json.Unmarshal([]byte(body), &v); err != nil {
+			t.Fatalf("trace not JSON: %v\n%s", err, body)
+		}
+		if v.Total != 1 || v.Cap != 8 || len(v.Events) != 1 {
+			t.Fatalf("trace dump = %+v", v)
+		}
+		e := v.Events[0]
+		if !e.Replan || e.Seq != 1 || e.OldTarget != 512 || e.NewTarget != 1024 {
+			t.Fatalf("event = %+v", e)
+		}
+		if e.Old != cfgOld.String() || e.New != cfgNew.String() {
+			t.Fatalf("notation old=%q new=%q", e.Old, e.New)
+		}
+	})
+
+	t.Run("slowlog", func(t *testing.T) {
+		code, body := get(t, base+"/slowlog")
+		if code != http.StatusOK {
+			t.Fatalf("status = %d", code)
+		}
+		var v struct {
+			Seen    uint64 `json:"over_threshold_total"`
+			Entries []struct {
+				Key       string  `json:"key"`
+				LatencyUS float64 `json:"latency_micros"`
+			} `json:"entries"`
+		}
+		if err := json.Unmarshal([]byte(body), &v); err != nil {
+			t.Fatalf("slowlog not JSON: %v\n%s", err, body)
+		}
+		if v.Seen != 1 || len(v.Entries) != 1 {
+			t.Fatalf("slowlog dump = %+v", v)
+		}
+		if v.Entries[0].Key != "slow" || v.Entries[0].LatencyUS != 1000 {
+			t.Fatalf("entry = %+v", v.Entries[0])
+		}
+	})
+
+	t.Run("healthz", func(t *testing.T) {
+		if code, body := get(t, base+"/healthz"); code != http.StatusOK || body != "ok\n" {
+			t.Fatalf("healthz = %d %q", code, body)
+		}
+	})
+
+	t.Run("pprof", func(t *testing.T) {
+		if code, _ := get(t, base+"/debug/pprof/"); code != http.StatusOK {
+			t.Fatalf("pprof index status = %d", code)
+		}
+	})
+}
+
+// TestAdminMissingSources: endpoints without a wired source 404 instead of
+// panicking, and /metrics still serves whatever it has.
+func TestAdminMissingSources(t *testing.T) {
+	base := startAdmin(t, AdminOptions{})
+	for _, ep := range []string{"/config", "/trace", "/slowlog"} {
+		if code, _ := get(t, base+ep); code != http.StatusNotFound {
+			t.Fatalf("%s status = %d, want 404", ep, code)
+		}
+	}
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if body != "" {
+		t.Fatalf("empty admin /metrics = %q", body)
+	}
+}
+
+// TestAdminMetricsContentType: scrapers negotiate on the version parameter.
+func TestAdminMetricsContentType(t *testing.T) {
+	base := startAdmin(t, AdminOptions{})
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+}
+
+// TestAdminStartBadAddr: a bind failure surfaces synchronously.
+func TestAdminStartBadAddr(t *testing.T) {
+	a := NewAdmin(AdminOptions{})
+	if err := a.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b := NewAdmin(AdminOptions{})
+	if err := b.Start(fmt.Sprintf("%s", a.Addr())); err == nil {
+		b.Close()
+		t.Fatal("second bind on same port succeeded")
+	}
+}

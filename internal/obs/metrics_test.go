@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestMetricsWriterGolden pins the exact exposition bytes for every sample
+// kind. The Prometheus text format is a wire contract — scrapers parse it
+// byte-by-byte — so format drift (header order, float rendering, label
+// quoting) must fail loudly, not silently re-shape dashboards.
+func TestMetricsWriterGolden(t *testing.T) {
+	h := stats.NewHistogram(10, 20)
+	for _, v := range []float64{5, 15, 15, 25} {
+		h.Observe(v)
+	}
+	snap := h.Export()
+
+	w := NewMetricsWriter()
+	w.Counter("dido_frames_total", "Frames served.", 42)
+	w.CounterL("dido_stage_batches_total", "Batches per stage.", `stage="1"`, 7)
+	w.CounterL("dido_stage_batches_total", "Batches per stage.", `stage="2"`, 9)
+	w.Gauge("dido_inflight", "Frames in flight.", 3)
+	w.GaugeL("dido_cores", "Cores per stage.", `stage="1"`, 2.5)
+	w.Histogram("dido_lat_micros", "Latency histogram.", "", snap)
+	w.Summary("dido_stage_micros", "Stage time summary.", `stage="1"`, snap, 0.5, 0.99)
+
+	want := strings.Join([]string{
+		`# HELP dido_frames_total Frames served.`,
+		`# TYPE dido_frames_total counter`,
+		`dido_frames_total 42`,
+		`# HELP dido_stage_batches_total Batches per stage.`,
+		`# TYPE dido_stage_batches_total counter`,
+		`dido_stage_batches_total{stage="1"} 7`,
+		`dido_stage_batches_total{stage="2"} 9`,
+		`# HELP dido_inflight Frames in flight.`,
+		`# TYPE dido_inflight gauge`,
+		`dido_inflight 3`,
+		`# HELP dido_cores Cores per stage.`,
+		`# TYPE dido_cores gauge`,
+		`dido_cores{stage="1"} 2.5`,
+		`# HELP dido_lat_micros Latency histogram.`,
+		`# TYPE dido_lat_micros histogram`,
+		`dido_lat_micros_bucket{le="10"} 1`,
+		`dido_lat_micros_bucket{le="20"} 3`,
+		`dido_lat_micros_bucket{le="+Inf"} 4`,
+		`dido_lat_micros_sum 60`,
+		`dido_lat_micros_count 4`,
+		`# HELP dido_stage_micros Stage time summary.`,
+		`# TYPE dido_stage_micros summary`,
+		`dido_stage_micros{stage="1",quantile="0.5"} ` + quantileStr(snap, 0.5),
+		`dido_stage_micros{stage="1",quantile="0.99"} ` + quantileStr(snap, 0.99),
+		`dido_stage_micros_sum{stage="1"} 60`,
+		`dido_stage_micros_count{stage="1"} 4`,
+	}, "\n") + "\n"
+
+	if got := w.String(); got != want {
+		t.Fatalf("exposition drifted.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func quantileStr(s stats.HistogramSnapshot, q float64) string {
+	return fmtFloat(s.Quantile(q))
+}
+
+// TestMetricsWriterHeaderOncePerName: a metric emitted under several label
+// sets gets exactly one HELP/TYPE pair.
+func TestMetricsWriterHeaderOncePerName(t *testing.T) {
+	w := NewMetricsWriter()
+	for i := 0; i < 3; i++ {
+		w.CounterL("dido_x_total", "X.", `k="v"`, uint64(i))
+	}
+	if got := strings.Count(w.String(), "# TYPE dido_x_total"); got != 1 {
+		t.Fatalf("TYPE header emitted %d times, want 1", got)
+	}
+}
+
+// TestMetricsWriterEmptyHistogram: an empty snapshot still renders a complete
+// histogram (all-zero cumulative buckets, zero sum/count) rather than nothing
+// — scrapers treat a missing series as a restart.
+func TestMetricsWriterEmptyHistogram(t *testing.T) {
+	h := stats.NewHistogram(1, 2)
+	w := NewMetricsWriter()
+	w.Histogram("dido_empty", "Empty.", "", h.Export())
+	out := w.String()
+	for _, line := range []string{
+		`dido_empty_bucket{le="+Inf"} 0`,
+		`dido_empty_sum 0`,
+		`dido_empty_count 0`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// slowKeyPrefixLen bounds how many key bytes a slow-log entry retains. The
+// entry stores the prefix in a fixed array so recording never allocates —
+// ring entries are laid out once at construction.
+const slowKeyPrefixLen = 40
+
+// SlowEntry is one recorded slow frame.
+type SlowEntry struct {
+	// When is the completion time; Latency the admission→response-send wall
+	// time of the frame.
+	When    time.Time
+	Latency time.Duration
+	// Queries is the frame's query count; Op and Key identify the frame's
+	// first query (op code and key prefix) — enough to find the offender in
+	// client logs without retaining the payload.
+	Queries int
+	Op      uint8
+	keyLen  int
+	key     [slowKeyPrefixLen]byte
+	// Truncated reports that the key was longer than the retained prefix.
+	Truncated bool
+}
+
+// Key returns the recorded key prefix.
+func (e *SlowEntry) Key() []byte { return e.key[:e.keyLen] }
+
+// SlowLog records frames whose serving latency exceeded a threshold. The
+// fast path — every frame below the threshold — is one atomic load and a
+// compare, with zero allocations (guarded by test); over-threshold frames
+// are counted, sampled 1-in-every, and the sampled ones recorded into a
+// bounded ring plus a latency histogram. All methods are safe for
+// concurrent use.
+type SlowLog struct {
+	thresholdNanos atomic.Int64
+	every          uint64        // sample stride over slow frames; 1 records all
+	seen           atomic.Uint64 // over-threshold frames (drives sampling)
+	recorded       stats.Counter
+	hist           *stats.Histogram // recorded latencies, µs
+
+	mu      sync.Mutex
+	entries []SlowEntry // fixed capacity, allocated once
+	next    int
+	filled  int
+}
+
+// DefaultSlowLogSize is the default ring capacity.
+const DefaultSlowLogSize = 256
+
+// NewSlowLog returns a log recording frames slower than threshold, keeping
+// the last capacity sampled entries (capacity <= 0 means DefaultSlowLogSize),
+// recording one of every sampleEvery over-threshold frames (<= 1 records
+// all).
+func NewSlowLog(threshold time.Duration, capacity, sampleEvery int) *SlowLog {
+	if capacity <= 0 {
+		capacity = DefaultSlowLogSize
+	}
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	l := &SlowLog{
+		every:   uint64(sampleEvery),
+		entries: make([]SlowEntry, capacity),
+		hist:    stats.NewHistogram(stats.LatencyBoundsMicros()...),
+	}
+	l.thresholdNanos.Store(int64(threshold))
+	return l
+}
+
+// Threshold returns the current latency threshold.
+func (l *SlowLog) Threshold() time.Duration {
+	return time.Duration(l.thresholdNanos.Load())
+}
+
+// SetThreshold installs a new latency threshold (operators tune it at
+// runtime through the admin endpoint without restarting the server).
+func (l *SlowLog) SetThreshold(d time.Duration) {
+	l.thresholdNanos.Store(int64(d))
+}
+
+// Observe books one completed frame. Below the threshold it returns after a
+// single atomic compare without allocating — this is the serving hot path.
+// Over the threshold the frame is counted and, when sampled, recorded.
+func (l *SlowLog) Observe(lat time.Duration, queries int, op uint8, key []byte) {
+	if int64(lat) < l.thresholdNanos.Load() {
+		return
+	}
+	n := l.seen.Add(1)
+	if l.every > 1 && (n-1)%l.every != 0 {
+		return
+	}
+	l.record(lat, queries, op, key)
+}
+
+// record copies the frame's identifying prefix into the ring; the entry
+// storage is pre-allocated, so recording is allocation-free too.
+func (l *SlowLog) record(lat time.Duration, queries int, op uint8, key []byte) {
+	l.recorded.Inc()
+	l.hist.Observe(float64(lat) / float64(time.Microsecond))
+	l.mu.Lock()
+	e := &l.entries[l.next]
+	e.When = time.Now()
+	e.Latency = lat
+	e.Queries = queries
+	e.Op = op
+	e.keyLen = copy(e.key[:], key)
+	e.Truncated = len(key) > slowKeyPrefixLen
+	l.next = (l.next + 1) % len(l.entries)
+	if l.filled < len(l.entries) {
+		l.filled++
+	}
+	l.mu.Unlock()
+}
+
+// Seen returns how many frames exceeded the threshold; Recorded how many of
+// those were sampled into the ring. Both are monotonic.
+func (l *SlowLog) Seen() uint64 { return l.seen.Load() }
+
+// Recorded returns how many entries were sampled into the ring.
+func (l *SlowLog) Recorded() uint64 { return l.recorded.Load() }
+
+// LatencyExport returns a consistent snapshot of the recorded-latency
+// histogram (µs).
+func (l *SlowLog) LatencyExport() stats.HistogramSnapshot { return l.hist.Export() }
+
+// Snapshot returns the retained entries, oldest first.
+func (l *SlowLog) Snapshot() []SlowEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, 0, l.filled)
+	start := l.next - l.filled
+	if start < 0 {
+		start += len(l.entries)
+	}
+	for i := 0; i < l.filled; i++ {
+		out = append(out, l.entries[(start+i)%len(l.entries)])
+	}
+	return out
+}

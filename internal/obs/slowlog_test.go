@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSlowLogRecordsOverThreshold(t *testing.T) {
+	l := NewSlowLog(time.Millisecond, 8, 1)
+	l.Observe(500*time.Microsecond, 1, 'g', []byte("fast"))
+	if l.Seen() != 0 || l.Recorded() != 0 {
+		t.Fatalf("fast frame was counted: seen=%d recorded=%d", l.Seen(), l.Recorded())
+	}
+	l.Observe(2*time.Millisecond, 3, 'g', []byte("slow-key"))
+	if l.Seen() != 1 || l.Recorded() != 1 {
+		t.Fatalf("slow frame not counted: seen=%d recorded=%d", l.Seen(), l.Recorded())
+	}
+	snap := l.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d entries, want 1", len(snap))
+	}
+	e := snap[0]
+	if e.Latency != 2*time.Millisecond || e.Queries != 3 || e.Op != 'g' {
+		t.Fatalf("entry = %+v", e)
+	}
+	if !bytes.Equal(e.Key(), []byte("slow-key")) || e.Truncated {
+		t.Fatalf("key = %q truncated=%v", e.Key(), e.Truncated)
+	}
+	if s := l.LatencyExport(); s.N != 1 {
+		t.Fatalf("latency histogram N = %d, want 1", s.N)
+	}
+}
+
+func TestSlowLogKeyTruncation(t *testing.T) {
+	l := NewSlowLog(0, 4, 1)
+	long := strings.Repeat("k", slowKeyPrefixLen+10)
+	l.Observe(time.Second, 1, 's', []byte(long))
+	e := l.Snapshot()[0]
+	if !e.Truncated {
+		t.Fatal("long key not flagged truncated")
+	}
+	if got := string(e.Key()); got != long[:slowKeyPrefixLen] {
+		t.Fatalf("key prefix = %q", got)
+	}
+}
+
+func TestSlowLogSampling(t *testing.T) {
+	l := NewSlowLog(0, 64, 4) // record 1 of every 4 slow frames
+	for i := 0; i < 40; i++ {
+		l.Observe(time.Millisecond, 1, 'g', []byte("k"))
+	}
+	if got := l.Seen(); got != 40 {
+		t.Fatalf("seen = %d, want 40", got)
+	}
+	if got := l.Recorded(); got != 10 {
+		t.Fatalf("recorded = %d, want 10 (1-in-4 of 40)", got)
+	}
+}
+
+func TestSlowLogRingWraps(t *testing.T) {
+	l := NewSlowLog(0, 4, 1)
+	for i := 0; i < 10; i++ {
+		l.Observe(time.Duration(i+1)*time.Millisecond, i, 'g', []byte("k"))
+	}
+	snap := l.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d entries, want 4", len(snap))
+	}
+	// Oldest-first window over the last 4 observes: queries 6,7,8,9.
+	for i, e := range snap {
+		if want := 6 + i; e.Queries != want {
+			t.Fatalf("snapshot[%d].Queries = %d, want %d", i, e.Queries, want)
+		}
+	}
+}
+
+func TestSlowLogSetThreshold(t *testing.T) {
+	l := NewSlowLog(time.Hour, 4, 1)
+	l.Observe(time.Second, 1, 'g', []byte("k"))
+	if l.Seen() != 0 {
+		t.Fatal("frame under threshold was counted")
+	}
+	l.SetThreshold(time.Millisecond)
+	if got := l.Threshold(); got != time.Millisecond {
+		t.Fatalf("threshold = %v", got)
+	}
+	l.Observe(time.Second, 1, 'g', []byte("k"))
+	if l.Seen() != 1 {
+		t.Fatal("frame over lowered threshold not counted")
+	}
+}
+
+// TestSlowLogFastPathNoAlloc pins the zero-allocation guarantee for both the
+// below-threshold path (every frame pays this) and the recording path (the
+// ring entries are pre-allocated).
+func TestSlowLogFastPathNoAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	l := NewSlowLog(time.Hour, 16, 1)
+	key := []byte("some-representative-key-bytes")
+	if avg := testing.AllocsPerRun(1000, func() {
+		l.Observe(time.Microsecond, 8, 'g', key)
+	}); avg != 0 {
+		t.Fatalf("below-threshold Observe allocates %.1f/op, want 0", avg)
+	}
+	l.SetThreshold(0)
+	if avg := testing.AllocsPerRun(1000, func() {
+		l.Observe(time.Millisecond, 8, 'g', key)
+	}); avg != 0 {
+		t.Fatalf("recording Observe allocates %.1f/op, want 0", avg)
+	}
+}
+
+// TestSlowLogConcurrent hammers Observe from parallel writers against
+// snapshot readers; under -race this pins the locking, and the monotonic
+// counters must come out exact.
+func TestSlowLogConcurrent(t *testing.T) {
+	l := NewSlowLog(time.Microsecond, 32, 2)
+	const writers, per = 4, 1000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := []byte("concurrent-key")
+			for j := 0; j < per; j++ {
+				l.Observe(time.Millisecond, 1, 'g', key)
+			}
+		}()
+	}
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			l.Snapshot()
+			l.LatencyExport()
+			l.Seen()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	if got := l.Seen(); got != writers*per {
+		t.Fatalf("seen = %d, want %d", got, writers*per)
+	}
+	if got := l.Recorded(); got != writers*per/2 {
+		t.Fatalf("recorded = %d, want %d (1-in-2)", got, writers*per/2)
+	}
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/task"
+)
+
+// TraceEvent is one batch-boundary decision of the cost-model controller:
+// what it measured on the completed batch, whether it re-planned, and the
+// (config, batch target) pair it installed for future seals. The decision
+// stream is what makes online adaptation auditable — "the controller picked
+// the right config" is only a checkable claim when every pick is recorded
+// next to the profile that drove it.
+type TraceEvent struct {
+	// When is the wall-clock decision time; Seq is the completed batch's
+	// pipeline sequence number.
+	When time.Time `json:"when"`
+	Seq  uint64    `json:"seq"`
+	// Replan reports whether the cost model installed a new plan (the
+	// profiler's 10% trigger fired and the search found one); a false event
+	// is a "keep" decision — the config stands, only the feedback batch
+	// sizer may have moved the target.
+	Replan bool `json:"replan"`
+	// Old/New are the configs before and after the decision; OldTarget /
+	// NewTarget the batch-size targets.
+	Old       pipeline.Config `json:"old_config"`
+	New       pipeline.Config `json:"new_config"`
+	OldTarget int             `json:"old_target"`
+	NewTarget int             `json:"new_target"`
+	// Profile is the measured workload profile the decision was based on.
+	Profile task.Profile `json:"profile"`
+	// PredictedTmax is the planner's predicted bottleneck stage time for the
+	// installed plan (zero before the first replan); RealizedTmax is the
+	// completed batch's measured bottleneck stage time, and RealizedWall its
+	// seal→completion wall latency. Predicted vs. realized is the cost
+	// model's report card.
+	PredictedTmax time.Duration `json:"predicted_tmax_nanos"`
+	RealizedTmax  time.Duration `json:"realized_tmax_nanos"`
+	RealizedWall  time.Duration `json:"realized_wall_nanos"`
+}
+
+// TraceRing is a bounded in-memory ring of controller decisions. Append is
+// O(1), allocation-free and safe for concurrent use; when the ring is full
+// the oldest event is overwritten. Snapshot copies the retained window.
+type TraceRing struct {
+	mu     sync.Mutex
+	events []TraceEvent // fixed capacity, allocated once
+	next   int          // ring position of the next append
+	total  uint64       // appends ever, monotonic
+}
+
+// DefaultTraceRingSize retains enough decisions to cover minutes of serving
+// at typical batch cadences without unbounded growth.
+const DefaultTraceRingSize = 1024
+
+// NewTraceRing returns a ring retaining the last n events (n <= 0 means
+// DefaultTraceRingSize).
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		n = DefaultTraceRingSize
+	}
+	return &TraceRing{events: make([]TraceEvent, n)}
+}
+
+// Append records one decision, overwriting the oldest when full.
+func (r *TraceRing) Append(e TraceEvent) {
+	r.mu.Lock()
+	r.events[r.next] = e
+	r.next = (r.next + 1) % len(r.events)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns how many decisions were ever appended (monotonic; events
+// beyond the ring capacity have been overwritten).
+func (r *TraceRing) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Cap returns the ring capacity.
+func (r *TraceRing) Cap() int { return len(r.events) }
+
+// Snapshot returns the retained events, oldest first.
+func (r *TraceRing) Snapshot() []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.events)
+	retained := n
+	if r.total < uint64(n) {
+		retained = int(r.total)
+	}
+	out := make([]TraceEvent, 0, retained)
+	start := r.next - retained
+	if start < 0 {
+		start += n
+	}
+	for i := 0; i < retained; i++ {
+		out = append(out, r.events[(start+i)%n])
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+func TestTraceRingWrap(t *testing.T) {
+	r := NewTraceRing(4)
+	if got := len(r.Snapshot()); got != 0 {
+		t.Fatalf("empty ring snapshot has %d events", got)
+	}
+	for i := 0; i < 10; i++ {
+		r.Append(TraceEvent{Seq: uint64(i)})
+	}
+	if got := r.Total(); got != 10 {
+		t.Fatalf("total = %d, want 10", got)
+	}
+	if got := r.Cap(); got != 4 {
+		t.Fatalf("cap = %d, want 4", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d events, want 4", len(snap))
+	}
+	// Oldest-first window over the last 4 appends: seqs 6,7,8,9.
+	for i, e := range snap {
+		if want := uint64(6 + i); e.Seq != want {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+func TestTraceRingPartialFill(t *testing.T) {
+	r := NewTraceRing(8)
+	for i := 0; i < 3; i++ {
+		r.Append(TraceEvent{Seq: uint64(i)})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d events, want 3", len(snap))
+	}
+	for i, e := range snap {
+		if e.Seq != uint64(i) {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d", i, e.Seq, i)
+		}
+	}
+}
+
+func TestTraceRingDefaultSize(t *testing.T) {
+	if got := NewTraceRing(0).Cap(); got != DefaultTraceRingSize {
+		t.Fatalf("default cap = %d, want %d", got, DefaultTraceRingSize)
+	}
+}
+
+// TestTraceRingConcurrent hammers Append against Snapshot/Total; run under
+// -race this pins the ring's locking, and the final total must be exact.
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(16)
+	cfg := pipeline.Config{GPUDepth: 2}
+	const writers, per = 4, 1000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				r.Append(TraceEvent{
+					When: time.Now(), New: cfg, Old: cfg, Replan: j%10 == 0,
+				})
+			}
+		}()
+	}
+	var rg sync.WaitGroup
+	for k := 0; k < 2; k++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if got := len(r.Snapshot()); got > 16 {
+					t.Errorf("snapshot longer than cap: %d", got)
+					return
+				}
+				r.Total()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	if got := r.Total(); got != writers*per {
+		t.Fatalf("total = %d, want %d", got, writers*per)
+	}
+}
+
+// TestTraceAppendNoAlloc: the per-batch-boundary append must not allocate —
+// it runs inside the pipeline's completion path on every batch.
+func TestTraceAppendNoAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	r := NewTraceRing(8)
+	e := TraceEvent{When: time.Now(), New: pipeline.Config{GPUDepth: 2}}
+	if avg := testing.AllocsPerRun(100, func() { r.Append(e) }); avg != 0 {
+		t.Fatalf("Append allocates %.1f/op, want 0", avg)
+	}
+}

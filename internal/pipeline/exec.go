@@ -37,6 +37,12 @@ type Batch struct {
 	Profile task.Profile
 	// Times holds the priced stage durations.
 	Times StageTimes
+	// Wall is the seal→completion wall latency measured by the live runner
+	// (zero in the simulated path, which prices time instead of spending
+	// it). Next to Times.Tmax it is what the reconfiguration trace reports
+	// as "realized": Tmax is the bottleneck stage alone, Wall adds queueing
+	// between stages and frame delivery.
+	Wall time.Duration
 	// Hits / Misses count GET outcomes (correctness accounting).
 	Hits, Misses int
 }

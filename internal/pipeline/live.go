@@ -930,6 +930,7 @@ func (r *LiveRunner) complete(b *liveBatch) {
 		}
 	}
 	b.taskDone(task.SD, sdStart, len(b.frames))
+	b.b.Wall = time.Since(b.sealedAt)
 
 	r.batches.Inc()
 	r.queries.Add(uint64(b.nq))

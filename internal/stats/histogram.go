@@ -135,18 +135,24 @@ func (h *Histogram) Quantiles(qs ...float64) []float64 {
 }
 
 func (h *Histogram) quantileLocked(q float64) float64 {
-	if h.n == 0 {
+	return quantileFrom(h.bounds, h.counts, h.n, h.min, h.max, q)
+}
+
+// quantileFrom estimates the q-quantile from raw bucket state; shared by the
+// live histogram (under its lock) and exported snapshots (lock-free).
+func quantileFrom(bounds []float64, counts []uint64, n uint64, min, max, q float64) float64 {
+	if n == 0 {
 		return 0
 	}
 	if q <= 0 {
-		return h.min
+		return min
 	}
 	if q >= 1 {
-		return h.max
+		return max
 	}
-	target := q * float64(h.n)
+	target := q * float64(n)
 	var cum float64
-	for i, c := range h.counts {
+	for i, c := range counts {
 		prev := cum
 		cum += float64(c)
 		if cum < target {
@@ -154,11 +160,11 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 		}
 		lo := 0.0
 		if i > 0 {
-			lo = h.bounds[i-1]
+			lo = bounds[i-1]
 		}
-		hi := h.max
-		if i < len(h.bounds) {
-			hi = h.bounds[i]
+		hi := max
+		if i < len(bounds) {
+			hi = bounds[i]
 		}
 		if hi < lo { // +Inf bucket with max below previous bound (cannot happen, but be safe)
 			hi = lo
@@ -169,7 +175,7 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 		frac := (target - prev) / float64(c)
 		return lo + frac*(hi-lo)
 	}
-	return h.max
+	return max
 }
 
 // Reset clears all samples.
@@ -192,6 +198,45 @@ func (h *Histogram) Snapshot() []uint64 {
 	out := make([]uint64, len(h.counts))
 	copy(out, h.counts)
 	return out
+}
+
+// HistogramSnapshot is a consistent copy of a histogram's full state, taken
+// under one lock acquisition so bounds, counts, sum and count all describe
+// the same sample set. It is the exposition surface: quantiles computed from
+// a snapshot agree with the bucket counts exported next to them.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has len(Bounds)+1 entries,
+	// the last being the +Inf bucket.
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	N      uint64
+	Min    float64 // +Inf when N == 0
+	Max    float64 // -Inf when N == 0
+}
+
+// Export returns a consistent snapshot of the histogram.
+func (h *Histogram) Export() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Bounds: make([]float64, len(h.bounds)),
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum,
+		N:      h.n,
+		Min:    h.min,
+		Max:    h.max,
+	}
+	copy(s.Bounds, h.bounds)
+	copy(s.Counts, h.counts)
+	return s
+}
+
+// Quantile estimates the q-quantile from the snapshot, with the same
+// interpolation (and the same answers) as Histogram.Quantile at the moment
+// the snapshot was taken.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	return quantileFrom(s.Bounds, s.Counts, s.N, s.Min, s.Max, q)
 }
 
 // String renders a compact summary.

@@ -199,6 +199,118 @@ func TestQuantilePropertyWithinRange(t *testing.T) {
 	}
 }
 
+func TestHistogramExportConsistent(t *testing.T) {
+	h := NewHistogram(10, 20, 30)
+	for _, v := range []float64{5, 15, 25, 35, 15} {
+		h.Observe(v)
+	}
+	s := h.Export()
+	if s.N != 5 || s.Sum != 95 || s.Min != 5 || s.Max != 35 {
+		t.Fatalf("export = %+v", s)
+	}
+	wantCounts := []uint64{1, 2, 1, 1}
+	for i := range wantCounts {
+		if s.Counts[i] != wantCounts[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, s.Counts[i], wantCounts[i])
+		}
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		if got, want := s.Quantile(q), h.Quantile(q); got != want {
+			t.Fatalf("snapshot quantile(%v) = %v, live = %v", q, got, want)
+		}
+	}
+	// Mutating the snapshot must not touch the histogram (it's a copy).
+	s.Counts[0] = 99
+	if h.Snapshot()[0] != 1 {
+		t.Fatal("Export aliases the live bucket array")
+	}
+}
+
+// TestConcurrentWritersAndSnapshots hammers every concurrent-safe primitive
+// with parallel writers while readers take snapshots; run under -race this
+// pins that the snapshot paths (Load, Rate, Export, Quantiles) are safe
+// against concurrent updates, and that counters remain exact.
+func TestConcurrentWritersAndSnapshots(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var fg FloatGauge
+	m := NewRateMeter(time.Millisecond, 8)
+	h := NewHistogram(LatencyBoundsMicros()...)
+
+	const writers, per = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+				g.Add(1)
+				fg.Set(float64(j))
+				m.Mark(time.Duration(id*per+j)*time.Microsecond, 1)
+				h.Observe(float64(j % 512))
+			}
+		}(i)
+	}
+
+	// Snapshot readers: every accessor a scraper would touch.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastN uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if v := c.Load(); v > writers*per {
+					t.Errorf("counter overshot: %d", v)
+					return
+				}
+				g.Load()
+				fg.Load()
+				m.Rate(time.Duration(writers*per) * time.Microsecond)
+				s := h.Export()
+				if s.N < lastN {
+					t.Errorf("histogram count went backwards: %d → %d", lastN, s.N)
+					return
+				}
+				lastN = s.N
+				s.Quantile(0.99)
+				h.Quantiles(0.5, 0.99, 0.999)
+			}
+		}()
+	}
+
+	// Writers finish, then stop the readers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	go func() {
+		for {
+			if c.Load() == writers*per {
+				close(stop)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	<-done
+
+	if got := c.Load(); got != writers*per {
+		t.Fatalf("counter = %d, want %d", got, writers*per)
+	}
+	if got := h.Count(); got != writers*per {
+		t.Fatalf("histogram count = %d, want %d", got, writers*per)
+	}
+}
+
 func TestRateMeter(t *testing.T) {
 	m := NewRateMeter(100*time.Millisecond, 10) // 1s window
 	m.Mark(0, 100)

@@ -18,8 +18,10 @@ go build ./...
 
 # The simulation figure suite (internal/bench) legitimately needs >10min
 # under the race detector on small machines; raise the per-package timeout.
-echo "== go test -race =="
-go test -race -timeout 1800s ./...
+# -shuffle=on randomizes test order so inter-test state dependencies cannot
+# hide (the seed is printed on failure for reproduction).
+echo "== go test -race -shuffle=on =="
+go test -race -shuffle=on -timeout 1800s ./...
 
 # The seqlock read path and eviction stress live here; run them un-cached so
 # every CI pass exercises the concurrency machinery (incl. the -race pass on
@@ -32,6 +34,15 @@ go test -count=1 -race -timeout 900s ./internal/store ./internal/slab
 # under the race detector every pass too.
 echo "== pipeline concurrency (-race, -count=1) =="
 go test -count=1 -race -timeout 900s ./internal/pipeline ./internal/costmodel ./internal/udpbatch
+
+# The observability layer is scraped concurrently with serving (trace ring and
+# slow log appended from the hot path, read from HTTP handlers); run it
+# un-cached under the race detector every pass, plus the root-package chaos
+# e2e that scrapes the admin endpoint mid-traffic.
+echo "== observability (-race, -count=1) =="
+go test -count=1 -race -timeout 900s ./internal/obs
+go test -count=1 -race -timeout 900s -run 'AdminUnderChaos|SlowLogOn|SlowLogThreshold|StatsDumpMetrics|CollectMetricsNames|ControllerTrace' \
+    . ./internal/costmodel
 
 # The wide batched index path: cross-check SearchBatch/GetBatch against the
 # scalar search under concurrent churn (the amortized version-check fallback),
@@ -54,19 +65,23 @@ echo "== batched-search bench smoke =="
 go test -run='^$' -bench='BenchmarkSearchBatch' -benchtime=8x ./internal/store
 
 # End-to-end smoke of the real binaries on the batched pipeline path: a
-# dido-server with -pipeline on -adapt serving a short dido-loadgen run must
-# finish with zero errors (proves the pipelined serving path works outside
-# the test harness, CLI flags included).
-echo "== pipelined server/loadgen smoke =="
+# dido-server with -pipeline on -adapt and the admin endpoint serving a short
+# dido-loadgen run must finish with zero errors, and the loadgen's
+# -scrape-assert mode audits the admin surface (monotonic counters, valid
+# /config and /trace JSON) as part of the same run.
+echo "== pipelined server/loadgen smoke (admin scrape asserted) =="
 SMOKE_DIR="$(mktemp -d)"
 trap 'kill "$SERVER_PID" 2>/dev/null || true; wait "$SERVER_PID" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
 go build -o "$SMOKE_DIR/dido-server" ./cmd/dido-server
 go build -o "$SMOKE_DIR/dido-loadgen" ./cmd/dido-loadgen
 SMOKE_ADDR="127.0.0.1:13311"
-"$SMOKE_DIR/dido-server" -addr "$SMOKE_ADDR" -pipeline on -adapt -stats-interval 0 &
+SMOKE_ADMIN="127.0.0.1:13390"
+"$SMOKE_DIR/dido-server" -addr "$SMOKE_ADDR" -pipeline on -adapt -stats-interval 0 \
+    -admin "$SMOKE_ADMIN" -slow-query 1ms &
 SERVER_PID=$!
 sleep 0.3
-"$SMOKE_DIR/dido-loadgen" -addr "$SMOKE_ADDR" -workload K16-G95-S -duration 2s -population 10000
+"$SMOKE_DIR/dido-loadgen" -addr "$SMOKE_ADDR" -workload K16-G95-S -duration 2s -population 10000 \
+    -scrape "http://$SMOKE_ADMIN" -scrape-assert
 kill "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true
 

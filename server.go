@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/stats"
 	"repro/internal/udpbatch"
@@ -51,6 +52,10 @@ type ServerOptions struct {
 	// goroutine per frame. Admission, dedupe and at-most-once semantics are
 	// identical on both paths.
 	Pipeline *PipelineOptions
+	// SlowLog, when non-nil, records frames whose admission→response latency
+	// exceeds its threshold, on both serving paths. The below-threshold cost
+	// is one clock read and an atomic compare per frame (see internal/obs).
+	SlowLog *obs.SlowLog
 }
 
 // Defaults for ServerOptions zero fields.
@@ -253,6 +258,13 @@ func (s *Server) readErr(pc net.PacketConn, err error) (done bool, _ error) {
 // dedupe, token gate — and dispatches the frame to the configured serving
 // path. It takes ownership of buf.
 func (s *Server) admit(pc net.PacketConn, buf []byte, n int, raddr net.Addr) {
+	// The slow-query clock starts at admission so a recorded latency covers
+	// everything the client waited on server-side: dedupe, batching, staged
+	// execution and the response send. Read only when a log is attached.
+	var start time.Time
+	if s.opts.SlowLog != nil {
+		start = time.Now()
+	}
 	count, reqID, v2, herr := proto.FrameHeader(buf[:n])
 	if herr != nil {
 		// Malformed or corrupted frame: drop, as a UDP service must.
@@ -304,10 +316,10 @@ func (s *Server) admit(pc net.PacketConn, buf []byte, n int, raddr net.Addr) {
 	if s.pipe != nil {
 		// Pipelined path: parse here (RV/PP on the socket reader) and
 		// batch the frame into the staged executor.
-		s.submitPipelined(pc, buf, n, raddr, akey, reqID, v2, tracked)
+		s.submitPipelined(pc, buf, n, raddr, akey, reqID, v2, tracked, start)
 		return
 	}
-	go s.handleFrame(pc, buf, n, raddr, akey, reqID, v2, tracked)
+	go s.handleFrame(pc, buf, n, raddr, akey, reqID, v2, tracked, start)
 }
 
 // addrCache memoizes net.Addr → string conversions so the reply-cache path
@@ -345,8 +357,9 @@ func (ac *addrCache) keyFor(a net.Addr) string {
 	return s
 }
 
-// handleFrame processes one admitted frame in its own goroutine.
-func (s *Server) handleFrame(pc net.PacketConn, buf []byte, n int, raddr net.Addr, akey string, reqID uint64, v2, tracked bool) {
+// handleFrame processes one admitted frame in its own goroutine. start is
+// the admission time when a slow-query log is attached (zero otherwise).
+func (s *Server) handleFrame(pc net.PacketConn, buf []byte, n int, raddr net.Addr, akey string, reqID uint64, v2, tracked bool, start time.Time) {
 	defer s.wg.Done()
 	defer func() { <-s.tokens }()
 	defer s.bufs.Put(buf)
@@ -375,6 +388,9 @@ func (s *Server) handleFrame(pc net.PacketConn, buf []byte, n int, raddr net.Add
 	resps := s.process(queries, sc)
 	s.sendResponses(pc, raddr, akey, reqID, v2, true, resps)
 	sc.resps = resps[:0]
+	if sl := s.opts.SlowLog; sl != nil && len(queries) > 0 {
+		sl.Observe(time.Since(start), len(queries), uint8(queries[0].Op), queries[0].Key)
+	}
 }
 
 // maxResponsePayload keeps each response frame within a safe UDP datagram.

@@ -1,0 +1,128 @@
+package dido
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+// This file renders the server's observability surfaces for the admin
+// endpoint (internal/obs): the Prometheus exposition, the live-config JSON
+// view, and the human-readable stats line. The dump line and /metrics render
+// from the same ServerStats snapshot type so the two surfaces can never
+// disagree about what a counter means.
+
+// String renders the stats line the server command prints periodically. It
+// and writeServerMetrics consume the same snapshot — tests pin that both
+// report identical values from one Stats() call.
+func (ss ServerStats) String() string {
+	return fmt.Sprintf("served=%d frames=%d shed=%d replayed=%d dup-dropped=%d malformed=%d panics=%d inflight=%d",
+		ss.Served, ss.Frames, ss.Shed, ss.Replayed, ss.DupDropped, ss.Malformed, ss.Panics, ss.InFlight)
+}
+
+// writeServerMetrics emits one ServerStats snapshot in exposition format.
+// Split from CollectMetrics so tests can render a pinned snapshot.
+func writeServerMetrics(w *obs.MetricsWriter, ss ServerStats) {
+	w.Counter("dido_served_queries_total", "Queries executed.", ss.Served)
+	w.Counter("dido_frames_total", "Frames executed.", ss.Frames)
+	w.Counter("dido_shed_frames_total", "Frames rejected with StatusBusy under overload.", ss.Shed)
+	w.Counter("dido_replayed_frames_total", "Retried frames answered from the reply cache.", ss.Replayed)
+	w.Counter("dido_dup_dropped_frames_total", "Duplicate frames dropped while the original executed.", ss.DupDropped)
+	w.Counter("dido_malformed_frames_total", "Undecodable or corrupted frames dropped.", ss.Malformed)
+	w.Counter("dido_panics_total", "Frames whose processing panicked (contained).", ss.Panics)
+	w.Gauge("dido_inflight_frames", "Frames currently being processed.", float64(ss.InFlight))
+}
+
+// CollectMetrics appends the server's serving and pipeline metrics to w; it
+// is the server's half of the admin endpoint's Collect callback.
+func (s *Server) CollectMetrics(w *obs.MetricsWriter) {
+	writeServerMetrics(w, s.Stats())
+	if s.pipe == nil {
+		return
+	}
+	ps := s.pipe.runner.Stats()
+	w.Counter("dido_pipeline_batches_total", "Batches completed by the live pipeline.", ps.Batches)
+	w.Counter("dido_pipeline_queries_total", "Queries served through the pipeline.", ps.Queries)
+	w.Counter("dido_pipeline_wide_batches_total", "KC+RD stage passes served by the wide batched path.", ps.WideBatches)
+	w.Counter("dido_pipeline_reconfigs_total", "Batch boundaries that installed a different config.", ps.Reconfigs)
+	w.Counter("dido_pipeline_submit_shed_total", "Frames rejected because every stage-1 slot was full.", ps.SubmitShed)
+	w.Counter("dido_pipeline_panics_total", "Frames poisoned inside a pipeline stage.", ps.Panics)
+	w.Gauge("dido_pipeline_batch_target", "Currently installed batch-size target in queries.", float64(ps.Target))
+	if s.pipe.ctrl != nil {
+		w.Counter("dido_pipeline_replans_total", "Times online adaptation installed a re-planned config.", s.pipe.ctrl.Replans())
+	}
+	// Per-stage wall-time distribution as a summary: each stage's quantiles,
+	// sum and count come from one consistent histogram snapshot.
+	for si := 0; si < 3; si++ {
+		w.Summary("dido_pipeline_stage_micros",
+			"Per-batch stage wall time in microseconds.",
+			fmt.Sprintf("stage=%q", fmt.Sprint(si+1)),
+			s.pipe.runner.StageHistogram(pipeline.Stage(si)).Export(),
+			0.5, 0.99, 0.999)
+	}
+}
+
+// ServerConfigView is the admin /config payload: the serving configuration as
+// it stands now, including the pipeline config adaptation may have installed
+// since startup.
+type ServerConfigView struct {
+	// Path is "per-frame" or "pipelined".
+	Path           string `json:"path"`
+	MaxInFlight    int    `json:"max_inflight"`
+	ReplyCacheSize int    `json:"reply_cache_size"`
+	// SlowQueryThresholdMicros is present when a slow-query log is attached.
+	SlowQueryThresholdMicros float64 `json:"slow_query_threshold_micros,omitempty"`
+	// Pipeline is present on the pipelined path.
+	Pipeline *PipelineConfigView `json:"pipeline,omitempty"`
+}
+
+// PipelineConfigView describes the live pipeline's current plan.
+type PipelineConfigView struct {
+	// Config is the paper's pipeline notation (e.g. "CPU[IN.S]+GPU[KC,RD]+CPU[WR]").
+	Config string `json:"config"`
+	// GPUDepth / CPUCoresPre / InsertOn / DeleteOn break the config out.
+	GPUDepth    int    `json:"gpu_depth"`
+	CPUCoresPre int    `json:"cpu_cores_pre"`
+	InsertOn    string `json:"insert_on"`
+	DeleteOn    string `json:"delete_on"`
+	// BatchTarget is the installed batch-size target in queries.
+	BatchTarget int `json:"batch_target"`
+	// Adapt reports whether online reconfiguration is driving the plan;
+	// Replans how many times it installed a new one.
+	Adapt   bool   `json:"adapt"`
+	Replans uint64 `json:"replans"`
+}
+
+// ConfigView returns the live serving configuration for the admin /config
+// endpoint. Each call re-reads the pipeline's installed config, so the view
+// follows online reconfiguration.
+func (s *Server) ConfigView() ServerConfigView {
+	v := ServerConfigView{
+		Path:           "per-frame",
+		MaxInFlight:    s.opts.MaxInFlight,
+		ReplyCacheSize: s.opts.ReplyCacheSize,
+	}
+	if s.opts.SlowLog != nil {
+		v.SlowQueryThresholdMicros = float64(s.opts.SlowLog.Threshold().Microseconds())
+	}
+	if s.pipe == nil {
+		return v
+	}
+	v.Path = "pipelined"
+	ps := s.pipe.runner.Stats()
+	pv := &PipelineConfigView{
+		Config:      ps.Config.String(),
+		GPUDepth:    ps.Config.GPUDepth,
+		CPUCoresPre: ps.Config.CPUCoresPre,
+		InsertOn:    ps.Config.InsertOn.String(),
+		DeleteOn:    ps.Config.DeleteOn.String(),
+		BatchTarget: ps.Target,
+		Adapt:       s.pipe.ctrl != nil,
+	}
+	if s.pipe.ctrl != nil {
+		pv.Replans = s.pipe.ctrl.Replans()
+	}
+	v.Pipeline = pv
+	return v
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/apu"
 	"repro/internal/costmodel"
 	"repro/internal/cuckoo"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/profiler"
 	"repro/internal/proto"
@@ -57,6 +58,10 @@ type PipelineOptions struct {
 	// Provider overrides the config provider entirely (tests); when set,
 	// Adapt is ignored.
 	Provider pipeline.ConfigProvider
+	// Trace, when non-nil with Adapt, receives one event per controller
+	// decision (every batch boundary) for the admin /trace endpoint. Ignored
+	// without Adapt — the static provider makes no decisions worth auditing.
+	Trace *obs.TraceRing
 }
 
 // serverPipeline is the server's handle on the live runner.
@@ -99,6 +104,9 @@ type pframe struct {
 	reqID   uint64
 	v2      bool
 	tracked bool
+	// start is the admission time when a slow-query log is attached (zero
+	// otherwise); measured latency spans queueing, batching and the send.
+	start time.Time
 	// respFrames holds the encoded response datagrams between the batched
 	// send and the reply-cache fill. Freshly allocated per frame — the cache
 	// retains them.
@@ -134,6 +142,7 @@ func (s *Server) initPipeline(po *PipelineOptions) {
 			sizer := &pipeline.BatchSizer{Interval: interval, Min: pl.MinBatch, Max: maxBatch}
 			sizer.Set(pipeline.DefaultInitialBatch)
 			pipe.ctrl = costmodel.NewController(pl, profiler.New(inner), pipeline.DefaultLiveConfig(), sizer)
+			pipe.ctrl.Trace = po.Trace
 			provider = pipe.ctrl
 		} else {
 			provider = &pipeline.StaticProvider{
@@ -160,7 +169,7 @@ func (s *Server) initPipeline(po *PipelineOptions) {
 // reader) and hands it to the pipeline. The caller has already passed the
 // dedupe gate and acquired a token and a wg slot; every exit path here or in
 // pipelineBatchDone releases all three.
-func (s *Server) submitPipelined(pc net.PacketConn, buf []byte, n int, raddr net.Addr, akey string, reqID uint64, v2, tracked bool) {
+func (s *Server) submitPipelined(pc net.PacketConn, buf []byte, n int, raddr net.Addr, akey string, reqID uint64, v2, tracked bool, start time.Time) {
 	release := func() {
 		if tracked {
 			s.replies.abort(akey, reqID)
@@ -194,6 +203,7 @@ func (s *Server) submitPipelined(pc net.PacketConn, buf []byte, n int, raddr net
 	pf.reqID = reqID
 	pf.v2 = v2
 	pf.tracked = tracked
+	pf.start = start
 	pf.lf = pipeline.LiveFrame{
 		Queries:    queries,
 		ParseNanos: parseNanos,
@@ -243,8 +253,12 @@ func (s *Server) pipelineBatchDone(lfs []*pipeline.LiveFrame) {
 	if len(msgs) > 0 {
 		s.pipe.senderFor(pc).Send(msgs)
 	}
+	sl := s.opts.SlowLog
 	for _, lf := range lfs {
 		pf := lf.Ctx.(*pframe)
+		if sl != nil && !lf.Err && len(pf.queries) > 0 {
+			sl.Observe(time.Since(pf.start), len(pf.queries), uint8(pf.queries[0].Op), pf.queries[0].Key)
+		}
 		if pf.tracked {
 			if lf.Err {
 				// Clear the in-flight marker so the retry is re-admitted.

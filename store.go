@@ -1,6 +1,7 @@
 package dido
 
 import (
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -74,6 +75,21 @@ type StoreStats struct {
 	Evictions           uint64
 	LiveObjects         int
 	IndexLoadFactor     float64
+}
+
+// CollectMetrics appends the store's counters to w — the store's half of the
+// admin endpoint's Collect callback (the server contributes the serving and
+// pipeline metrics, see Server.CollectMetrics).
+func (s *Store) CollectMetrics(w *obs.MetricsWriter) {
+	st := s.Stats()
+	w.Counter("dido_store_gets_total", "GET operations executed.", st.Gets)
+	w.Counter("dido_store_sets_total", "SET operations executed.", st.Sets)
+	w.Counter("dido_store_deletes_total", "DELETE operations executed.", st.Deletes)
+	w.Counter("dido_store_hits_total", "GETs that found the key.", st.Hits)
+	w.Counter("dido_store_misses_total", "GETs that missed.", st.Misses)
+	w.Counter("dido_store_evictions_total", "Objects evicted to fit new SETs.", st.Evictions)
+	w.Gauge("dido_store_live_objects", "Objects currently stored.", float64(st.LiveObjects))
+	w.Gauge("dido_store_index_load_factor", "Cuckoo index occupancy in [0,1].", st.IndexLoadFactor)
 }
 
 // Stats returns current counters.
