@@ -9,6 +9,7 @@
 package dido_test
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/wal"
 )
 
 // benchScale keeps -bench=. affordable (the full sweep regenerates 16
@@ -75,9 +77,11 @@ func BenchmarkFig21FluctuationCycles(b *testing.B) {
 
 // benchmarkServe measures end-to-end UDP serving throughput over loopback:
 // concurrent clients each driving 64-query frames (95% GET) against a
-// prefilled store. One iteration = one frame round-trip. The two entry
-// points below A/B the per-frame path against the batched pipeline.
-func benchmarkServe(b *testing.B, pipelined, observed bool) {
+// prefilled store. One iteration = one frame round-trip. The entry points
+// below A/B the per-frame path against the batched pipeline, and each path
+// with and without the durability tier (walSync "" disables it; otherwise it
+// names the -wal-sync policy: "batch" or "interval").
+func benchmarkServe(b *testing.B, pipelined, observed bool, walSync string) {
 	const (
 		keys       = 8 << 10
 		frameQs    = 64
@@ -121,6 +125,23 @@ func benchmarkServe(b *testing.B, pipelined, observed bool) {
 	if observed {
 		slow = obs.NewSlowLog(time.Millisecond, obs.DefaultSlowLogSize, 1)
 		opts.SlowLog = slow
+	}
+	// The durable variants price the WAL in the hot path: every 5%-SET frame
+	// appends + group-commits before its ack. Target: ns/op within 10% of the
+	// same path without -wal; measured deltas and why the 1-CPU host misses
+	// that target are in bench_results.txt ("durability overhead").
+	if walSync != "" {
+		d := &dido.DurabilityOptions{Dir: b.TempDir()}
+		switch walSync {
+		case "batch":
+			d.Sync = wal.SyncBatch
+		case "interval":
+			d.Sync = wal.SyncInterval
+			d.SyncInterval = 10 * time.Millisecond
+		default:
+			b.Fatalf("unknown walSync %q", walSync)
+		}
+		opts.Durability = d
 	}
 	srv := dido.NewServerOpts(st, opts)
 	errc := make(chan error, 1)
@@ -181,6 +202,7 @@ func benchmarkServe(b *testing.B, pipelined, observed bool) {
 	// pays off under load, which is the regime the paper targets.
 	b.SetParallelism(32)
 	var cursor atomic.Int64
+	var failed atomic.Int64
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		c, err := dido.Dial(addr)
@@ -202,26 +224,59 @@ func benchmarkServe(b *testing.B, pipelined, observed bool) {
 			}
 			seq += frameQs
 			if _, err := c.Do(qs); err != nil {
+				// A saturation benchmark deliberately drives the server into
+				// its shedding regime; a frame that exhausts its retry budget
+				// on StatusBusy (or times out behind an fsync stall on the
+				// durable variants) is designed behavior, not a bench failure.
+				// It still cost a full iteration, so it is excluded from the
+				// served-query count below.
+				if errors.Is(err, dido.ErrBusy) || errors.Is(err, dido.ErrTimeout) {
+					failed.Add(1)
+					continue
+				}
 				b.Error(err)
 				return
 			}
 		}
 	})
 	b.StopTimer()
-	qops := float64(b.N) * frameQs / b.Elapsed().Seconds()
+	served := float64(b.N) - float64(failed.Load())
+	qops := served * frameQs / b.Elapsed().Seconds()
 	b.ReportMetric(qops/1000, "kqops")
+	if n := failed.Load(); n > 0 {
+		b.Logf("%d of %d frames failed their retry budget (busy/timeout)", n, b.N)
+	}
 	if ps, ok := srv.PipelineStats(); ok && ps.Batches > 0 {
 		b.ReportMetric(float64(ps.Queries)/float64(ps.Batches), "q/batch")
 		replans, _ := srv.PipelineReplans()
 		b.Logf("pipeline config: %v (reconfigs=%d replans=%d target=%d)",
 			ps.Config, ps.Reconfigs, replans, ps.Target)
 	}
+	if ds, ok := srv.DurabilityStats(); ok {
+		b.Logf("wal: records=%d bytes=%d syncs=%d drops=%d",
+			ds.WAL.Records, ds.WAL.Bytes, ds.WAL.Syncs, ds.DroppedAcks)
+	}
 }
 
-func BenchmarkServePerFrame(b *testing.B)  { benchmarkServe(b, false, false) }
-func BenchmarkServePipelined(b *testing.B) { benchmarkServe(b, true, false) }
+func BenchmarkServePerFrame(b *testing.B)  { benchmarkServe(b, false, false, "") }
+func BenchmarkServePipelined(b *testing.B) { benchmarkServe(b, true, false, "") }
 
 // BenchmarkServePipelinedObserved is BenchmarkServePipelined with the full
 // observability layer attached: slow-query log on every frame completion and
 // an admin endpoint scraped every 50ms during the run.
-func BenchmarkServePipelinedObserved(b *testing.B) { benchmarkServe(b, true, true) }
+func BenchmarkServePipelinedObserved(b *testing.B) { benchmarkServe(b, true, true, "") }
+
+// The Durable variants attach the durability tier with -wal-sync batch (the
+// default: group-commit fsync before every ack). Group commit is what keeps
+// the overhead bounded — under 32-way parallelism, concurrent write-bearing
+// frames share one fsync. The Interval variants relax the ack-time fsync to a
+// 10ms background sync (acked writes can lose up to one interval on power
+// loss, not on process crash).
+func BenchmarkServePerFrameDurable(b *testing.B)  { benchmarkServe(b, false, false, "batch") }
+func BenchmarkServePipelinedDurable(b *testing.B) { benchmarkServe(b, true, false, "batch") }
+func BenchmarkServePerFrameDurableInterval(b *testing.B) {
+	benchmarkServe(b, false, false, "interval")
+}
+func BenchmarkServePipelinedDurableInterval(b *testing.B) {
+	benchmarkServe(b, true, false, "interval")
+}

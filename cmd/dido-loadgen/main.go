@@ -195,7 +195,10 @@ func main() {
 	}
 
 	if *scrape != "" {
-		if err := checkScrape(*scrape, before); err != nil {
+		// A run that warmed or carries SETs must have advanced the WAL
+		// counters on a durable server; GET-only unwarmed runs commit nothing.
+		expectWrites := *warm || spec.GetRatio < 1
+		if err := checkScrape(*scrape, before, expectWrites); err != nil {
 			fmt.Fprintln(os.Stderr, "scrape:", err)
 			if *scrapeAssert {
 				os.Exit(1)
@@ -232,9 +235,10 @@ func scrapeMetrics(base string) (map[string]float64, error) {
 
 // checkScrape re-scrapes the admin endpoint after the run and audits it
 // against the pre-run snapshot: every *_total counter must be monotonic, the
-// server must have served something, and /config and /trace must answer with
-// valid JSON. The first violation is returned as an error.
-func checkScrape(base string, before map[string]float64) error {
+// server must have served something, a durable server's WAL counters must
+// have advanced when the run carried writes, and /config and /trace must
+// answer with valid JSON. The first violation is returned as an error.
+func checkScrape(base string, before map[string]float64, expectWrites bool) error {
 	after, err := scrapeMetrics(base)
 	if err != nil {
 		return err
@@ -260,8 +264,20 @@ func checkScrape(base string, before map[string]float64) error {
 	if served := after["dido_served_queries_total"]; served == 0 {
 		return fmt.Errorf("dido_served_queries_total is 0 after the run")
 	}
-	fmt.Printf("scrape: %d samples, %d *_total counters monotonic, served=%.0f frames=%.0f\n",
-		len(after), checked, after["dido_served_queries_total"], after["dido_frames_total"])
+	// Durability audit, active only when the server exposes the WAL surface:
+	// a write-bearing run against a durable server must have committed and
+	// accounted records.
+	if _, durable := after["dido_wal_records_total"]; durable && expectWrites {
+		if after["dido_wal_records_total"] == 0 {
+			return fmt.Errorf("durable server committed no WAL records despite writes")
+		}
+		if after["dido_wal_bytes_total"] == 0 {
+			return fmt.Errorf("dido_wal_bytes_total is 0 with %v records committed", after["dido_wal_records_total"])
+		}
+	}
+	fmt.Printf("scrape: %d samples, %d *_total counters monotonic, served=%.0f frames=%.0f wal-records=%.0f\n",
+		len(after), checked, after["dido_served_queries_total"], after["dido_frames_total"],
+		after["dido_wal_records_total"])
 	for _, path := range []string{"/config", "/trace"} {
 		body, err := adminGet(base + path)
 		if err != nil {

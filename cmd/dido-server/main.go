@@ -32,6 +32,7 @@ import (
 	"repro"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -54,6 +55,16 @@ func main() {
 	slowSample := flag.Int("slow-query-sample", 1, "record 1 of every N over-threshold frames")
 	slowEntries := flag.Int("slow-query-log", obs.DefaultSlowLogSize, "slow-query ring entries")
 
+	walDir := flag.String("wal", "", "durability directory for the write-ahead log + snapshots (empty disables durability)")
+	walSync := flag.String("wal-sync", "batch", "WAL sync policy: batch (fsync before every ack), off, or a duration for interval syncing (e.g. 10ms)")
+	snapInterval := flag.Duration("snapshot-interval", time.Minute, "snapshot + WAL-truncate period (0 disables periodic snapshots)")
+
+	faultDiskShort := flag.Float64("fault-disk-short", 0, "inject: WAL short-write rate [0,1]")
+	faultDiskWriteErr := flag.Float64("fault-disk-write-err", 0, "inject: WAL write failure rate [0,1]")
+	faultDiskSyncErr := flag.Float64("fault-disk-sync-err", 0, "inject: WAL fsync failure rate [0,1]")
+	faultDiskSyncDelay := flag.Duration("fault-disk-sync-delay", 0, "inject: per-fsync delay")
+	faultDiskSeed := flag.Int64("fault-disk-seed", 1, "disk fault injector seed (deterministic)")
+
 	faultDrop := flag.Float64("fault-drop", 0, "inject: datagram drop rate [0,1], both directions")
 	faultDup := flag.Float64("fault-dup", 0, "inject: datagram duplication rate [0,1]")
 	faultReorder := flag.Float64("fault-reorder", 0, "inject: datagram reorder rate [0,1]")
@@ -64,6 +75,41 @@ func main() {
 
 	st := dido.NewStore(dido.StoreConfig{MemoryBytes: *mem, Shards: *shards})
 	opts := dido.ServerOptions{MaxInFlight: *maxInflight, ReplyCacheSize: *replyCache}
+	if *walDir != "" {
+		dopts := &dido.DurabilityOptions{Dir: *walDir, SnapshotInterval: *snapInterval}
+		switch *walSync {
+		case "batch":
+			dopts.Sync = wal.SyncBatch
+		case "off":
+			dopts.Sync = wal.SyncOff
+		default:
+			iv, err := time.ParseDuration(*walSync)
+			if err != nil || iv <= 0 {
+				log.Fatalf("-wal-sync must be batch, off or a positive duration, got %q", *walSync)
+			}
+			dopts.Sync = wal.SyncInterval
+			dopts.SyncInterval = iv
+		}
+		disk := faults.DiskConfig{
+			Seed:       *faultDiskSeed,
+			ShortWrite: *faultDiskShort,
+			WriteErr:   *faultDiskWriteErr,
+			SyncErr:    *faultDiskSyncErr,
+			SyncDelay:  *faultDiskSyncDelay,
+		}
+		if disk.Enabled() {
+			dopts.OpenFile = func(path string) (wal.File, error) {
+				f, err := wal.DefaultOpenFile(path)
+				if err != nil {
+					return nil, err
+				}
+				return faults.WrapFile(f, disk), nil
+			}
+			log.Printf("disk fault injection armed: short=%.2f write-err=%.2f sync-err=%.2f sync-delay=%v seed=%d",
+				*faultDiskShort, *faultDiskWriteErr, *faultDiskSyncErr, *faultDiskSyncDelay, *faultDiskSeed)
+		}
+		opts.Durability = dopts
+	}
 	var slowLog *obs.SlowLog
 	if *slowQuery > 0 {
 		slowLog = obs.NewSlowLog(*slowQuery, *slowEntries, *slowSample)
@@ -98,7 +144,15 @@ func main() {
 			*faultDrop, *faultDup, *faultReorder, *faultCorrupt, *faultDelay, *faultSeed)
 	}
 
-	srv := dido.NewServerOpts(st, opts)
+	srv, err := dido.NewServerDurable(st, opts)
+	if err != nil {
+		log.Fatalf("open server: %v", err)
+	}
+	if ds, ok := srv.DurabilityStats(); ok {
+		log.Printf("durability on: dir=%s sync=%s recovered %d snapshot entries + %d WAL records in %v (torn tail: %d bytes)",
+			*walDir, *walSync, ds.RecoveredSnapshotEntries, ds.RecoveredWALRecords,
+			ds.RecoveryDuration.Round(time.Microsecond), ds.RecoveredTornBytes)
+	}
 	go func() {
 		if err := srv.Serve(*addr); err != nil {
 			log.Fatalf("serve: %v", err)
@@ -156,6 +210,11 @@ func main() {
 					fs := injector.Stats()
 					line += fmt.Sprintf(" faults[drop=%d dup=%d reorder=%d corrupt=%d]",
 						fs.Dropped, fs.Duplicated, fs.Reordered, fs.Corrupted)
+				}
+				if ds, ok := srv.DurabilityStats(); ok {
+					line += fmt.Sprintf(" | wal records=%d bytes=%d syncs=%d errs=%d drops=%d snaps=%d",
+						ds.WAL.Records, ds.WAL.Bytes, ds.WAL.Syncs,
+						ds.WAL.WriteErrs+ds.WAL.SyncErrs, ds.DroppedAcks, ds.Snapshots.Snapshots)
 				}
 				if ps, ok := srv.PipelineStats(); ok {
 					line += fmt.Sprintf(" | pipe batches=%d wide=%d target=%d reconfigs=%d shed=%d panics=%d",

@@ -158,17 +158,24 @@ func (pl *Planner) taskTime(id task.ID, prof task.Profile, cfg pipeline.Config, 
 		return 0
 	}
 
-	// RV and SD are estimated from profiled unit costs (§IV-B) plus the
-	// frame bytes they stream through the memory system.
-	if id == task.RV || id == task.SD {
+	// RV, SD and LG are estimated from profiled unit costs (§IV-B) plus the
+	// frame bytes they stream through the memory system. LG (the durability
+	// tier's WAL append) joins this branch because its dominant cost —
+	// write syscall plus the amortized share of a group-commit fsync — is
+	// only knowable by measurement; the live pipeline times the commit at
+	// each batch boundary and feeds LGUnitNanos back through the profile.
+	if id == task.RV || id == task.SD || id == task.LG {
 		spec := pl.Platform.CPU
 		cores := cfg.CoresFor(stage, spec.Cores)
 		if cores < 1 {
 			cores = 1
 		}
 		unit := p.RVUnitNanos
-		if id == task.SD {
+		switch id {
+		case task.SD:
 			unit = p.SDUnitNanos
+		case task.LG:
+			unit = p.LGUnitNanos
 		}
 		seqLine := spec.PrefetchHitRate*spec.CacheLatency.Seconds() +
 			(1-spec.PrefetchHitRate)*spec.MemLatency.Seconds()

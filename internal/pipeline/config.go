@@ -117,7 +117,9 @@ func (c Config) StageOf(id task.ID) Stage {
 			return StageGPU
 		}
 		return StageCPUPre
-	case task.SD:
+	case task.LG, task.SD:
+		// LG (WAL group commit) is CPU work with a disk dependency; it runs
+		// after WR, in the post stage with SD, regardless of GPU depth.
 		return StageCPUPost
 	}
 	for i, t := range gpuChain {

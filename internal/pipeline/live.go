@@ -146,6 +146,14 @@ type LiveOptions struct {
 	// runner; the consumer must not retain it. One of Done / DoneBatch is
 	// required.
 	DoneBatch func(frames []*LiveFrame)
+	// LogBatch, when set, is the durability tier's LG task: it runs once per
+	// completed batch, after the WR stage and before frame delivery, and
+	// group-commits the batch's write-ahead-log records. It returns the
+	// record and byte counts it committed so the batch profile can expose
+	// logging cost (LGRecordsPerQuery / LGSeqBytes / LGUnitNanos) to the
+	// planner. A frame the callback poisons (via its Ctx) is still delivered
+	// to DoneBatch, which decides not to ack it.
+	LogBatch func(frames []*LiveFrame) (records, bytes int)
 }
 
 // liveBatch is a Batch in flight through the live stage groups, plus the
@@ -199,6 +207,7 @@ type liveBatch struct {
 	keyBytes, valBytes int
 	wireBytes          int
 	parseNanos         int64
+	lgBytes            int64
 }
 
 func (b *liveBatch) reset() {
@@ -223,6 +232,7 @@ func (b *liveBatch) reset() {
 	b.gets, b.sets, b.dels, b.setErrs = 0, 0, 0, 0
 	b.keyBytes, b.valBytes, b.wireBytes = 0, 0, 0
 	b.parseNanos = 0
+	b.lgBytes = 0
 }
 
 // prepare sizes the response arena once the batch is sealed (run by the
@@ -921,6 +931,12 @@ func (r *LiveRunner) runRespond(b *liveBatch) {
 // consults the provider, installs the returned (config, size) pair for
 // future seals, and recycles the batch.
 func (r *LiveRunner) complete(b *liveBatch) {
+	if r.opts.LogBatch != nil {
+		lgStart := r.taskStart()
+		records, bytes := r.opts.LogBatch(b.frames)
+		b.taskDone(task.LG, lgStart, records)
+		b.lgBytes += int64(bytes)
+	}
 	sdStart := r.taskStart()
 	if r.opts.DoneBatch != nil {
 		r.opts.DoneBatch(b.frames)
@@ -1001,6 +1017,11 @@ func (r *LiveRunner) buildProfile(b *liveBatch) {
 	}
 	if b.taskUnits[task.SD] > 0 && n > 0 {
 		p.SDUnitNanos = float64(b.taskNanos[task.SD]) / float64(n)
+	}
+	if lg := b.taskUnits[task.LG]; lg > 0 && n > 0 {
+		p.LGRecordsPerQuery = float64(lg) / float64(n)
+		p.LGSeqBytes = float64(b.lgBytes) / float64(lg)
+		p.LGUnitNanos = float64(b.taskNanos[task.LG]) / float64(lg)
 	}
 	if m, ok := r.store.(LiveStoreMetrics); ok {
 		r.setsSinceMetrics += b.sets

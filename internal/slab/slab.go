@@ -639,6 +639,49 @@ type Stats struct {
 	Evictions      uint64
 }
 
+// Range iterates every live object in the arena, calling fn(key, value) for
+// each; it stops early and returns false if fn returns false. The walk is
+// lock-free: it snapshots each class's arena pointer and copies chunks under
+// the per-chunk seqlock (copy-then-validate, like Object), so it runs
+// concurrently with writers without blocking them. The iteration is a
+// point-in-time-ish scan, not a consistent cut: an object written while the
+// walk passes its chunk may or may not be observed — the snapshotter that
+// uses Range pairs it with WAL replay, whose absolute SET/DEL records make
+// the combination converge regardless. The key/value slices are reused
+// between calls; fn must not retain them.
+func (a *Allocator) Range(fn func(key, value []byte) bool) bool {
+	var kbuf, vbuf []byte
+	for _, c := range a.classes {
+		p := c.arena.Load()
+		if p == nil {
+			continue
+		}
+		arena := *p
+		nChunks := uint64(len(arena)) * uint64(c.perSlab)
+		for idx := uint64(0); idx < nChunks; idx++ {
+			w := c.chunkWords(arena, idx)
+			for {
+				s1 := w[0].Load()
+				if s1&1 != 0 {
+					break // dead or mid-write; skip
+				}
+				kl, vl, valid := loadLens(w, c.chunkSize)
+				if valid {
+					kbuf = appendChunkBytes(kbuf[:0], w, headerBytes, kl)
+					vbuf = appendChunkBytes(vbuf[:0], w, headerBytes+kl, vl)
+				}
+				if w[0].Load() == s1 {
+					if valid && !fn(kbuf, vbuf) {
+						return false
+					}
+					break
+				}
+			}
+		}
+	}
+	return true
+}
+
 // StatsSnapshot returns current allocator statistics.
 func (a *Allocator) StatsSnapshot() Stats {
 	s := Stats{ArenaBytes: a.cfg.TotalBytes}

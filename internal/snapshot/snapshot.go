@@ -1,0 +1,356 @@
+// Package snapshot implements the durability tier's immutable on-disk
+// snapshots (DESIGN.md §5.13). A snapshot is a flat, sequentially-parseable
+// dump of the store's live objects plus the at-most-once reply cache, written
+// side-file-then-rename so a crash mid-write never damages the previous
+// snapshot, and CRC-sealed so recovery can tell a good snapshot from a
+// damaged one. The format is mmap-friendly: one contiguous byte stream whose
+// entries are parsed by slicing, so loading is a single sequential read with
+// zero per-entry copies until the store itself copies the object in.
+//
+// The Manager coordinates the snapshot/truncate protocol with the WAL:
+// rotate the log (wal.log → wal.old), walk the live store into snapshot.tmp,
+// fsync + rename to snapshot.snap, fsync the directory, then delete wal.old —
+// the WAL truncation. Recovery order is snapshot.snap, then wal.old (present
+// only if a crash interrupted the protocol), then the wal.log tail; SET/DEL
+// records are absolute and idempotent, so replaying an older segment over a
+// newer snapshot converges.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/wal"
+)
+
+// File layout: magic, then tagged entries, then an end tag, an entry count,
+// and a CRC32-IEEE over everything before the CRC itself.
+const (
+	tagEnd   byte = 0
+	tagKV    byte = 1 // u32 keyLen, u32 valLen, key, value
+	tagReply byte = 2 // u16 addrLen, addr, u64 reqID, u16 nFrames, per frame u32 len + bytes
+)
+
+var magic = []byte("DIDOSNP1")
+
+// Standard file names inside a durability directory.
+const (
+	WALFile  = "wal.log"
+	WALOld   = "wal.old"
+	SnapFile = "snapshot.snap"
+	SnapTmp  = SnapFile + ".tmp"
+)
+
+// Paths returns the durability file paths inside dir.
+func Paths(dir string) (walPath, walOld, snapPath string) {
+	return filepath.Join(dir, WALFile), filepath.Join(dir, WALOld), filepath.Join(dir, SnapFile)
+}
+
+// ErrCorrupt is returned by Load for a snapshot that fails its CRC or frame
+// checks. Since snapshots are only ever renamed into place after a full
+// fsync, a corrupt snapshot means the storage lied — recovery surfaces it
+// rather than silently serving partial state.
+var ErrCorrupt = errors.New("snapshot: corrupt")
+
+// KVIter walks live key-value objects; the callback's slices may be reused.
+type KVIter func(fn func(key, value []byte) bool)
+
+// ReplyIter walks at-most-once reply-cache entries.
+type ReplyIter func(fn func(addr string, id uint64, frames [][]byte) bool)
+
+// crcWriter tees everything written through a running CRC.
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+	n   int64
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	c.n += int64(len(p))
+	return c.w.Write(p)
+}
+
+// Write dumps kv and replies to path using the side-file-then-rename
+// protocol: everything goes to path+".tmp" first, is fsynced, renamed over
+// path, and the directory fsynced. Either the old snapshot or the complete
+// new one survives a crash at any point. Returns the snapshot size in bytes
+// and the number of entries written.
+func Write(path string, kv KVIter, replies ReplyIter) (int64, int, error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+
+	cw := &crcWriter{w: bufio.NewWriterSize(f, 1<<20)}
+	var werr error
+	put := func(p []byte) {
+		if werr == nil {
+			_, werr = cw.Write(p)
+		}
+	}
+	var scratch [10]byte
+	entries := 0
+
+	put(magic)
+	if kv != nil {
+		kv(func(key, value []byte) bool {
+			scratch[0] = tagKV
+			binary.LittleEndian.PutUint32(scratch[1:], uint32(len(key)))
+			put(scratch[:5])
+			binary.LittleEndian.PutUint32(scratch[:4], uint32(len(value)))
+			put(scratch[:4])
+			put(key)
+			put(value)
+			entries++
+			return werr == nil
+		})
+	}
+	if replies != nil {
+		replies(func(addr string, id uint64, frames [][]byte) bool {
+			scratch[0] = tagReply
+			binary.LittleEndian.PutUint16(scratch[1:], uint16(len(addr)))
+			put(scratch[:3])
+			put([]byte(addr))
+			binary.LittleEndian.PutUint64(scratch[:8], id)
+			put(scratch[:8])
+			binary.LittleEndian.PutUint16(scratch[:2], uint16(len(frames)))
+			put(scratch[:2])
+			for _, fr := range frames {
+				binary.LittleEndian.PutUint32(scratch[:4], uint32(len(fr)))
+				put(scratch[:4])
+				put(fr)
+			}
+			entries++
+			return werr == nil
+		})
+	}
+	put([]byte{tagEnd})
+	binary.LittleEndian.PutUint64(scratch[:8], uint64(entries))
+	put(scratch[:8])
+	// Seal: CRC over everything written so far.
+	binary.LittleEndian.PutUint32(scratch[:4], cw.crc)
+	put(scratch[:4])
+
+	if werr == nil {
+		werr = cw.w.Flush()
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return 0, 0, fmt.Errorf("snapshot: write %s: %w", tmp, werr)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, 0, fmt.Errorf("snapshot: rename: %w", err)
+	}
+	syncDir(filepath.Dir(path))
+	return cw.n, entries, nil
+}
+
+// Load reads the snapshot at path, verifying its CRC before applying a single
+// entry, and invokes the callbacks for every entry. The slices passed to the
+// callbacks alias the loaded buffer and must be copied if retained (the store
+// copies on Set). A missing file is an empty snapshot, not an error; a
+// damaged one returns ErrCorrupt.
+func Load(path string, applyKV func(key, value []byte), applyReply func(addr string, id uint64, frames [][]byte)) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	// Minimum: magic + end tag + count + crc.
+	if len(data) < len(magic)+1+8+4 {
+		return 0, fmt.Errorf("%w: %s truncated (%d bytes)", ErrCorrupt, path, len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return 0, fmt.Errorf("%w: %s CRC mismatch", ErrCorrupt, path)
+	}
+	if string(data[:len(magic)]) != string(magic) {
+		return 0, fmt.Errorf("%w: %s bad magic", ErrCorrupt, path)
+	}
+	wantEntries := binary.LittleEndian.Uint64(data[len(data)-12 : len(data)-4])
+
+	off := len(magic)
+	entries := 0
+	p := data
+	fail := func(what string) (int, error) {
+		return entries, fmt.Errorf("%w: %s bad %s at offset %d", ErrCorrupt, path, what, off)
+	}
+	for {
+		if off >= len(p)-12 {
+			return fail("entry stream")
+		}
+		tag := p[off]
+		off++
+		switch tag {
+		case tagEnd:
+			if entries != int(wantEntries) {
+				return fail("entry count")
+			}
+			if off != len(p)-12 {
+				return fail("end position")
+			}
+			return entries, nil
+		case tagKV:
+			if off+8 > len(p)-12 {
+				return fail("kv header")
+			}
+			kl := int(binary.LittleEndian.Uint32(p[off:]))
+			vl := int(binary.LittleEndian.Uint32(p[off+4:]))
+			off += 8
+			if kl < 0 || vl < 0 || off+kl+vl > len(p)-12 {
+				return fail("kv lengths")
+			}
+			if applyKV != nil {
+				applyKV(p[off:off+kl], p[off+kl:off+kl+vl])
+			}
+			off += kl + vl
+			entries++
+		case tagReply:
+			if off+2 > len(p)-12 {
+				return fail("reply header")
+			}
+			al := int(binary.LittleEndian.Uint16(p[off:]))
+			off += 2
+			if off+al+10 > len(p)-12 {
+				return fail("reply addr")
+			}
+			addr := string(p[off : off+al])
+			off += al
+			id := binary.LittleEndian.Uint64(p[off:])
+			nf := int(binary.LittleEndian.Uint16(p[off+8:]))
+			off += 10
+			frames := make([][]byte, 0, nf)
+			for i := 0; i < nf; i++ {
+				if off+4 > len(p)-12 {
+					return fail("reply frame header")
+				}
+				fl := int(binary.LittleEndian.Uint32(p[off:]))
+				off += 4
+				if fl < 0 || off+fl > len(p)-12 {
+					return fail("reply frame")
+				}
+				frames = append(frames, p[off:off+fl])
+				off += fl
+			}
+			if applyReply != nil {
+				applyReply(addr, id, frames)
+			}
+			entries++
+		default:
+			return fail("tag")
+		}
+	}
+}
+
+// Manager runs the snapshot/truncate protocol against a live store and WAL.
+type Manager struct {
+	// Dir holds wal.log / wal.old / snapshot.snap.
+	Dir string
+	// Log is the WAL to rotate and truncate around snapshots.
+	Log *wal.Log
+	// KV and Replies walk the live state to dump.
+	KV      KVIter
+	Replies ReplyIter
+
+	snapshots, errs stats.Counter
+	lastUnix        atomic.Int64
+	lastBytes       atomic.Int64
+	lastEntries     atomic.Int64
+}
+
+// ManagerStats is a snapshot of the Manager's counters.
+type ManagerStats struct {
+	Snapshots   uint64
+	Errors      uint64
+	LastUnix    int64 // completion time of the newest snapshot (0 = none yet)
+	LastBytes   int64
+	LastEntries int64
+}
+
+// Stats returns the manager's counters.
+func (m *Manager) Stats() ManagerStats {
+	return ManagerStats{
+		Snapshots:   m.snapshots.Load(),
+		Errors:      m.errs.Load(),
+		LastUnix:    m.lastUnix.Load(),
+		LastBytes:   m.lastBytes.Load(),
+		LastEntries: m.lastEntries.Load(),
+	}
+}
+
+// SnapshotOnce executes one full snapshot/truncate cycle:
+//
+//  1. rotate the WAL — wal.log becomes the immutable wal.old, a fresh
+//     wal.log starts; every write from here on is in the new segment,
+//  2. dump the live store (racing writers are fine: anything the walk
+//     misses is in the new wal.log, anything it double-sees is idempotent),
+//  3. rename the dump into place (the previous snapshot stays intact until
+//     this instant),
+//  4. delete wal.old — the WAL truncation; recovery now needs only the new
+//     snapshot plus the new wal.log tail.
+func (m *Manager) SnapshotOnce() error {
+	_, walOld, snapPath := Paths(m.Dir)
+	if err := m.Log.Rotate(walOld); err != nil {
+		m.errs.Inc()
+		return err
+	}
+	bytes, entries, err := Write(snapPath, m.KV, m.Replies)
+	if err != nil {
+		// wal.old stays; recovery replays it over the previous snapshot.
+		m.errs.Inc()
+		return err
+	}
+	if err := os.Remove(walOld); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		m.errs.Inc()
+		return err
+	}
+	m.snapshots.Inc()
+	m.lastUnix.Store(time.Now().Unix())
+	m.lastBytes.Store(bytes)
+	m.lastEntries.Store(int64(entries))
+	return nil
+}
+
+// Run snapshots every interval until stop is closed. Errors are counted and
+// retried at the next tick (the WAL keeps everything in the meantime).
+func (m *Manager) Run(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			m.SnapshotOnce() //nolint:errcheck // counted in Stats().Errors
+		}
+	}
+}
+
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync() //nolint:errcheck
+	d.Close()
+}

@@ -1,0 +1,181 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+func kvIterOf(m map[string]string) KVIter {
+	return func(fn func(key, value []byte) bool) {
+		for k, v := range m {
+			if !fn([]byte(k), []byte(v)) {
+				return
+			}
+		}
+	}
+}
+
+type replyEntry struct {
+	addr   string
+	id     uint64
+	frames [][]byte
+}
+
+func replyIterOf(rs []replyEntry) ReplyIter {
+	return func(fn func(addr string, id uint64, frames [][]byte) bool) {
+		for _, r := range rs {
+			if !fn(r.addr, r.id, r.frames) {
+				return
+			}
+		}
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, SnapFile)
+	kvs := map[string]string{}
+	for i := 0; i < 300; i++ {
+		kvs[fmt.Sprintf("key-%03d", i)] = fmt.Sprintf("val-%03d", i)
+	}
+	replies := []replyEntry{
+		{addr: "10.1.2.3:4444", id: 9, frames: [][]byte{[]byte("fA"), []byte("fB")}},
+		{addr: "10.1.2.4:5555", id: 11, frames: [][]byte{[]byte("x")}},
+	}
+	bytes, entries, err := Write(path, kvIterOf(kvs), replyIterOf(replies))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != len(kvs)+len(replies) {
+		t.Fatalf("wrote %d entries, want %d", entries, len(kvs)+len(replies))
+	}
+	if fi, _ := os.Stat(path); fi.Size() != bytes {
+		t.Fatalf("reported %d bytes, file is %d", bytes, fi.Size())
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("side file left behind")
+	}
+
+	gotKV := map[string]string{}
+	var gotReplies []replyEntry
+	n, err := Load(path,
+		func(k, v []byte) { gotKV[string(k)] = string(v) },
+		func(addr string, id uint64, frames [][]byte) {
+			r := replyEntry{addr: addr, id: id}
+			for _, f := range frames {
+				r.frames = append(r.frames, append([]byte(nil), f...))
+			}
+			gotReplies = append(gotReplies, r)
+		})
+	if err != nil || n != entries {
+		t.Fatalf("load: n=%d err=%v", n, err)
+	}
+	if len(gotKV) != len(kvs) {
+		t.Fatalf("loaded %d kvs, want %d", len(gotKV), len(kvs))
+	}
+	for k, v := range kvs {
+		if gotKV[k] != v {
+			t.Fatalf("key %s: loaded %q want %q", k, gotKV[k], v)
+		}
+	}
+	if len(gotReplies) != 2 || gotReplies[0].addr != "10.1.2.3:4444" ||
+		gotReplies[0].id != 9 || string(gotReplies[0].frames[1]) != "fB" {
+		t.Fatalf("replies: %+v", gotReplies)
+	}
+}
+
+func TestLoadMissingIsEmpty(t *testing.T) {
+	n, err := Load(filepath.Join(t.TempDir(), "none.snap"), nil, nil)
+	if n != 0 || err != nil {
+		t.Fatalf("missing snapshot: %d %v", n, err)
+	}
+}
+
+// TestLoadRejectsCorruption flips every byte position in turn; Load must
+// return ErrCorrupt (or load the intact file when the flip is undone) and
+// never panic or apply from a damaged file.
+func TestLoadRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, SnapFile)
+	if _, _, err := Write(path, kvIterOf(map[string]string{"k1": "v1", "k2": "v2"}), nil); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(orig); i++ {
+		bad := append([]byte(nil), orig...)
+		bad[i] ^= 0x5a
+		badPath := filepath.Join(dir, "bad.snap")
+		if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(badPath, func(k, v []byte) {}, nil); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: err=%v, want ErrCorrupt", i, err)
+		}
+	}
+	// Truncations too.
+	for cut := 0; cut < len(orig); cut += 3 {
+		badPath := filepath.Join(dir, "cut.snap")
+		if err := os.WriteFile(badPath, orig[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(badPath, func(k, v []byte) {}, nil); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut at %d: err=%v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+// TestManagerProtocol runs SnapshotOnce against a real WAL and checks the
+// rotate → dump → rename → truncate sequence end to end.
+func TestManagerProtocol(t *testing.T) {
+	dir := t.TempDir()
+	walPath, walOld, snapPath := Paths(dir)
+	l, err := wal.Open(walPath, wal.Options{Policy: wal.SyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	state := map[string]string{"a": "1", "b": "2"}
+	if err := l.Commit(wal.AppendSet(nil, []byte("a"), []byte("1")), 1); err != nil {
+		t.Fatal(err)
+	}
+	m := &Manager{Dir: dir, Log: l, KV: kvIterOf(state)}
+	if err := m.SnapshotOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(walOld); !os.IsNotExist(err) {
+		t.Fatal("wal.old not truncated after successful snapshot")
+	}
+	if fi, err := os.Stat(walPath); err != nil || fi.Size() != 0 {
+		t.Fatalf("fresh wal.log: %v size=%v", err, fi)
+	}
+	n, err := Load(snapPath, func(k, v []byte) {
+		if state[string(k)] != string(v) {
+			t.Errorf("snapshot holds %q=%q", k, v)
+		}
+	}, nil)
+	if err != nil || n != len(state) {
+		t.Fatalf("load: %d %v", n, err)
+	}
+	st := m.Stats()
+	if st.Snapshots != 1 || st.LastUnix == 0 || st.LastEntries != int64(len(state)) {
+		t.Fatalf("manager stats: %+v", st)
+	}
+	// Writes after the snapshot land in the fresh segment.
+	if err := l.Commit(wal.AppendSet(nil, []byte("c"), []byte("3")), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := os.Stat(walPath); fi.Size() == 0 {
+		t.Fatal("post-snapshot write missing from fresh wal.log")
+	}
+}

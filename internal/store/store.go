@@ -460,6 +460,19 @@ type Stats struct {
 	AvgInsertBucketsProbed float64
 }
 
+// Range iterates every live object across all shards, calling fn(key, value)
+// for each until fn returns false. It is lock-free (per-chunk seqlock reads
+// in the slab arena) and safe to run concurrently with the serving path —
+// the durability tier's snapshotter walks the store this way while writes
+// continue. The slices passed to fn are reused; fn must copy what it keeps.
+func (s *Store) Range(fn func(key, value []byte) bool) {
+	for _, sh := range s.shards {
+		if !sh.alloc.Range(fn) {
+			return
+		}
+	}
+}
+
 // StatsSnapshot returns current counters, aggregated across shards.
 func (s *Store) StatsSnapshot() Stats {
 	st := Stats{

@@ -27,6 +27,7 @@ const (
 	KC           // key comparison
 	RD           // read key-value object
 	WR           // write response packet
+	LG           // append write-ahead log records (durability tier)
 	SD           // send responses
 	NumTasks int = iota
 )
@@ -52,6 +53,8 @@ func (id ID) String() string {
 		return "RD"
 	case WR:
 		return "WR"
+	case LG:
+		return "LG"
 	case SD:
 		return "SD"
 	default:
@@ -61,7 +64,7 @@ func (id ID) String() string {
 
 // All returns every task in pipeline order.
 func All() []ID {
-	return []ID{RV, PP, MM, INSearch, INInsert, INDelete, KC, RD, WR, SD}
+	return []ID{RV, PP, MM, INSearch, INInsert, INDelete, KC, RD, WR, LG, SD}
 }
 
 // AffinityPartner returns the upstream task whose co-location in the same
@@ -114,6 +117,13 @@ type Profile struct {
 	// computes it analytically from Zipf; the simulator measures it with a
 	// real LRU cache.
 	CacheHitPortion float64
+	// LGRecordsPerQuery, LGSeqBytes and LGUnitNanos describe the durability
+	// tier's logging task (LG): WAL records appended per query (0 when no
+	// WAL is attached, which zeroes LG's coverage everywhere), average
+	// framed bytes per record, and the measured per-record cost of the
+	// group-commit append (unit-cost profiled like RV/SD, since most of LG
+	// is syscall + fsync time no instruction model can see).
+	LGRecordsPerQuery, LGSeqBytes, LGUnitNanos float64
 }
 
 // Coverage returns the fraction of the batch a task applies to: index
@@ -136,6 +146,10 @@ func Coverage(id ID, p Profile) float64 {
 		return p.GetRatio
 	case WR:
 		return 1 // every query gets a response; value-bearing only for GETs
+	case LG:
+		// Durability: only write-bearing frames produce WAL records (SET/DEL
+		// ops plus one REPLY record per tracked frame). Zero without a WAL.
+		return p.LGRecordsPerQuery
 	default:
 		return 0
 	}
@@ -248,6 +262,12 @@ func ForTask(id ID, p Profile, pl Placement) Demand {
 		} else {
 			d.SeqBytes = 2 * valueShare // staging read + response write
 		}
+	case LG:
+		// Encode + CRC one WAL record and stream it into the commit buffer.
+		// The dominant cost (write syscall + shared fsync) is measured, not
+		// modeled: the cost model prices LG from LGUnitNanos like RV/SD.
+		d.Instr = 150 + p.LGSeqBytes/16
+		d.SeqBytes = p.LGSeqBytes
 	case SD:
 		d.Instr = p.SDInstr
 		d.SeqBytes = p.GetRatio*p.ValueSize + 16

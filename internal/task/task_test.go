@@ -24,7 +24,7 @@ func TestTaskStrings(t *testing.T) {
 	want := map[ID]string{
 		RV: "RV", PP: "PP", MM: "MM",
 		INSearch: "IN.S", INInsert: "IN.I", INDelete: "IN.D",
-		KC: "KC", RD: "RD", WR: "WR", SD: "SD",
+		KC: "KC", RD: "RD", WR: "WR", LG: "LG", SD: "SD",
 	}
 	for id, s := range want {
 		if id.String() != s {
@@ -38,7 +38,7 @@ func TestTaskStrings(t *testing.T) {
 
 func TestAllOrderAndCount(t *testing.T) {
 	all := All()
-	if len(all) != NumTasks || NumTasks != 10 {
+	if len(all) != NumTasks || NumTasks != 11 {
 		t.Fatalf("NumTasks = %d, tasks = %d", NumTasks, len(all))
 	}
 	if all[0] != RV || all[len(all)-1] != SD {

@@ -1,0 +1,59 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWALReplay feeds arbitrary bytes (the corpus seeds are valid logs, which
+// the fuzzer mutates and truncates) through Replay. Invariants: never panic,
+// valid prefix within bounds, and the reported prefix is stable — replaying
+// it again yields the same byte offset and record count, and appending
+// arbitrary garbage after a valid prefix never loses records from it.
+func FuzzWALReplay(f *testing.F) {
+	var seed []byte
+	seed = AppendSet(seed, []byte("key1"), []byte("value-one"))
+	seed = AppendDelete(seed, []byte("key1"))
+	seed = AppendReply(seed, "127.0.0.1:9999", 7, [][]byte{[]byte("fr1"), []byte("fr2")})
+	f.Add(seed)
+	f.Add(seed[:len(seed)-3])
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Exercise every decode path; handlers re-check slice bounds.
+		h := Handler{
+			Set: func(k, v []byte) {
+				_ = append([]byte(nil), k...)
+				_ = append([]byte(nil), v...)
+			},
+			Delete: func(k []byte) { _ = len(k) },
+			Reply: func(addr []byte, id uint64, frames [][]byte) {
+				total := len(addr)
+				for _, fr := range frames {
+					total += len(fr)
+				}
+				if total > len(data) {
+					t.Fatalf("reply decoded %d bytes from a %d-byte input", total, len(data))
+				}
+			},
+		}
+		valid, records := Replay(data, h)
+		if valid < 0 || valid > len(data) {
+			t.Fatalf("valid prefix %d out of range [0,%d]", valid, len(data))
+		}
+		if records < 0 || (records > 0 && valid == 0) {
+			t.Fatalf("inconsistent result: valid=%d records=%d", valid, records)
+		}
+		v2, r2 := Replay(data[:valid], Handler{})
+		if v2 != valid || r2 != records {
+			t.Fatalf("prefix not stable: (%d,%d) vs (%d,%d)", valid, records, v2, r2)
+		}
+		// Garbage appended after a valid prefix must keep the prefix intact.
+		garbage := append(append([]byte(nil), data[:valid]...), 0xde, 0xad, 0xbe, 0xef)
+		v3, r3 := Replay(garbage, Handler{})
+		if v3 < valid || r3 < records {
+			t.Fatalf("appended garbage lost records: (%d,%d) vs (%d,%d)", v3, r3, valid, records)
+		}
+	})
+}

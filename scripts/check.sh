@@ -52,6 +52,15 @@ go test -count=1 -race -timeout 900s \
     -run 'SearchBatch|GetBatch|ReadCandidatesBatch|BatchPath|LiveWide|PipelinedWidePath' \
     ./internal/cuckoo ./internal/store ./internal/pipeline .
 
+# The durability tier: group-commit WAL, snapshot/truncate, disk fault
+# injection, and the kill -9 crash-recovery e2e (re-exec + SIGKILL mid-load,
+# then verify every acked SET survived). Commit-before-ack runs concurrently
+# with serving on both paths, so all of it goes under the race detector,
+# un-cached every pass.
+echo "== durability (-race, -count=1) =="
+go test -count=1 -race -timeout 900s ./internal/wal ./internal/snapshot ./internal/faults
+go test -count=1 -race -timeout 900s -run 'TestDurable|TestCrash' .
+
 # Benchmark smoke: one iteration each, just proving the benchmarks still
 # compile and run (allocation regressions show up in the full bench runs).
 echo "== benchmark smoke =="
@@ -85,11 +94,37 @@ sleep 0.3
 kill "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true
 
+# Same smoke with the durability tier on: a -wal server serving a write-bearing
+# run, with the loadgen's scrape audit asserting the WAL counters advanced
+# (dido_wal_records_total / dido_wal_bytes_total non-zero, all counters
+# monotonic). The server restarts once from the same directory so startup
+# recovery runs against a real WAL+snapshot left by SIGTERM drain.
+echo "== durable server/loadgen smoke (WAL scrape asserted) =="
+WAL_ADDR="127.0.0.1:13312"
+WAL_ADMIN="127.0.0.1:13391"
+"$SMOKE_DIR/dido-server" -addr "$WAL_ADDR" -stats-interval 0 \
+    -wal "$SMOKE_DIR/wal" -snapshot-interval 1s -admin "$WAL_ADMIN" &
+SERVER_PID=$!
+sleep 0.3
+"$SMOKE_DIR/dido-loadgen" -addr "$WAL_ADDR" -workload K16-G50-S -duration 2s -population 10000 \
+    -scrape "http://$WAL_ADMIN" -scrape-assert
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+"$SMOKE_DIR/dido-server" -addr "$WAL_ADDR" -stats-interval 0 \
+    -wal "$SMOKE_DIR/wal" -admin "$WAL_ADMIN" &
+SERVER_PID=$!
+sleep 0.3
+"$SMOKE_DIR/dido-loadgen" -addr "$WAL_ADDR" -workload K16-G95-U -duration 1s -population 1000 \
+    -warm=false -scrape "http://$WAL_ADMIN" -scrape-assert
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+
 if [ "$FUZZTIME" != "0" ]; then
     echo "== fuzz smoke ($FUZZTIME per target) =="
     go test -run='^$' -fuzz=FuzzParseFrame -fuzztime="$FUZZTIME" ./internal/proto
     go test -run='^$' -fuzz=FuzzParseResponseFrame -fuzztime="$FUZZTIME" ./internal/proto
     go test -run='^$' -fuzz=FuzzSearchBatchMatchesSearchBuf -fuzztime="$FUZZTIME" ./internal/cuckoo
+    go test -run='^$' -fuzz=FuzzWALReplay -fuzztime="$FUZZTIME" ./internal/wal
 fi
 
 echo "== check.sh: all green =="

@@ -56,6 +56,12 @@ type ServerOptions struct {
 	// exceeds its threshold, on both serving paths. The below-threshold cost
 	// is one clock read and an atomic compare per frame (see internal/obs).
 	SlowLog *obs.SlowLog
+	// Durability, when non-nil with a Dir, attaches the durability tier:
+	// startup recovery from snapshot + WAL, write-ahead logging of every
+	// acknowledged write on both serving paths, and periodic snapshots that
+	// truncate the log (see server_durability.go). Opening it can fail (disk
+	// errors, corrupt snapshot) — use NewServerDurable to observe the error.
+	Durability *DurabilityOptions
 }
 
 // Defaults for ServerOptions zero fields.
@@ -84,6 +90,12 @@ type Server struct {
 	closed atomic.Bool
 
 	pipe *serverPipeline // non-nil when opts.Pipeline is set
+	dur  *durability     // non-nil when opts.Durability is set
+
+	// drained closes when the serve loop has finished its graceful drain (or
+	// exited); Close waits on it before fsyncing the WAL tail.
+	drained   chan struct{}
+	drainOnce sync.Once
 
 	tokens  chan struct{}
 	wg      sync.WaitGroup
@@ -115,8 +127,26 @@ func NewServer(b Backend) *Server {
 	return NewServerOpts(b, ServerOptions{})
 }
 
-// NewServerOpts returns a UDP server over b with the given options.
+// NewServerOpts returns a UDP server over b with the given options. When
+// opts.Durability is set, opening the tier can fail; this constructor panics
+// on that error — use NewServerDurable to handle it.
 func NewServerOpts(b Backend, opts ServerOptions) *Server {
+	s, err := newServer(b, opts)
+	if err != nil {
+		panic("dido: " + err.Error() + " (use NewServerDurable)")
+	}
+	return s
+}
+
+// NewServerDurable returns a UDP server over b, running startup recovery and
+// opening the write-ahead log when opts.Durability is set. It is the
+// error-returning form of NewServerOpts for durable servers: recovery reads
+// disk state and can fail.
+func NewServerDurable(b Backend, opts ServerOptions) (*Server, error) {
+	return newServer(b, opts)
+}
+
+func newServer(b Backend, opts ServerOptions) (*Server, error) {
 	if opts.MaxInFlight <= 0 {
 		opts.MaxInFlight = DefaultMaxInFlight
 	}
@@ -125,9 +155,10 @@ func NewServerOpts(b Backend, opts ServerOptions) *Server {
 		cacheSize = DefaultReplyCacheSize
 	}
 	s := &Server{
-		store:  b,
-		opts:   opts,
-		tokens: make(chan struct{}, opts.MaxInFlight),
+		store:   b,
+		opts:    opts,
+		drained: make(chan struct{}),
+		tokens:  make(chan struct{}, opts.MaxInFlight),
 	}
 	if gi, ok := b.(GetIntoBackend); ok {
 		s.getInto = gi
@@ -137,16 +168,30 @@ func NewServerOpts(b Backend, opts ServerOptions) *Server {
 	}
 	s.bufs.New = func() any { return make([]byte, proto.MaxFrameBytes) }
 	s.scratch.New = func() any { return &frameScratch{} }
+	// Durability opens before the pipeline: recovery must finish before any
+	// frame can execute, and initPipeline arms its LG hook only when s.dur
+	// is already set.
+	if opts.Durability != nil && opts.Durability.Dir != "" {
+		dur, err := openDurability(b, s.replies, *opts.Durability)
+		if err != nil {
+			return nil, err
+		}
+		s.dur = dur
+	}
 	if opts.Pipeline != nil {
 		s.initPipeline(opts.Pipeline)
 	}
-	return s
+	return s, nil
 }
 
 // Serve listens on addr (e.g. "127.0.0.1:11211") and processes frames until
 // Close. It blocks; run it in a goroutine. After Close, Serve returns only
 // once in-flight frames have drained.
 func (s *Server) Serve(addr string) error {
+	// Whatever path Serve exits by, it has stopped admitting frames and (on
+	// the graceful path) drained the in-flight ones; Close waits on this
+	// before fsyncing the WAL tail.
+	defer s.drainOnce.Do(func() { close(s.drained) })
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return err
@@ -386,7 +431,22 @@ func (s *Server) handleFrame(pc net.PacketConn, buf []byte, n int, raddr net.Add
 	}
 	s.frames.Inc()
 	resps := s.process(queries, sc)
-	s.sendResponses(pc, raddr, akey, reqID, v2, true, resps)
+	if s.dur != nil {
+		// Redo-after-apply: the writes already executed; their records must
+		// be durable before the ack. The response frames are encoded first so
+		// the REPLY record binds the exact reply the client will see.
+		frames := appendResponseFrames(nil, reqID, v2, resps)
+		if !s.dur.commitFrame(queries, resps, akey, reqID, tracked, frames) {
+			// Commit failed: drop the ack (the deferred abort clears the
+			// in-flight marker) so the client retries instead of trusting a
+			// write that never reached disk.
+			sc.resps = resps[:0]
+			return
+		}
+		s.sendFrames(pc, raddr, akey, reqID, v2, true, frames)
+	} else {
+		s.sendResponses(pc, raddr, akey, reqID, v2, true, resps)
+	}
 	sc.resps = resps[:0]
 	if sl := s.opts.SlowLog; sl != nil && len(queries) > 0 {
 		sl.Observe(time.Since(start), len(queries), uint8(queries[0].Op), queries[0].Key)
@@ -430,7 +490,12 @@ func appendResponseFrames(dst [][]byte, reqID uint64, v2 bool, resps []proto.Res
 // suppression. akey is the memoized raddr string (may be empty when no
 // caching applies).
 func (s *Server) sendResponses(pc net.PacketConn, raddr net.Addr, akey string, reqID uint64, v2, cache bool, resps []proto.Response) {
-	frames := appendResponseFrames(nil, reqID, v2, resps)
+	s.sendFrames(pc, raddr, akey, reqID, v2, cache, appendResponseFrames(nil, reqID, v2, resps))
+}
+
+// sendFrames is the lower half of sendResponses for callers that already hold
+// the encoded frames (the durable path encodes them before the WAL commit).
+func (s *Server) sendFrames(pc net.PacketConn, raddr net.Addr, akey string, reqID uint64, v2, cache bool, frames [][]byte) {
 	sendOK := true
 	for _, out := range frames {
 		if _, err := pc.WriteTo(out, raddr); err != nil {
@@ -561,14 +626,25 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	if conn != nil {
 		// The serve loop notices closed, drains, and shuts the pipeline
-		// runner down itself.
-		return conn.SetReadDeadline(time.Now())
+		// runner down itself; wait for that drain so every in-flight frame
+		// has committed its records before the WAL tail is sealed below.
+		err := conn.SetReadDeadline(time.Now())
+		<-s.drained
+		if s.dur != nil {
+			if derr := s.dur.close(); err == nil {
+				err = derr
+			}
+		}
+		return err
 	}
 	// Serve never ran (or has not published its socket yet): the pipeline
 	// workers started at construction, so release them here. Serve's
 	// closed re-check covers the not-yet-published race.
 	if s.pipe != nil {
 		s.pipe.runner.Close()
+	}
+	if s.dur != nil {
+		return s.dur.close()
 	}
 	return nil
 }

@@ -2,9 +2,11 @@ package dido
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/wal"
 )
 
 // This file renders the server's observability surfaces for the admin
@@ -38,6 +40,9 @@ func writeServerMetrics(w *obs.MetricsWriter, ss ServerStats) {
 // is the server's half of the admin endpoint's Collect callback.
 func (s *Server) CollectMetrics(w *obs.MetricsWriter) {
 	writeServerMetrics(w, s.Stats())
+	if s.dur != nil {
+		s.collectDurabilityMetrics(w)
+	}
 	if s.pipe == nil {
 		return
 	}
@@ -63,6 +68,27 @@ func (s *Server) CollectMetrics(w *obs.MetricsWriter) {
 	}
 }
 
+// collectDurabilityMetrics emits the durability tier's metrics; called only
+// when the tier is attached, so a non-durable server's exposition is
+// unchanged (its name set is pinned separately by tests).
+func (s *Server) collectDurabilityMetrics(w *obs.MetricsWriter) {
+	ds, _ := s.DurabilityStats()
+	w.Counter("dido_wal_records_total", "WAL records committed.", ds.WAL.Records)
+	w.Counter("dido_wal_bytes_total", "Framed WAL bytes committed.", ds.WAL.Bytes)
+	w.Counter("dido_wal_syncs_total", "WAL fsyncs issued (group commit shares them).", ds.WAL.Syncs)
+	w.Counter("dido_wal_errors_total", "WAL write + fsync failures.", ds.WAL.WriteErrs+ds.WAL.SyncErrs)
+	w.Counter("dido_wal_rotations_total", "WAL segment rotations (one per snapshot).", ds.WAL.Rotations)
+	w.Counter("dido_wal_dropped_acks_total", "Frames whose ack was dropped because their WAL commit failed.", ds.DroppedAcks)
+	w.Summary("dido_wal_fsync_micros", "WAL fsync latency in microseconds.", "",
+		s.dur.log.FsyncHistogram().Export(), 0.5, 0.99, 0.999)
+	w.Counter("dido_snapshots_total", "Completed snapshot/truncate cycles.", ds.Snapshots.Snapshots)
+	w.Counter("dido_snapshot_errors_total", "Failed snapshot attempts (retried next tick).", ds.Snapshots.Errors)
+	w.Gauge("dido_snapshot_last_unix", "Completion time of the newest snapshot (0 = none).", float64(ds.Snapshots.LastUnix))
+	w.Gauge("dido_snapshot_last_entries", "Entries in the newest snapshot.", float64(ds.Snapshots.LastEntries))
+	w.Gauge("dido_recovery_duration_seconds", "Startup recovery time (snapshot load + WAL replay).", ds.RecoveryDuration.Seconds())
+	w.Gauge("dido_recovery_wal_records", "WAL records replayed by startup recovery.", float64(ds.RecoveredWALRecords))
+}
+
 // ServerConfigView is the admin /config payload: the serving configuration as
 // it stands now, including the pipeline config adaptation may have installed
 // since startup.
@@ -75,6 +101,21 @@ type ServerConfigView struct {
 	SlowQueryThresholdMicros float64 `json:"slow_query_threshold_micros,omitempty"`
 	// Pipeline is present on the pipelined path.
 	Pipeline *PipelineConfigView `json:"pipeline,omitempty"`
+	// Durability is present when the durability tier is attached.
+	Durability *DurabilityConfigView `json:"durability,omitempty"`
+}
+
+// DurabilityConfigView describes the durability tier's configuration.
+type DurabilityConfigView struct {
+	Dir string `json:"dir"`
+	// Sync is the WAL sync policy: "batch", "interval" or "off".
+	Sync string `json:"sync"`
+	// SyncIntervalMicros is present under the interval policy.
+	SyncIntervalMicros float64 `json:"sync_interval_micros,omitempty"`
+	// SnapshotIntervalSeconds is 0 when periodic snapshots are off.
+	SnapshotIntervalSeconds float64 `json:"snapshot_interval_seconds"`
+	// Snapshots reports whether the backend supports snapshotting (Range).
+	Snapshots bool `json:"snapshots"`
 }
 
 // PipelineConfigView describes the live pipeline's current plan.
@@ -105,6 +146,22 @@ func (s *Server) ConfigView() ServerConfigView {
 	}
 	if s.opts.SlowLog != nil {
 		v.SlowQueryThresholdMicros = float64(s.opts.SlowLog.Threshold().Microseconds())
+	}
+	if s.dur != nil {
+		dv := &DurabilityConfigView{
+			Dir:                     s.dur.opts.Dir,
+			Sync:                    s.dur.opts.Sync.String(),
+			SnapshotIntervalSeconds: s.dur.opts.SnapshotInterval.Seconds(),
+			Snapshots:               s.dur.snap != nil,
+		}
+		if s.dur.opts.Sync == wal.SyncInterval {
+			iv := s.dur.opts.SyncInterval
+			if iv <= 0 {
+				iv = 10 * time.Millisecond
+			}
+			dv.SyncIntervalMicros = float64(iv.Microseconds())
+		}
+		v.Durability = dv
 	}
 	if s.pipe == nil {
 		return v

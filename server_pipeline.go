@@ -109,8 +109,13 @@ type pframe struct {
 	start time.Time
 	// respFrames holds the encoded response datagrams between the batched
 	// send and the reply-cache fill. Freshly allocated per frame — the cache
-	// retains them.
+	// retains them. On a durable server the LG task (pipelineLogBatch)
+	// encodes them early so the REPLY record can carry them.
 	respFrames [][]byte
+	// walRecords marks a frame that contributed records to the batch's WAL
+	// commit; walFailed marks one whose commit failed — its ack is dropped so
+	// the client retries (acked implies durable).
+	walRecords, walFailed bool
 }
 
 // initPipeline wires the live runner into s; called from NewServerOpts when
@@ -154,13 +159,20 @@ func (s *Server) initPipeline(po *PipelineOptions) {
 		}
 	}
 	pipe.frames.New = func() any { return &pframe{} }
-	pipe.runner = pipeline.NewLiveRunner(ls, pipeline.LiveOptions{
+	lopts := pipeline.LiveOptions{
 		Provider:      provider,
 		BatchInterval: interval,
 		Workers:       po.Workers,
 		WideMinGets:   po.WideMinGets,
 		DoneBatch:     s.pipelineBatchDone,
-	})
+	}
+	if s.dur != nil {
+		// Durable server: the LG task group-commits each batch's WAL records
+		// between WR and SD, and its measured cost feeds the adaptation
+		// profile's LG term.
+		lopts.LogBatch = s.pipelineLogBatch
+	}
+	pipe.runner = pipeline.NewLiveRunner(ls, lopts)
 	pipe.measureParse = pipe.runner.WantsProfile()
 	s.pipe = pipe
 }
@@ -243,8 +255,17 @@ func (s *Server) pipelineBatchDone(lfs []*pipeline.LiveFrame) {
 			s.panics.Inc()
 			continue
 		}
+		if pf.walFailed {
+			// The batch's WAL commit failed: this frame's writes are applied
+			// in memory but not durable, so it gets no ack — the client's
+			// retry re-executes (idempotent) or is answered once a later
+			// commit lands its records.
+			continue
+		}
 		s.served.Add(uint64(len(lf.Queries)))
-		pf.respFrames = appendResponseFrames(nil, pf.reqID, pf.v2, lf.Resps)
+		if pf.respFrames == nil { // already encoded by the LG task on durable servers
+			pf.respFrames = appendResponseFrames(nil, pf.reqID, pf.v2, lf.Resps)
+		}
 		for _, out := range pf.respFrames {
 			msgs = append(msgs, udpbatch.Message{Buf: out, Addr: pf.raddr})
 		}
@@ -256,11 +277,11 @@ func (s *Server) pipelineBatchDone(lfs []*pipeline.LiveFrame) {
 	sl := s.opts.SlowLog
 	for _, lf := range lfs {
 		pf := lf.Ctx.(*pframe)
-		if sl != nil && !lf.Err && len(pf.queries) > 0 {
+		if sl != nil && !lf.Err && !pf.walFailed && len(pf.queries) > 0 {
 			sl.Observe(time.Since(pf.start), len(pf.queries), uint8(pf.queries[0].Op), pf.queries[0].Key)
 		}
 		if pf.tracked {
-			if lf.Err {
+			if lf.Err || pf.walFailed {
 				// Clear the in-flight marker so the retry is re-admitted.
 				s.replies.abort(pf.akey, pf.reqID)
 			} else {

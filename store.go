@@ -68,6 +68,14 @@ func (s *Store) Delete(key []byte) bool {
 	return s.inner.Delete(key)
 }
 
+// Range iterates every live object, calling fn(key, value) until it returns
+// false. Lock-free and safe alongside serving; the slices are reused across
+// calls, so fn must copy what it keeps. The durability tier's snapshotter is
+// the primary consumer.
+func (s *Store) Range(fn func(key, value []byte) bool) {
+	s.inner.Range(fn)
+}
+
 // StoreStats is a snapshot of store counters.
 type StoreStats struct {
 	Gets, Sets, Deletes uint64
