@@ -152,6 +152,9 @@ func main() {
 		log.Printf("durability on: dir=%s sync=%s recovered %d snapshot entries + %d WAL records in %v (torn tail: %d bytes)",
 			*walDir, *walSync, ds.RecoveredSnapshotEntries, ds.RecoveredWALRecords,
 			ds.RecoveryDuration.Round(time.Microsecond), ds.RecoveredTornBytes)
+		if ds.RecoveryDroppedApplies > 0 {
+			log.Printf("WARNING: recovery dropped %d SET applications (arena too small for the recovered state?); previously durable keys are missing", ds.RecoveryDroppedApplies)
+		}
 	}
 	go func() {
 		if err := srv.Serve(*addr); err != nil {

@@ -25,6 +25,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -272,6 +273,11 @@ type Manager struct {
 	KV      KVIter
 	Replies ReplyIter
 
+	// mu serializes snapshot cycles: the periodic Run goroutine and an
+	// operator's SnapshotNow must never interleave, or they would write the
+	// same snapshot.tmp through independent fds and double-rotate the WAL.
+	mu sync.Mutex
+
 	snapshots, errs stats.Counter
 	lastUnix        atomic.Int64
 	lastBytes       atomic.Int64
@@ -308,9 +314,27 @@ func (m *Manager) Stats() ManagerStats {
 //     this instant),
 //  4. delete wal.old — the WAL truncation; recovery now needs only the new
 //     snapshot plus the new wal.log tail.
+//
+// Concurrent calls (the periodic Run goroutine vs. an operator's
+// SnapshotNow) serialize on m.mu.
 func (m *Manager) SnapshotOnce() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	_, walOld, snapPath := Paths(m.Dir)
-	if err := m.Log.Rotate(walOld); err != nil {
+	// A leftover wal.old means a prior cycle rotated but its snapshot never
+	// completed — that segment is then the only durable copy of its acked
+	// records, and rotating over it would destroy them. Skip the rotate: the
+	// live store already holds everything in wal.old (the WAL is
+	// redo-after-apply, records are appended only after the operation
+	// executed), so the dump below captures it and the Remove afterwards
+	// still truncates correctly. wal.log just keeps growing until a cycle
+	// that starts clean rotates it.
+	if _, err := os.Stat(walOld); errors.Is(err, fs.ErrNotExist) {
+		if err := m.Log.Rotate(walOld); err != nil {
+			m.errs.Inc()
+			return err
+		}
+	} else if err != nil {
 		m.errs.Inc()
 		return err
 	}

@@ -1,10 +1,12 @@
 package snapshot
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/wal"
@@ -177,5 +179,131 @@ func TestManagerProtocol(t *testing.T) {
 	}
 	if fi, _ := os.Stat(walPath); fi.Size() == 0 {
 		t.Fatal("post-snapshot write missing from fresh wal.log")
+	}
+}
+
+// TestFailedSnapshotNeverClobbersWALOld pins the crash-safety invariant of
+// the snapshot/truncate protocol: once a cycle has rotated wal.log to wal.old
+// and then failed to write its snapshot, wal.old is the only durable copy of
+// those records, and later cycles must not rotate over it. The snapshot write
+// is forced to fail by squatting a non-empty directory on snapshot.snap.tmp.
+func TestFailedSnapshotNeverClobbersWALOld(t *testing.T) {
+	dir := t.TempDir()
+	walPath, walOld, snapPath := Paths(dir)
+	l, err := wal.Open(walPath, wal.Options{Policy: wal.SyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	state := map[string]string{"a": "1"}
+	if err := l.Commit(wal.AppendSet(nil, []byte("a"), []byte("1")), 1); err != nil {
+		t.Fatal(err)
+	}
+	m := &Manager{Dir: dir, Log: l, KV: kvIterOf(state)}
+
+	// Block the snapshot side file so Write fails after the rotate.
+	blocker := snapPath + ".tmp"
+	if err := os.Mkdir(blocker, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(blocker, "occupied"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SnapshotOnce(); err == nil {
+		t.Fatal("snapshot succeeded despite blocked side file")
+	}
+	retained, err := os.ReadFile(walOld)
+	if err != nil || len(retained) == 0 {
+		t.Fatalf("failed cycle did not retain wal.old: %v (%d bytes)", err, len(retained))
+	}
+
+	// New writes land in the fresh wal.log; a second failing cycle must leave
+	// the retained wal.old byte-identical, not rename the new segment over it.
+	state["b"] = "2"
+	if err := l.Commit(wal.AppendSet(nil, []byte("b"), []byte("2")), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SnapshotOnce(); err == nil {
+		t.Fatal("snapshot succeeded despite blocked side file")
+	}
+	after, err := os.ReadFile(walOld)
+	if err != nil {
+		t.Fatalf("second failed cycle lost wal.old: %v", err)
+	}
+	if !bytes.Equal(retained, after) {
+		t.Fatalf("second failed cycle clobbered wal.old: %d bytes -> %d bytes", len(retained), len(after))
+	}
+	if st := m.Stats(); st.Errors != 2 || st.Snapshots != 0 {
+		t.Fatalf("manager stats after two failures: %+v", st)
+	}
+
+	// Unblock: the next cycle skips the rotate (wal.old still pending), dumps
+	// the live store — which already contains wal.old's records, WAL being
+	// redo-after-apply — and truncates by deleting wal.old.
+	if err := os.RemoveAll(blocker); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SnapshotOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(walOld); !os.IsNotExist(err) {
+		t.Fatal("wal.old not truncated after successful snapshot")
+	}
+	got := map[string]string{}
+	if _, err := Load(snapPath, func(k, v []byte) { got[string(k)] = string(v) }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got["a"] != "1" || got["b"] != "2" {
+		t.Fatalf("snapshot missing retained-segment state: %+v", got)
+	}
+	// The cycle that inherited a pending wal.old must not have rotated; the
+	// next clean cycle truncates wal.log as usual.
+	if err := m.SnapshotOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(walPath); err != nil || fi.Size() != 0 {
+		t.Fatalf("clean cycle did not rotate wal.log: %v size=%v", err, fi)
+	}
+}
+
+// TestSnapshotOnceSerializes hammers SnapshotOnce from concurrent goroutines
+// (the periodic Run goroutine racing an operator's SnapshotNow); the cycles
+// must serialize so the resulting snapshot always loads intact.
+func TestSnapshotOnceSerializes(t *testing.T) {
+	dir := t.TempDir()
+	walPath, _, snapPath := Paths(dir)
+	l, err := wal.Open(walPath, wal.Options{Policy: wal.SyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	kvs := map[string]string{}
+	for i := 0; i < 200; i++ {
+		kvs[fmt.Sprintf("key-%03d", i)] = fmt.Sprintf("val-%03d", i)
+	}
+	m := &Manager{Dir: dir, Log: l, KV: kvIterOf(kvs)}
+
+	const callers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := m.SnapshotOnce(); err != nil {
+				t.Errorf("concurrent snapshot: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	n, err := Load(snapPath, func(k, v []byte) {
+		if kvs[string(k)] != string(v) {
+			t.Errorf("snapshot holds %q=%q", k, v)
+		}
+	}, nil)
+	if err != nil || n != len(kvs) {
+		t.Fatalf("load after concurrent snapshots: n=%d err=%v", n, err)
+	}
+	if st := m.Stats(); st.Snapshots != callers || st.Errors != 0 {
+		t.Fatalf("manager stats: %+v", st)
 	}
 }

@@ -70,9 +70,10 @@ type durability struct {
 	walDrops stats.Counter
 
 	recoveryDuration  time.Duration
-	recoveredEntries  int // snapshot entries applied at startup
-	recoveredRecords  int // WAL records replayed at startup
+	recoveredEntries  int   // snapshot entries applied at startup
+	recoveredRecords  int   // WAL records replayed at startup
 	recoveredTornTail int64 // torn bytes truncated off the recovered wal.log
+	recoveryDropped   int   // recovered SETs the backend rejected (e.g. arena too small)
 
 	recBufs sync.Pool // *[]byte: pooled record-encoding buffers
 }
@@ -96,7 +97,15 @@ func openDurability(b Backend, replies *replyCache, opts DurabilityOptions) (*du
 	// place, so it holds nothing recovery needs.
 	os.Remove(filepath.Join(opts.Dir, snapshot.SnapTmp)) //nolint:errcheck
 
-	applyKV := func(key, value []byte) { b.Set(key, value) } //nolint:errcheck // best effort: arena may be smaller than before
+	// A Set can fail when the configured arena is smaller than the one the
+	// durable state was written under; that silently turns a previously
+	// acked, durable SET into a miss, so every rejection is counted and
+	// surfaced through DurabilityStats and the startup log line.
+	applyKV := func(key, value []byte) {
+		if err := b.Set(key, value); err != nil {
+			d.recoveryDropped++
+		}
+	}
 	applyReply := func(addr string, id uint64, frames [][]byte) {
 		if replies == nil {
 			return
@@ -318,6 +327,10 @@ type DurabilityStats struct {
 	RecoveredSnapshotEntries int
 	RecoveredWALRecords      int
 	RecoveredTornBytes       int64
+	// RecoveryDroppedApplies counts recovered SETs the backend rejected
+	// (e.g. the configured arena cannot hold the recovered state). Non-zero
+	// means previously durable keys are missing from the live store.
+	RecoveryDroppedApplies int
 	// RecoveryDuration is how long startup recovery took.
 	RecoveryDuration time.Duration
 }
@@ -334,6 +347,7 @@ func (s *Server) DurabilityStats() (DurabilityStats, bool) {
 		RecoveredSnapshotEntries: s.dur.recoveredEntries,
 		RecoveredWALRecords:      s.dur.recoveredRecords,
 		RecoveredTornBytes:       s.dur.recoveredTornTail,
+		RecoveryDroppedApplies:   s.dur.recoveryDropped,
 		RecoveryDuration:         s.dur.recoveryDuration,
 	}
 	if s.dur.snap != nil {

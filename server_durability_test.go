@@ -1,6 +1,7 @@
 package dido
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -460,6 +461,7 @@ func TestCollectMetricsNamesDurable(t *testing.T) {
 		"dido_snapshots_total", "dido_snapshot_errors_total",
 		"dido_snapshot_last_unix", "dido_snapshot_last_entries",
 		"dido_recovery_duration_seconds", "dido_recovery_wal_records",
+		"dido_recovery_dropped_applies",
 	} {
 		if !strings.Contains(got, name) {
 			t.Errorf("durability metric %s missing from exposition", name)
@@ -471,6 +473,60 @@ func TestCollectMetricsNamesDurable(t *testing.T) {
 	}
 	srv.Close()
 	waitServe(t, errc)
+}
+
+// failSetBackend rejects every Set, modeling an arena too small to hold the
+// recovered state.
+type failSetBackend struct{ Backend }
+
+func (failSetBackend) Set(key, value []byte) error { return errors.New("arena full") }
+
+// TestRecoveryCountsDroppedApplies pins the recovery accounting for a backend
+// that cannot hold the durable state: rejected SET applications must surface
+// in DurabilityStats instead of silently reading as misses.
+func TestRecoveryCountsDroppedApplies(t *testing.T) {
+	dir := t.TempDir()
+	st := NewStore(StoreConfig{MemoryBytes: 8 << 20})
+	srv, err := NewServerDurable(st, durableOpts(dir, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, errc := startServer(t, srv)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 10
+	for i := 0; i < keys; i++ {
+		if err := c.Set(keyN(i), valN(i)); err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+	}
+	c.Close()
+	srv.Close()
+	waitServe(t, errc)
+
+	// A healthy recovery drops nothing.
+	st2 := NewStore(StoreConfig{MemoryBytes: 8 << 20})
+	srv2, err := NewServerDurable(st2, durableOpts(dir, false))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if ds, _ := srv2.DurabilityStats(); ds.RecoveryDroppedApplies != 0 {
+		t.Fatalf("healthy recovery dropped %d applies", ds.RecoveryDroppedApplies)
+	}
+	srv2.Close()
+
+	// A backend that rejects Sets must report every dropped application.
+	srv3, err := NewServerDurable(failSetBackend{NewStore(StoreConfig{MemoryBytes: 8 << 20})}, durableOpts(dir, false))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer srv3.Close()
+	ds, ok := srv3.DurabilityStats()
+	if !ok || ds.RecoveryDroppedApplies != keys {
+		t.Fatalf("dropped applies = %d, want %d (stats: %+v ok=%v)", ds.RecoveryDroppedApplies, keys, ds, ok)
+	}
 }
 
 func keyN(i int) []byte { return []byte(fmt.Sprintf("durable-key-%04d", i)) }

@@ -87,6 +87,7 @@ func (s *Server) collectDurabilityMetrics(w *obs.MetricsWriter) {
 	w.Gauge("dido_snapshot_last_entries", "Entries in the newest snapshot.", float64(ds.Snapshots.LastEntries))
 	w.Gauge("dido_recovery_duration_seconds", "Startup recovery time (snapshot load + WAL replay).", ds.RecoveryDuration.Seconds())
 	w.Gauge("dido_recovery_wal_records", "WAL records replayed by startup recovery.", float64(ds.RecoveredWALRecords))
+	w.Gauge("dido_recovery_dropped_applies", "Recovered SETs the backend rejected at startup (non-zero = durable keys missing).", float64(ds.RecoveryDroppedApplies))
 }
 
 // ServerConfigView is the admin /config payload: the serving configuration as
