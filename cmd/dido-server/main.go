@@ -49,6 +49,8 @@ func main() {
 	batchInterval := flag.Duration("batch-interval", 500*time.Microsecond, "pipeline: max wait before a partial batch executes")
 	adapt := flag.Bool("adapt", false, "pipeline: online reconfiguration from measured per-batch profiles")
 	wideMin := flag.Int("wide-min", 0, "pipeline: min GETs per batch for the wide batched index path (0 = default, negative = disable)")
+	steal := flag.Bool("steal", false, "pipeline: chunk-granular work stealing across stage groups (with -adapt the cost model gates it per plan)")
+	hotKeys := flag.Int("hot-keys", 0, "hot-key fast-path slots: sampled hot GETs served before the index probe (0 disables)")
 
 	adminAddr := flag.String("admin", "", "HTTP observability address, e.g. :9090 (/metrics, /config, /trace, /slowlog, /debug/pprof; empty disables)")
 	slowQuery := flag.Duration("slow-query", 0, "record frames slower than this (0 disables the slow-query log)")
@@ -73,7 +75,7 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed (deterministic)")
 	flag.Parse()
 
-	st := dido.NewStore(dido.StoreConfig{MemoryBytes: *mem, Shards: *shards})
+	st := dido.NewStore(dido.StoreConfig{MemoryBytes: *mem, Shards: *shards, HotKeys: *hotKeys})
 	opts := dido.ServerOptions{MaxInFlight: *maxInflight, ReplyCacheSize: *replyCache}
 	if *walDir != "" {
 		dopts := &dido.DurabilityOptions{Dir: *walDir, SnapshotInterval: *snapInterval}
@@ -121,7 +123,7 @@ func main() {
 		if *adminAddr != "" && *adapt {
 			trace = obs.NewTraceRing(0)
 		}
-		opts.Pipeline = &dido.PipelineOptions{BatchInterval: *batchInterval, Adapt: *adapt, WideMinGets: *wideMin, Trace: trace}
+		opts.Pipeline = &dido.PipelineOptions{BatchInterval: *batchInterval, Adapt: *adapt, WideMinGets: *wideMin, Steal: *steal, Trace: trace}
 	case "off":
 	default:
 		log.Fatalf("-pipeline must be on or off, got %q", *pipelineMode)
@@ -209,6 +211,9 @@ func main() {
 				// ServerStats.String the /metrics parity tests pin.
 				line := fmt.Sprintf("%s live=%d hits=%d misses=%d evictions=%d load=%.2f",
 					ss, s.LiveObjects, s.Hits, s.Misses, s.Evictions, s.IndexLoadFactor)
+				if *hotKeys > 0 {
+					line += fmt.Sprintf(" hot=%d", s.HotHits)
+				}
 				if injector != nil {
 					fs := injector.Stats()
 					line += fmt.Sprintf(" faults[drop=%d dup=%d reorder=%d corrupt=%d]",
@@ -222,6 +227,10 @@ func main() {
 				if ps, ok := srv.PipelineStats(); ok {
 					line += fmt.Sprintf(" | pipe batches=%d wide=%d target=%d reconfigs=%d shed=%d panics=%d",
 						ps.Batches, ps.WideBatches, ps.Target, ps.Reconfigs, ps.SubmitShed, ps.Panics)
+					if *steal {
+						line += fmt.Sprintf(" steal[batches=%d chunks=%d queries=%d]",
+							ps.StealBatches, ps.StolenChunks, ps.StolenQueries)
+					}
 					if replans, ok := srv.PipelineReplans(); ok {
 						line += fmt.Sprintf(" replans=%d", replans)
 					}

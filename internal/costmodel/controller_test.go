@@ -152,3 +152,90 @@ func TestControllerWorkloadShiftReplans(t *testing.T) {
 		t.Fatalf("Replans = %d after workload shift, want %d", c.Replans(), base+1)
 	}
 }
+
+// TestControllerStealGating pins maybeSteal's decision table: off without
+// AllowStealing, off for single-stage winners, off when the predicted gain
+// misses the threshold (balanced stages predict exactly 0, the flat-workload
+// case), on when Eq 3's predicted rebalance clears it.
+func TestControllerStealGating(t *testing.T) {
+	c := newTestController()
+	// A write-heavy large-ish-value profile makes the post-GPU stage the
+	// predicted bottleneck with an idle-ish helper: Eq 3 predicts a strong
+	// gain for the winner's stealing variant.
+	imbalanced := c.plannerProfile(task.Profile{
+		N: 8192, GetRatio: 0.5, KeySize: 16, ValueSize: 64, Skew: 0.99,
+		Population: 1 << 20, EvictionRate: 1, AvgInsertBuckets: 2,
+		SearchProbes: 1.5, WireQueryBytes: 28,
+		RVInstr: 15, SDInstr: 15, RVUnitNanos: 4, SDUnitNanos: 4,
+	})
+	best, _ := c.Planner.BestFiltered(imbalanced, c.keep)
+	if best.Config.GPUDepth == 0 {
+		t.Skip("winner is single-stage on this platform; gating has nothing to steal across")
+	}
+	ws := best.Config
+	ws.WorkStealing = true
+	gain := c.Planner.EvaluateConfig(ws, imbalanced).ThroughputOPS/best.ThroughputOPS - 1
+	if gain < 0.10 {
+		t.Fatalf("fixture lost its point: predicted steal gain %.3f, want >= 0.10", gain)
+	}
+
+	if got := c.maybeSteal(best, imbalanced); got.Config.WorkStealing {
+		t.Fatal("stealing adopted without AllowStealing")
+	}
+	c.AllowStealing = true
+	got := c.maybeSteal(best, imbalanced)
+	if !got.Config.WorkStealing {
+		t.Fatalf("stealing not adopted despite %.1f%% predicted gain", gain*100)
+	}
+	if got.ThroughputOPS < best.ThroughputOPS {
+		t.Fatal("adopted prediction is worse than the base")
+	}
+
+	// An unreachable threshold keeps it off no matter the gain.
+	c.StealThreshold = gain * 2
+	if got := c.maybeSteal(best, imbalanced); got.Config.WorkStealing {
+		t.Fatal("stealing adopted past an unreachable threshold")
+	}
+	c.StealThreshold = 0
+
+	// Balanced stages (read-heavy small KV, no skew): Eq 3 moves nothing,
+	// predicted gain is 0, stealing stays off — the flat/uniform case.
+	flat := c.plannerProfile(task.Profile{
+		N: 8192, GetRatio: 0.95, KeySize: 16, ValueSize: 64,
+		Population: 1 << 20, EvictionRate: 1, AvgInsertBuckets: 2,
+		SearchProbes: 1.5, WireQueryBytes: 28,
+		RVInstr: 15, SDInstr: 15, RVUnitNanos: 4, SDUnitNanos: 4,
+	})
+	fbest, _ := c.Planner.BestFiltered(flat, c.keep)
+	if got := c.maybeSteal(fbest, flat); got.Config.WorkStealing {
+		t.Fatal("stealing adopted on a balanced (flat) plan")
+	}
+
+	// Single-stage winner: nothing to steal across.
+	solo := fbest
+	solo.Config = pipeline.Config{GPUDepth: 0}
+	if got := c.maybeSteal(solo, flat); got.Config.WorkStealing {
+		t.Fatal("stealing adopted on a single-stage config")
+	}
+}
+
+// TestControllerStealEndToEnd drives NextConfig with a replanning profile and
+// asserts the installed config only ever carries WorkStealing together with
+// a multi-stage shape, and never without AllowStealing.
+func TestControllerStealEndToEnd(t *testing.T) {
+	c := newTestController()
+	c.AllowStealing = true
+	c.NextConfig(nil)
+	b := measuredBatch(0.5)
+	b.Profile.Skew = 0.99
+	cfg, n := c.NextConfig(b)
+	if n < 1 {
+		t.Fatalf("batch size %d", n)
+	}
+	if cfg.WorkStealing && cfg.GPUDepth == 0 {
+		t.Fatalf("installed stealing on a single-stage shape: %v", cfg)
+	}
+	if c.CurrentConfig() != cfg {
+		t.Fatal("CurrentConfig disagrees with NextConfig")
+	}
+}

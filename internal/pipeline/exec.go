@@ -400,6 +400,14 @@ func (e *Executor) steal(times *StageTimes, cfg Config, prof task.Profile) {
 			wh.Parallelism = 0
 		}
 		stealHelper += e.Model.TaskTime(helperDev, wh, 0)
+		// stealQueries is the stage's stealable query SPAN — the widest
+		// task's query count — not a per-task sum. A stolen chunk is a
+		// vertical slice: 64 query slots taking ALL the stage's stealable
+		// task work for those slots with them (KC and RD cover the same
+		// GETs; summing per task would double-count every shared query).
+		// Eq 3's closed form prices exactly this divisible load: per-chunk
+		// cost below is total stealable time / chunk count over the span,
+		// and StolenBy* counts moved query slots, clamped to the span.
 		if d.Queries > stealQueries {
 			stealQueries = d.Queries
 		}

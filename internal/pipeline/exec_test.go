@@ -5,7 +5,9 @@ import (
 	"time"
 
 	"repro/internal/apu"
+	"repro/internal/gpu"
 	"repro/internal/netsim"
+	"repro/internal/proto"
 	"repro/internal/store"
 	"repro/internal/workload"
 )
@@ -123,8 +125,36 @@ func TestWorkStealingReducesBottleneck(t *testing.T) {
 	if withWS.Times.Tmax > noWS.Times.Tmax {
 		t.Fatalf("work stealing increased Tmax: %v vs %v", withWS.Times.Tmax, noWS.Times.Tmax)
 	}
-	if withWS.Times.StolenByCPU+withWS.Times.StolenByGPU == 0 {
+	stolen := withWS.Times.StolenByCPU + withWS.Times.StolenByGPU
+	if stolen == 0 {
 		t.Fatal("work stealing moved nothing on an imbalanced pipeline")
+	}
+	// StolenBy* bookkeeping: counts are moved query SLOTS over the stage's
+	// stealable span (see steal's vertical-slice accounting) — whole 64-query
+	// chunks except a possible clamped tail, and never more than the batch.
+	if stolen > len(queries) {
+		t.Fatalf("stolen %d > batch %d: stolen slots cannot exceed the span", stolen, len(queries))
+	}
+	// The span is the widest stealable task's query count; with GETs in the
+	// majority that is the GET count (IN.Search/KC/RD all cover it).
+	gets := 0
+	for _, q := range queries {
+		if q.Op == proto.OpGet {
+			gets++
+		}
+	}
+	if stolen%gpu.WavefrontWidth != 0 && stolen != gets && stolen != len(queries) {
+		t.Fatalf("stolen = %d: must be whole %d-query chunks unless clamped to the span (%d gets / %d queries)",
+			stolen, gpu.WavefrontWidth, gets, len(queries))
+	}
+	// Only one device can be the helper for one bottleneck stage.
+	if withWS.Times.StolenByCPU > 0 && withWS.Times.StolenByGPU > 0 {
+		t.Fatalf("both devices stole in one batch: CPU=%d GPU=%d", withWS.Times.StolenByCPU, withWS.Times.StolenByGPU)
+	}
+	// Rerunning the same batch without stealing must leave the counters at
+	// zero — they are priced only when the sealed config asks for it.
+	if noWS.Times.StolenByCPU+noWS.Times.StolenByGPU != 0 {
+		t.Fatal("non-stealing run booked stolen queries")
 	}
 }
 

@@ -45,6 +45,14 @@ type LiveStoreMetrics interface {
 	LiveMetrics() (liveObjects, evictions uint64, avgInsertBuckets float64)
 }
 
+// HotKeyStats is an optional LiveStore extension: stores with a hot-key fast
+// path report its cumulative hit count so the profile can expose the measured
+// HotHitPortion (the fraction of GETs skipping the index probe) to the
+// planner — that is how -adapt sees the fast path's reduced search cost.
+type HotKeyStats interface {
+	HotStats() (hits uint64, enabled bool)
+}
+
 // BatchReadStore is an optional LiveStore extension: the wide, shard-grouped
 // batched index path (the codebase's GPU-analog executor). When the store
 // implements it and a batch carries at least WideMinGets GETs, the IN stage
@@ -132,6 +140,13 @@ type LiveOptions struct {
 	// 0 means DefaultWideMinGets; negative disables the wide path entirely.
 	// Ignored when the store does not implement BatchReadStore.
 	WideMinGets int
+	// Steal enables chunk-granular work stealing across the stage groups
+	// (livesteal.go): batches whose sealed Config has WorkStealing set run
+	// their stealable stage phases as fixed-size chunks behind an atomic
+	// claim index, and workers with no work of their own pull chunks from
+	// the bottleneck stage. Off, WorkStealing configs execute exactly like
+	// fixed assignment (the flag is advisory to the planner only).
+	Steal bool
 	// OnBatchDone, when set, observes every completed batch after its frames
 	// were delivered. The *Batch is recycled after the callback returns;
 	// copy what outlives it.
@@ -191,6 +206,21 @@ type liveBatch struct {
 	glo, ghi []int32
 	vlo, vhi []int32
 
+	// Chunked (work-stealing) execution state — see livesteal.go. chunkF
+	// holds frame-index chunk boundaries shared by every frame-geometry
+	// phase of the batch (built once); wchunkF/wchunkJ hold the frame- and
+	// gather-index boundaries of the wide read phase's chunks. chunkVals is
+	// one value arena per chunk so concurrent chunk executors never contend
+	// on an append; statsMu serializes merging their accounting.
+	chunkF        []int32
+	wchunkF       []int32
+	wchunkJ       []int32
+	chunkVals     [][]byte
+	statsMu       sync.Mutex
+	stolenChunks  int
+	stolenQueries int
+	chunkedPhases int
+
 	// lastStage is the last stage the sealed config maps work onto; the
 	// batch completes there instead of traversing empty stages (stamped by
 	// sealLocked).
@@ -226,6 +256,12 @@ func (b *liveBatch) reset() {
 	b.getQ = b.getQ[:0]
 	b.glo, b.ghi = b.glo[:0], b.ghi[:0]
 	b.vlo, b.vhi = b.vlo[:0], b.vhi[:0]
+	b.chunkF = b.chunkF[:0]
+	b.wchunkF, b.wchunkJ = b.wchunkF[:0], b.wchunkJ[:0]
+	for i := range b.chunkVals {
+		b.chunkVals[i] = b.chunkVals[i][:0]
+	}
+	b.stolenChunks, b.stolenQueries, b.chunkedPhases = 0, 0, 0
 	b.firstAt, b.sealedAt = time.Time{}, time.Time{}
 	b.taskNanos = [task.NumTasks]int64{}
 	b.taskUnits = [task.NumTasks]int64{}
@@ -307,25 +343,47 @@ type LiveRunner struct {
 	cachedPop        uint64
 	cachedEvicRate   float64
 	cachedAvgIns     float64
+	lastHotHits      uint64 // cumulative HotKeyStats hits at the last batch
 
 	ch        [3]chan *liveBatch
 	stageWG   [3]sync.WaitGroup
 	flushStop chan struct{}
 	flushDone chan struct{}
 	drained   chan struct{}
-	// stage1Busy counts stage-1 workers currently executing a batch; with
-	// ch[0] empty it tells Submit the pipeline is starving and the pending
-	// batch should seal now instead of waiting out the flush interval.
-	stage1Busy atomic.Int32
+	// stage1Inflight counts batches that have been sealed but have not yet
+	// finished stage-1 execution. It is incremented inside sealLocked (under
+	// mu) and decremented by the stage-1 worker only after the batch has left
+	// the stage, so there is no instant at which a batch is neither queued
+	// nor counted — the window the old two-part check (len(ch[0])==0 &&
+	// busy==0) left open between a worker's channel receive and its busy
+	// increment, during which Submit would seal degenerate one-frame batches.
+	// Zero means stage 1 is genuinely starving and the pending batch should
+	// seal now instead of waiting out the flush interval.
+	stage1Inflight atomic.Int32
+
+	// stealBoard publishes the currently chunk-shared stage run (livesteal.go);
+	// stealWake nudges channel-blocked workers to come help it.
+	stealBoard atomic.Pointer[stealRun]
+	stealWake  chan struct{}
+
+	// testStage1Dequeued, when set by a test, runs on the stage-1 worker
+	// immediately after a batch is received from ch[0] — the exact point the
+	// historical idle-detection race lived at (the busy flag was incremented
+	// only after the receive returned). The regression test parks the worker
+	// here and asserts concurrent Submits keep coalescing.
+	testStage1Dequeued func()
 
 	pool sync.Pool // *liveBatch
 
-	batches     stats.Counter
-	queries     stats.Counter
-	panics      stats.Counter
-	reconfigs   stats.Counter
-	shedFull    stats.Counter
-	wideBatches stats.Counter
+	batches      stats.Counter
+	queries      stats.Counter
+	panics       stats.Counter
+	reconfigs    stats.Counter
+	shedFull     stats.Counter
+	wideBatches  stats.Counter
+	stealBatches stats.Counter // batches that ran ≥1 phase chunk-shared
+	stolenChunks stats.Counter // chunks executed by a non-owner worker
+	stolenQs     stats.Counter // queries inside those chunks
 
 	stageHist [3]*stats.Histogram             // per-batch stage wall time, µs
 	taskHist  [task.NumTasks]*stats.Histogram // per-unit task cost, ns
@@ -363,6 +421,9 @@ func NewLiveRunner(s LiveStore, opts LiveOptions) *LiveRunner {
 		flushStop:   make(chan struct{}),
 		flushDone:   make(chan struct{}),
 		drained:     make(chan struct{}),
+		// One wake token per worker: publishing a steal run nudges every
+		// channel-blocked worker at most once (livesteal.go).
+		stealWake: make(chan struct{}, opts.Workers[0]+opts.Workers[1]+opts.Workers[2]),
 	}
 	if pc, ok := opts.Provider.(ProfileConsumer); ok {
 		r.wantProfile = pc.WantsProfile()
@@ -426,11 +487,13 @@ func (r *LiveRunner) Submit(f *LiveFrame) bool {
 	b.parseNanos += f.ParseNanos
 	var sealed *liveBatch
 	// Seal at the size target — or immediately when stage 1 is starving
-	// (nothing queued, worker idle): batching only pays while the pipeline
-	// is busy, and making an idle stage wait for the flush tick would trade
-	// latency AND throughput for nothing (adaptive batching). The timer
-	// below remains the bound for frames that arrive while stage 1 is busy.
-	if b.nq >= r.target || (len(r.ch[0]) == 0 && r.stage1Busy.Load() == 0) {
+	// (no sealed batch queued or executing): batching only pays while the
+	// pipeline is busy, and making an idle stage wait for the flush tick
+	// would trade latency AND throughput for nothing (adaptive batching).
+	// The timer below remains the bound for frames that arrive while stage 1
+	// is busy. stage1Inflight covers a batch from seal to end of stage-1
+	// execution, so "busy" here cannot miss a batch mid-handoff.
+	if b.nq >= r.target || r.stage1Inflight.Load() == 0 {
 		sealed = r.sealLocked()
 	}
 	r.mu.Unlock()
@@ -451,6 +514,9 @@ func (r *LiveRunner) sealLocked() *liveBatch {
 	b.b.Config = r.cfg
 	b.lastStage = lastLiveStage(r.cfg)
 	b.sealedAt = time.Now()
+	// Counted from this instant: the batch is stage-1 work whether it is
+	// still awaiting dispatch, queued, or executing (see stage1Inflight).
+	r.stage1Inflight.Add(1)
 	return b
 }
 
@@ -482,7 +548,7 @@ func (r *LiveRunner) trySealIdle() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed || r.pending == nil || len(r.pending.frames) == 0 ||
-		len(r.ch[0]) != 0 || r.stage1Busy.Load() != 0 {
+		r.stage1Inflight.Load() != 0 {
 		return
 	}
 	sealed := r.sealLocked()
@@ -491,8 +557,17 @@ func (r *LiveRunner) trySealIdle() {
 	default:
 		// Lost the queue slot to a concurrent dispatch (Submit or the
 		// flusher, which send outside the lock). Revert the seal — stage 1
-		// has work again, so the batch can keep accumulating.
+		// has work again, so the batch can keep accumulating. The revert
+		// must undo everything sealLocked stamped: the seq (numbers stay
+		// dense), the inflight count, and the config/stage/time stamps —
+		// the eventual real seal restamps them, and Batch.Wall must be
+		// measured from that final seal, not this aborted one.
 		r.seq--
+		r.stage1Inflight.Add(-1)
+		sealed.b.Seq = 0
+		sealed.b.Config = Config{}
+		sealed.lastStage = 0
+		sealed.sealedAt = time.Time{}
 		r.pending = sealed
 	}
 }
@@ -523,9 +598,22 @@ func (r *LiveRunner) flusher() {
 
 func (r *LiveRunner) stageWorker(si int) {
 	defer r.stageWG[si].Done()
-	for b := range r.ch[si] {
-		if si == 0 {
-			r.stage1Busy.Add(1)
+	for {
+		var b *liveBatch
+		select {
+		case nb, ok := <-r.ch[si]:
+			if !ok {
+				return
+			}
+			b = nb
+		case <-r.stealWake:
+			// A chunk-shared run was published while this worker sat idle:
+			// go execute chunks until it drains or own work arrives.
+			r.helpSteal(si)
+			continue
+		}
+		if si == 0 && r.testStage1Dequeued != nil {
+			r.testStage1Dequeued()
 		}
 		start := time.Now()
 		r.runStage(b, Stage(si))
@@ -541,12 +629,18 @@ func (r *LiveRunner) stageWorker(si int) {
 			r.complete(b)
 		}
 		if si == 0 {
-			r.stage1Busy.Add(-1)
-			// The batch just left stage 1; if that starved the stage,
-			// promote whatever accumulated meanwhile instead of letting it
-			// wait out the flush tick with an idle worker.
+			// The batch has fully left stage 1: only now does it stop
+			// counting as inflight (it was counted from its seal, closing
+			// the historical dequeue-to-busy race window). If that starved
+			// the stage, promote whatever accumulated meanwhile instead of
+			// letting it wait out the flush tick with an idle worker.
+			r.stage1Inflight.Add(-1)
 			r.trySealIdle()
 		}
+		// Before blocking on the queue again, pull chunks from any published
+		// steal run — "workers that finish their own stage's work help the
+		// bottleneck stage" (§III-B3 brought to the live path).
+		r.helpSteal(si)
 	}
 }
 
@@ -568,8 +662,15 @@ func (r *LiveRunner) runStage(b *liveBatch, s Stage) {
 	// candidate collection would walk the index twice per GET for nothing:
 	// skip it and let ReadCandidates' authoritative path resolve each key in
 	// one pass (the fused-read counterpart of the KC+RD fusion).
+	//
+	// Each phase routes through its MaybeChunked wrapper: under a sealed
+	// WorkStealing config (and LiveOptions.Steal) the phase executes as
+	// claim-indexed chunks other workers can help with; otherwise the
+	// wrappers fall straight through to the fixed-assignment loops. WR is
+	// never chunked — it stays pinned to its (NIC-adjacent) group, the live
+	// analog of stealableOn's WR rule.
 	if cfg.StageOf(task.INSearch) == s && cfg.StageOf(task.KC) != s {
-		r.runSearch(b)
+		r.runSearchMaybeChunked(b)
 	}
 	insHere := cfg.StageOf(task.INInsert) == s
 	delHere := cfg.StageOf(task.INDelete) == s
@@ -577,14 +678,14 @@ func (r *LiveRunner) runStage(b *liveBatch, s Stage) {
 	case insHere && delHere:
 		// Both write kinds on one stage (the common case): one fused pass
 		// over the queries instead of two.
-		r.runWrites(b)
+		r.runWritesMaybeChunked(b, phaseWrites)
 	case insHere:
-		r.runSets(b)
+		r.runWritesMaybeChunked(b, phaseSets)
 	case delHere:
-		r.runDeletes(b)
+		r.runWritesMaybeChunked(b, phaseDeletes)
 	}
 	if cfg.StageOf(task.KC) == s {
-		r.runReads(b)
+		r.runReadsMaybeChunked(b)
 	}
 	if cfg.StageOf(task.WR) == s {
 		r.runRespond(b)
@@ -596,7 +697,16 @@ func (r *LiveRunner) runStage(b *liveBatch, s Stage) {
 // poisoned query cannot take down its batchmates — the same blast radius as
 // the per-frame path, just reached through the staged executor.
 func (r *LiveRunner) eachFrame(b *liveBatch, fn func(fi int, f *LiveFrame)) {
-	for fi, f := range b.frames {
+	r.eachFrameRange(b, 0, len(b.frames), fn)
+}
+
+// eachFrameRange is eachFrame over frames [flo, fhi) — the chunked executors
+// use it so a chunk's panic containment matches the scalar path's exactly.
+// Chunks partition the batch on frame boundaries, so concurrent chunk
+// executors never touch the same frame's Err flag.
+func (r *LiveRunner) eachFrameRange(b *liveBatch, flo, fhi int, fn func(fi int, f *LiveFrame)) {
+	for fi := flo; fi < fhi; fi++ {
+		f := b.frames[fi]
 		if f.Err {
 			continue
 		}
@@ -950,6 +1060,17 @@ func (r *LiveRunner) complete(b *liveBatch) {
 
 	r.batches.Inc()
 	r.queries.Add(uint64(b.nq))
+	if b.chunkedPhases > 0 {
+		r.stealBatches.Inc()
+		if b.stolenChunks > 0 {
+			r.stolenChunks.Add(uint64(b.stolenChunks))
+			r.stolenQs.Add(uint64(b.stolenQueries))
+			// Live helpers are CPU workers: surface the realized rebalance
+			// where the simulator's steal loop books it, so OnBatchDone
+			// consumers (and the trace ring) see the same bookkeeping.
+			b.b.Times.StolenByCPU += b.stolenQueries
+		}
+	}
 	if r.wantProfile {
 		for id := 0; id < task.NumTasks; id++ {
 			if b.taskUnits[id] > 0 {
@@ -1046,6 +1167,20 @@ func (r *LiveRunner) buildProfile(b *liveBatch) {
 	if p.AvgInsertBuckets == 0 {
 		p.AvgInsertBuckets = 2 // analytic floor before any insert was measured
 	}
+	if hk, ok := r.store.(HotKeyStats); ok {
+		if hits, enabled := hk.HotStats(); enabled {
+			// Batches overlap across stages, so the per-batch delta of the
+			// cumulative counter is approximate; the profiler smooths it.
+			delta := hits - r.lastHotHits
+			r.lastHotHits = hits
+			if b.gets > 0 {
+				p.HotHitPortion = float64(delta) / float64(b.gets)
+				if p.HotHitPortion > 1 {
+					p.HotHitPortion = 1
+				}
+			}
+		}
+	}
 	b.b.Profile = p
 }
 
@@ -1097,6 +1232,10 @@ type LiveStats struct {
 	SubmitShed uint64
 	// WideBatches counts KC+RD stage passes served by the wide batched path.
 	WideBatches uint64
+	// StealBatches counts batches that executed at least one phase as
+	// claim-indexed chunks; StolenChunks/StolenQueries count the chunks (and
+	// the queries inside them) actually executed by a non-owner worker.
+	StealBatches, StolenChunks, StolenQueries uint64
 	// Config and Target are the currently installed config and batch size.
 	Config Config
 	Target int
@@ -1108,14 +1247,17 @@ func (r *LiveRunner) Stats() LiveStats {
 	cfg, target := r.cfg, r.target
 	r.mu.Unlock()
 	return LiveStats{
-		Batches:     r.batches.Load(),
-		Queries:     r.queries.Load(),
-		Panics:      r.panics.Load(),
-		Reconfigs:   r.reconfigs.Load(),
-		SubmitShed:  r.shedFull.Load(),
-		WideBatches: r.wideBatches.Load(),
-		Config:      cfg,
-		Target:      target,
+		Batches:       r.batches.Load(),
+		Queries:       r.queries.Load(),
+		Panics:        r.panics.Load(),
+		Reconfigs:     r.reconfigs.Load(),
+		SubmitShed:    r.shedFull.Load(),
+		WideBatches:   r.wideBatches.Load(),
+		StealBatches:  r.stealBatches.Load(),
+		StolenChunks:  r.stolenChunks.Load(),
+		StolenQueries: r.stolenQs.Load(),
+		Config:        cfg,
+		Target:        target,
 	}
 }
 

@@ -1,0 +1,470 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cuckoo"
+	"repro/internal/proto"
+)
+
+// ---- helpers ------------------------------------------------------------
+
+// runCoalesced submits frames so they coalesce into (at most) one big batch:
+// a dummy frame seals first and its batch parks in the testStage1Dequeued
+// hook, so everything submitted meanwhile accumulates behind the inflight
+// count and seals together on release. Returns the completed batches and the
+// runner's final stats. The dummy frame is excluded from the caller's view.
+func runCoalesced(t *testing.T, st LiveStore, opts LiveOptions, frames []*LiveFrame) ([]Batch, LiveStats) {
+	t.Helper()
+	done := make(chan *LiveFrame, len(frames)+8)
+	var obMu sync.Mutex
+	var batches []Batch
+	opts.Done = func(f *LiveFrame) { done <- f }
+	opts.OnBatchDone = func(b *Batch) {
+		obMu.Lock()
+		batches = append(batches, *b)
+		obMu.Unlock()
+	}
+	if opts.BatchInterval == 0 {
+		opts.BatchInterval = time.Hour // only explicit seals
+	}
+	r := NewLiveRunner(st, opts)
+	defer r.Close()
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var once sync.Once
+	r.testStage1Dequeued = func() {
+		once.Do(func() {
+			entered <- struct{}{}
+			<-release
+		})
+	}
+	if !r.Submit(getFrame("warm")) {
+		t.Fatal("Submit dummy rejected")
+	}
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stage-1 worker never parked on the dummy batch")
+	}
+	for i, f := range frames {
+		if !r.Submit(f) {
+			t.Fatalf("Submit frame %d rejected", i)
+		}
+	}
+	close(release)
+	collectFrames(t, done, len(frames)+1)
+	r.Close()
+	obMu.Lock()
+	defer obMu.Unlock()
+	return batches, r.Stats()
+}
+
+// stealWorkload builds a deterministic mixed workload: per-frame keys are
+// disjoint (cross-frame write order inside a batch is unspecified under
+// chunking, exactly like concurrent clients on the wire), and every read has
+// a single correct answer under the batch's writes-before-reads contract.
+func stealWorkload(nframes, presets int) []*LiveFrame {
+	frames := make([]*LiveFrame, nframes)
+	for i := range frames {
+		f := &LiveFrame{}
+		add := func(q proto.Query) { f.Queries = append(f.Queries, q) }
+		add(proto.Query{Op: proto.OpSet, Key: []byte(fmt.Sprintf("s%03d", i)), Value: []byte(fmt.Sprintf("sv%03d", i))})
+		add(proto.Query{Op: proto.OpGet, Key: []byte(fmt.Sprintf("s%03d", i))})
+		add(proto.Query{Op: proto.OpDelete, Key: []byte(fmt.Sprintf("d%03d", i))})
+		add(proto.Query{Op: proto.OpGet, Key: []byte(fmt.Sprintf("d%03d", i))})
+		add(proto.Query{Op: proto.OpGet, Key: []byte(fmt.Sprintf("absent%03d", i))})
+		for j := 0; j < 11; j++ {
+			add(proto.Query{Op: proto.OpGet, Key: []byte(fmt.Sprintf("p%03d", (i*11+j)%presets))})
+		}
+		frames[i] = f
+	}
+	return frames
+}
+
+// stealStore presets the keys stealWorkload expects.
+func stealStore(nframes, presets int) *fakeLiveStore {
+	st := newFakeLiveStore()
+	for i := 0; i < presets; i++ {
+		st.m[fmt.Sprintf("p%03d", i)] = []byte(fmt.Sprintf("pv%03d", i))
+	}
+	for i := 0; i < nframes; i++ {
+		st.m[fmt.Sprintf("d%03d", i)] = []byte("doomed")
+	}
+	return st
+}
+
+// checkStealWorkload asserts every response of every frame against the
+// workload's single correct answer — this is the exactly-once check: each
+// query slot holds exactly the response its query must produce.
+func checkStealWorkload(t *testing.T, frames []*LiveFrame, presets int) {
+	t.Helper()
+	for i, f := range frames {
+		if f.Err {
+			t.Fatalf("frame %d poisoned", i)
+		}
+		if len(f.Resps) != len(f.Queries) {
+			t.Fatalf("frame %d: %d resps for %d queries", i, len(f.Resps), len(f.Queries))
+		}
+		expect := func(qi int, status proto.Status, val string) {
+			got := f.Resps[qi]
+			if got.Status != status || (val != "" && string(got.Value) != val) {
+				t.Fatalf("frame %d query %d = %v %q, want %v %q", i, qi, got.Status, got.Value, status, val)
+			}
+		}
+		expect(0, proto.StatusOK, "")                       // SET
+		expect(1, proto.StatusOK, fmt.Sprintf("sv%03d", i)) // GET own SET
+		expect(2, proto.StatusOK, "")                       // DELETE preset
+		expect(3, proto.StatusNotFound, "")                 // GET deleted
+		expect(4, proto.StatusNotFound, "")                 // GET absent
+		for j := 0; j < 11; j++ {
+			expect(5+j, proto.StatusOK, fmt.Sprintf("pv%03d", (i*11+j)%presets))
+		}
+	}
+}
+
+// ---- equivalence --------------------------------------------------------
+
+// TestLiveStealEquivalence: with stealing on, a chunk-executed batch must
+// answer every query exactly once with exactly the responses the
+// fixed-assignment path produces — across a multi-stage config, the fused
+// single-stage config, and the wide batched read path.
+func TestLiveStealEquivalence(t *testing.T) {
+	const nframes, presets = 24, 40
+	ws := MegaKV()
+	ws.WorkStealing = true
+	fused := Config{GPUDepth: 0, WorkStealing: true}
+	cases := []struct {
+		name string
+		cfg  Config
+		wide bool
+	}{
+		{"multi-stage", ws, false},
+		{"fused-single-stage", fused, false},
+		{"wide-path", ws, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(steal bool) []*LiveFrame {
+				var st LiveStore = stealStore(nframes, presets)
+				wideMin := -1
+				if tc.wide {
+					st = &fakeWideStore{fakeLiveStore: stealStore(nframes, presets)}
+					wideMin = 1
+				}
+				frames := stealWorkload(nframes, presets)
+				_, stats := runCoalesced(t, st, LiveOptions{
+					Provider:    &fixedProvider{cfg: tc.cfg, n: 1 << 20},
+					Steal:       steal,
+					WideMinGets: wideMin,
+				}, frames)
+				if steal && stats.StealBatches == 0 {
+					t.Fatal("steal run never executed a chunked batch")
+				}
+				if !steal && stats.StealBatches != 0 {
+					t.Fatalf("StealBatches = %d with stealing off", stats.StealBatches)
+				}
+				return frames
+			}
+			off := run(false)
+			on := run(true)
+			checkStealWorkload(t, on, presets)
+			for i := range off {
+				for qi := range off[i].Resps {
+					a, b := off[i].Resps[qi], on[i].Resps[qi]
+					if a.Status != b.Status || string(a.Value) != string(b.Value) {
+						t.Fatalf("frame %d query %d: off=%v %q on=%v %q",
+							i, qi, a.Status, a.Value, b.Status, b.Value)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLiveStealPanicContainment: a poisoned key inside a chunk must poison
+// only its own frame — chunks partition on frame boundaries, so containment
+// is identical to the fixed path's per-frame blast radius.
+func TestLiveStealPanicContainment(t *testing.T) {
+	const nframes, presets = 24, 40
+	st := stealStore(nframes, presets)
+	st.panicOn = "p007"
+	ws := MegaKV()
+	ws.WorkStealing = true
+	frames := stealWorkload(nframes, presets)
+	_, stats := runCoalesced(t, st, LiveOptions{
+		Provider: &fixedProvider{cfg: ws, n: 1 << 20},
+		Steal:    true,
+	}, frames)
+	if stats.StealBatches == 0 {
+		t.Fatal("steal run never executed a chunked batch")
+	}
+	poisoned := 0
+	for i, f := range frames {
+		hasKey := false
+		for _, q := range f.Queries {
+			if q.Op == proto.OpGet && string(q.Key) == "p007" {
+				hasKey = true
+			}
+		}
+		if hasKey {
+			poisoned++
+			if !f.Err {
+				t.Fatalf("frame %d read the poisoned key but is not marked Err", i)
+			}
+			continue
+		}
+		if f.Err {
+			t.Fatalf("frame %d poisoned without touching the bad key", i)
+		}
+		if len(f.Resps) != len(f.Queries) {
+			t.Fatalf("healthy frame %d: %d resps for %d queries", i, len(f.Resps), len(f.Queries))
+		}
+	}
+	if poisoned == 0 {
+		t.Fatal("workload never touched the poisoned key")
+	}
+}
+
+// TestLiveStealWidePanicFallsBackPerChunk: a panicking batched store call
+// under chunked wide reads must fall back to the scalar loop chunk-by-chunk
+// and still serve every query.
+func TestLiveStealWidePanicFallsBackPerChunk(t *testing.T) {
+	const nframes, presets = 24, 40
+	st := &fakeWideStore{fakeLiveStore: stealStore(nframes, presets)}
+	st.panicWideReads = true
+	ws := MegaKV()
+	ws.WorkStealing = true
+	frames := stealWorkload(nframes, presets)
+	_, stats := runCoalesced(t, st, LiveOptions{
+		Provider:    &fixedProvider{cfg: ws, n: 1 << 20},
+		Steal:       true,
+		WideMinGets: 1,
+	}, frames)
+	if stats.StealBatches == 0 {
+		t.Fatal("steal run never executed a chunked batch")
+	}
+	if st.scalarReads.Load() == 0 {
+		t.Fatal("scalar fallback did not serve the chunks")
+	}
+	checkStealWorkload(t, frames, presets)
+}
+
+// ---- gating -------------------------------------------------------------
+
+// TestLiveStealGating: chunking engages only when the runner opts in AND the
+// batch's sealed config asked for it AND the batch spans at least two chunks.
+func TestLiveStealGating(t *testing.T) {
+	ws := MegaKV()
+	ws.WorkStealing = true
+	const presets = 40
+	big, small := 24, 4 // 16 queries per frame: 384 vs 64 queries
+	cases := []struct {
+		name    string
+		steal   bool
+		cfg     Config
+		nframes int
+		want    bool
+	}{
+		{"on", true, ws, big, true},
+		{"runner-opt-out", false, ws, big, false},
+		{"config-off", true, MegaKV(), big, false},
+		{"batch-too-small", true, ws, small, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			frames := stealWorkload(tc.nframes, presets)
+			_, stats := runCoalesced(t, stealStore(tc.nframes, presets), LiveOptions{
+				Provider: &fixedProvider{cfg: tc.cfg, n: 1 << 20},
+				Steal:    tc.steal,
+			}, frames)
+			if got := stats.StealBatches > 0; got != tc.want {
+				t.Fatalf("StealBatches = %d, want chunked=%v", stats.StealBatches, tc.want)
+			}
+			checkStealWorkload(t, frames, presets)
+		})
+	}
+}
+
+// ---- realized benefit ---------------------------------------------------
+
+// sleepReadStore makes every scalar read cost a fixed wall duration, so the
+// bottleneck stage's time is deterministic: sleeps overlap across workers
+// even on GOMAXPROCS=1, which is what makes this assertable on any host.
+type sleepReadStore struct {
+	*fakeLiveStore
+	d time.Duration
+}
+
+func (s *sleepReadStore) ReadCandidates(key []byte, cands []cuckoo.Location, dst []byte) ([]byte, bool) {
+	time.Sleep(s.d)
+	return s.fakeLiveStore.ReadCandidates(key, cands, dst)
+}
+
+// TestLiveStealReducesBottleneckStage is the live counterpart of the
+// simulator's TestWorkStealingReducesBottleneck: with the read stage made the
+// deterministic bottleneck, helpers from the other stage groups must claim
+// chunks (StolenByCPU > 0) and cut the stage's wall time vs fixed
+// assignment.
+func TestLiveStealReducesBottleneckStage(t *testing.T) {
+	const (
+		nframes  = 16
+		perFrame = 16
+		sleep    = 200 * time.Microsecond
+	)
+	ws := MegaKV() // reads on their own stage; two other worker groups can help
+	ws.WorkStealing = true
+	mkFrames := func() []*LiveFrame {
+		frames := make([]*LiveFrame, nframes)
+		for i := range frames {
+			f := &LiveFrame{}
+			for j := 0; j < perFrame; j++ {
+				f.Queries = append(f.Queries, proto.Query{Op: proto.OpGet, Key: []byte(fmt.Sprintf("p%03d", (i*perFrame+j)%40))})
+			}
+			frames[i] = f
+		}
+		return frames
+	}
+	run := func(steal bool) (time.Duration, Batch, LiveStats) {
+		st := &sleepReadStore{fakeLiveStore: stealStore(0, 40), d: sleep}
+		batches, stats := runCoalesced(t, st, LiveOptions{
+			Provider: &fixedProvider{cfg: ws, n: 1 << 20},
+			Steal:    steal,
+		}, mkFrames())
+		// The workload batch is the one whose bottleneck stage dwarfs the
+		// dummy's single read.
+		var best Batch
+		for _, b := range batches {
+			if b.Times.Tmax > best.Times.Tmax {
+				best = b
+			}
+		}
+		return best.Times.Tmax, best, stats
+	}
+
+	offTmax, _, _ := run(false)
+	onTmax, onBatch, onStats := run(true)
+
+	floor := time.Duration(nframes*perFrame) * sleep // 256 sequential sleeps
+	if offTmax < floor {
+		t.Fatalf("fixed-assignment Tmax = %v, below the %v sequential floor — bottleneck not where expected", offTmax, floor)
+	}
+	if onTmax >= offTmax*3/4 {
+		t.Fatalf("steal Tmax = %v vs fixed %v: helpers did not reduce the bottleneck stage", onTmax, offTmax)
+	}
+	if onBatch.Times.StolenByCPU < StealChunkQueries {
+		t.Fatalf("StolenByCPU = %d, want >= one chunk (%d)", onBatch.Times.StolenByCPU, StealChunkQueries)
+	}
+	if onStats.StolenChunks == 0 || onStats.StolenQueries != uint64(onBatch.Times.StolenByCPU) {
+		t.Fatalf("stats stolen chunks=%d queries=%d, batch StolenByCPU=%d — bookkeeping out of sync",
+			onStats.StolenChunks, onStats.StolenQueries, onBatch.Times.StolenByCPU)
+	}
+}
+
+// TestLiveStealConcurrentWriters hammers a stealing runner with concurrent
+// writer goroutines while readers stream GETs: every reader response must be
+// one of the two legal answers for its key (unwritten yet, or the writers'
+// only value), and the run must actually execute chunked batches. Run under
+// -race this is the steal path's data-race probe.
+func TestLiveStealConcurrentWriters(t *testing.T) {
+	const presets = 16
+	st := stealStore(0, presets)
+	ws := MegaKV()
+	ws.WorkStealing = true
+	tracked := make(map[*LiveFrame]bool)
+	var trMu sync.Mutex
+	var failures []string
+	done := make(chan *LiveFrame, 256)
+	// Response values alias the batch arena and are only valid during
+	// delivery (the server serializes inside Done), so the reader frames are
+	// validated synchronously here, not after the fact.
+	check := func(f *LiveFrame) {
+		if f.Err {
+			failures = append(failures, "reader frame poisoned")
+			return
+		}
+		for qi, q := range f.Queries {
+			got := f.Resps[qi]
+			switch {
+			case q.Key[0] == 'w' && got.Status == proto.StatusOK && string(got.Value) != "wv":
+				failures = append(failures, fmt.Sprintf("writer key %q = %q, want \"wv\"", q.Key, got.Value))
+			case q.Key[0] == 'w' && got.Status != proto.StatusOK && got.Status != proto.StatusNotFound:
+				failures = append(failures, fmt.Sprintf("writer key %q status %v", q.Key, got.Status))
+			case q.Key[0] == 'p' && got.Status != proto.StatusOK:
+				failures = append(failures, fmt.Sprintf("preset key %q = %v, want OK", q.Key, got.Status))
+			}
+		}
+	}
+	r := NewLiveRunner(st, LiveOptions{
+		Provider:      &fixedProvider{cfg: ws, n: 256},
+		BatchInterval: time.Millisecond,
+		Steal:         true,
+		Done: func(f *LiveFrame) {
+			trMu.Lock()
+			ok := tracked[f]
+			if ok {
+				check(f)
+			}
+			trMu.Unlock()
+			if ok {
+				done <- f
+			}
+		},
+	})
+	defer r.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Submit(setFrame(fmt.Sprintf("w%02d", (w*7+i)%8), "wv"))
+			}
+		}(w)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	var readerFrames []*LiveFrame
+	for r.Stats().StealBatches < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("no chunked batches executed under load")
+		}
+		f := &LiveFrame{}
+		for j := 0; j < 16; j++ {
+			if j%2 == 0 {
+				f.Queries = append(f.Queries, proto.Query{Op: proto.OpGet, Key: []byte(fmt.Sprintf("w%02d", j%8))})
+			} else {
+				f.Queries = append(f.Queries, proto.Query{Op: proto.OpGet, Key: []byte(fmt.Sprintf("p%03d", j%presets))})
+			}
+		}
+		trMu.Lock()
+		tracked[f] = true
+		trMu.Unlock()
+		if r.Submit(f) {
+			readerFrames = append(readerFrames, f)
+			collectFrames(t, done, 1)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	r.Close()
+
+	trMu.Lock()
+	defer trMu.Unlock()
+	if len(readerFrames) == 0 {
+		t.Fatal("no reader frames were admitted")
+	}
+	if len(failures) > 0 {
+		t.Fatalf("%d bad responses, first: %s", len(failures), failures[0])
+	}
+}

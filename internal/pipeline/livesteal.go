@@ -1,0 +1,544 @@
+package pipeline
+
+// Chunk-granular work stealing for the live serving path — the paper's
+// §III-B3 brought from the discrete-event simulator (exec.go's steal loop)
+// to the real stage worker groups.
+//
+// A sealed batch whose Config has WorkStealing set does not execute its
+// stealable stage phases as one fixed-assignment loop. Instead the owning
+// stage worker shards the phase into fixed-size chunks (frame-aligned runs
+// of ~StealChunkQueries queries) behind an atomic claim index — the live
+// analog of the simulator's per-chunk tag array: a chunk is executed by
+// whichever worker wins its claim.Add, exactly once. The owner publishes the
+// run on a board, wakes idle workers, and claims chunks itself; workers that
+// finish their own stage's batch (or sit blocked on an empty queue) pull the
+// remaining chunks from the published — i.e. bottleneck — stage. WR is never
+// chunked: it stays pinned to its NIC-adjacent group, mirroring the
+// simulator's stealableOn rule, and SD/LG follow it.
+//
+// Chunks partition the batch on frame boundaries, so concurrent chunk
+// executors never share a frame: response slots, Err flags and candidate
+// spans are index-disjoint, and each chunk appends values into its own arena
+// (liveBatch.chunkVals). Accounting is accumulated chunk-locally and merged
+// under a mutex once per chunk. Whether stealing is worth turning on at all
+// is the cost model's call (Eq 3 via costmodel.Controller.AllowStealing);
+// this file only honors the sealed per-batch decision.
+//
+// Cross-frame ordering note: the fixed path applies a batch's writes in
+// frame submission order; chunked writes apply frame-order within a chunk
+// but concurrently across chunks. Per-client (per-frame) ordering is
+// preserved — a frame never spans chunks — while cross-client ordering
+// inside one batch becomes what it already is on the wire: concurrent.
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cuckoo"
+	"repro/internal/gpu"
+	"repro/internal/proto"
+	"repro/internal/task"
+)
+
+// StealChunkQueries is the steal granularity in queries — the paper's
+// 64-query chunks, shared with the simulator via gpu.WavefrontWidth.
+const StealChunkQueries = gpu.WavefrontWidth
+
+// stealMinQueries is the smallest batch worth chunking: below two chunks
+// there is nothing to share and the claim index is pure overhead.
+const stealMinQueries = 2 * StealChunkQueries
+
+// stealPhase identifies which phase of a batch's stage work a stealRun
+// covers. Only index and object phases are stealable (IN.Search, IN.Insert,
+// IN.Delete, the fused KC+RD) — the same set exec.go's stealableOn admits
+// for a CPU helper.
+type stealPhase int
+
+const (
+	phaseWrites    stealPhase = iota // fused IN.Insert + IN.Delete pass
+	phaseSets                        // IN.Insert only
+	phaseDeletes                     // IN.Delete only
+	phaseSearch                      // scalar IN.Search
+	phaseReads                       // scalar fused KC+RD
+	phaseWideReads                   // wide fused KC+RD over the gathered GETs
+)
+
+// stealRun is one phase of one batch executing cooperatively: the claim
+// index hands out chunks, done counts completions, and the last finisher
+// closes finished so the owner can move to the next phase knowing every
+// chunk's effects are visible (the close/recv edge orders them).
+type stealRun struct {
+	b       *liveBatch
+	phase   stealPhase
+	nchunks int32
+
+	claim atomic.Int32 // next unclaimed chunk — the tag array analog
+	done  atomic.Int32
+
+	stolenChunks  atomic.Int32 // chunks executed by a non-owner worker
+	stolenQueries atomic.Int64
+
+	finished chan struct{}
+}
+
+// stealEligible reports whether b's stage work should execute chunked: the
+// runner implements stealing, the batch's sealed config asked for it, and
+// the batch is big enough to shard.
+func (r *LiveRunner) stealEligible(b *liveBatch) bool {
+	return r.opts.Steal && b.b.Config.WorkStealing && b.nq >= stealMinQueries
+}
+
+// buildFrameChunks partitions the batch's frames into contiguous runs of at
+// least StealChunkQueries queries (the last chunk takes the remainder) and
+// returns the chunk count. Built once per batch; every frame-geometry phase
+// shares the boundaries.
+func (b *liveBatch) buildFrameChunks() int {
+	if len(b.chunkF) > 0 {
+		return len(b.chunkF) - 1
+	}
+	b.chunkF = append(b.chunkF, 0)
+	qs := 0
+	for fi := range b.frames {
+		lo, hi := b.frameRange(fi)
+		qs += hi - lo
+		if qs >= StealChunkQueries && fi+1 < len(b.frames) {
+			b.chunkF = append(b.chunkF, int32(fi+1))
+			qs = 0
+		}
+	}
+	b.chunkF = append(b.chunkF, int32(len(b.frames)))
+	return len(b.chunkF) - 1
+}
+
+// buildWideChunks partitions the gathered GET vector (getKeys/getQ) into
+// frame-aligned runs of ~StealChunkQueries GETs, recording both the gather
+// index boundaries (wchunkJ, what the wide store calls consume) and the
+// frame boundaries (wchunkF, what the per-chunk scalar panic fallback
+// consumes). Frame alignment is what keeps a frame's Err flag single-writer.
+func (b *liveBatch) buildWideChunks() int {
+	if len(b.wchunkJ) > 0 {
+		return len(b.wchunkJ) - 1
+	}
+	b.wchunkJ = append(b.wchunkJ, 0)
+	b.wchunkF = append(b.wchunkF, 0)
+	fi, cnt := 0, 0
+	for j := 0; j < len(b.getQ); j++ {
+		// Frame of gather entry j (getQ ascends, so fi only walks forward).
+		for fi+1 < len(b.frameOff) && b.getQ[j] >= b.frameOff[fi+1] {
+			fi++
+		}
+		if cnt >= StealChunkQueries && int(b.wchunkF[len(b.wchunkF)-1]) != fi &&
+			b.getQ[j] == b.frameOff[fi] {
+			// First GET of a new frame with a full chunk accumulated: cut here.
+			b.wchunkJ = append(b.wchunkJ, int32(j))
+			b.wchunkF = append(b.wchunkF, int32(fi))
+			cnt = 0
+		}
+		cnt++
+	}
+	b.wchunkJ = append(b.wchunkJ, int32(len(b.getQ)))
+	b.wchunkF = append(b.wchunkF, int32(len(b.frames)))
+	return len(b.wchunkJ) - 1
+}
+
+// ensureChunkVals guarantees one reusable value arena per chunk.
+func (b *liveBatch) ensureChunkVals(n int) {
+	for len(b.chunkVals) < n {
+		b.chunkVals = append(b.chunkVals, nil)
+	}
+}
+
+// chunkStats accumulates one chunk's accounting locally so the shared batch
+// is touched exactly once per chunk (under statsMu), not per query.
+type chunkStats struct {
+	gets, sets, dels, setErrs     int
+	keyBytes, valBytes, wireBytes int
+	hits, misses                  int
+	taskNanos                     [task.NumTasks]int64
+	taskUnits                     [task.NumTasks]int64
+}
+
+func (b *liveBatch) mergeChunk(cs *chunkStats) {
+	b.statsMu.Lock()
+	defer b.statsMu.Unlock()
+	b.gets += cs.gets
+	b.sets += cs.sets
+	b.dels += cs.dels
+	b.setErrs += cs.setErrs
+	b.keyBytes += cs.keyBytes
+	b.valBytes += cs.valBytes
+	b.wireBytes += cs.wireBytes
+	b.b.Hits += cs.hits
+	b.b.Misses += cs.misses
+	for id := range cs.taskNanos {
+		b.taskNanos[id] += cs.taskNanos[id]
+		b.taskUnits[id] += cs.taskUnits[id]
+	}
+}
+
+// runChunked executes one phase of b cooperatively. The owner publishes the
+// run (unless another run already holds the board — then it simply keeps
+// every chunk for itself), wakes idle workers, claims chunks until the index
+// is exhausted, and waits for stragglers before returning: the next phase
+// must observe every chunk's writes.
+func (r *LiveRunner) runChunked(b *liveBatch, phase stealPhase, nchunks int) {
+	run := &stealRun{b: b, phase: phase, nchunks: int32(nchunks), finished: make(chan struct{})}
+	published := r.stealBoard.CompareAndSwap(nil, run)
+	if published {
+		for i := 0; i < cap(r.stealWake); i++ {
+			select {
+			case r.stealWake <- struct{}{}:
+			default:
+			}
+		}
+	}
+	for {
+		ci := run.claim.Add(1) - 1
+		if ci >= run.nchunks {
+			break
+		}
+		r.runChunk(run, ci, false)
+	}
+	if published {
+		r.stealBoard.CompareAndSwap(run, nil)
+	}
+	<-run.finished
+	b.chunkedPhases++
+	if sc := run.stolenChunks.Load(); sc > 0 {
+		b.stolenChunks += int(sc)
+		b.stolenQueries += int(run.stolenQueries.Load())
+	}
+}
+
+// helpSteal lets a worker with no work of its own execute chunks from the
+// published run. Own work always wins: the helper re-checks its queue
+// between chunks and returns as soon as a batch is waiting there.
+func (r *LiveRunner) helpSteal(si int) {
+	for {
+		run := r.stealBoard.Load()
+		if run == nil || len(r.ch[si]) > 0 {
+			return
+		}
+		ci := run.claim.Add(1) - 1
+		if ci >= run.nchunks {
+			return
+		}
+		r.runChunk(run, ci, true)
+	}
+}
+
+// runChunk executes chunk ci of run and books completion; the worker that
+// finishes the last chunk releases the owner.
+func (r *LiveRunner) runChunk(run *stealRun, ci int32, stolen bool) {
+	b := run.b
+	var nq int
+	switch run.phase {
+	case phaseWideReads:
+		nq = r.chunkWideReads(b, int(ci))
+	case phaseSearch:
+		nq = r.chunkSearch(b, int(b.chunkF[ci]), int(b.chunkF[ci+1]))
+	case phaseReads:
+		nq = r.chunkScalarReads(b, int(ci), int(b.chunkF[ci]), int(b.chunkF[ci+1]))
+	default: // phaseWrites / phaseSets / phaseDeletes
+		nq = r.chunkWrites(b, run.phase, int(b.chunkF[ci]), int(b.chunkF[ci+1]))
+	}
+	if stolen {
+		run.stolenChunks.Add(1)
+		run.stolenQueries.Add(int64(nq))
+	}
+	if run.done.Add(1) == run.nchunks {
+		close(run.finished)
+	}
+}
+
+// ---- MaybeChunked phase dispatchers -------------------------------------
+
+// runWritesMaybeChunked routes the write phase: chunked under a stealing
+// batch, otherwise the fixed-assignment pass for the given phase kind.
+func (r *LiveRunner) runWritesMaybeChunked(b *liveBatch, phase stealPhase) {
+	if r.stealEligible(b) {
+		if n := b.buildFrameChunks(); n >= 2 {
+			r.runChunked(b, phase, n)
+			return
+		}
+	}
+	switch phase {
+	case phaseSets:
+		r.runSets(b)
+	case phaseDeletes:
+		r.runDeletes(b)
+	default:
+		r.runWrites(b)
+	}
+}
+
+// runSearchMaybeChunked routes IN.Search. The chunked variant is the scalar
+// per-key probe over a fixed-stride candidate arena (global offsets, so the
+// later read stage consumes candLo/candHi unchanged); it trades the wide
+// SearchBatch's software pipelining for multi-worker parallelism, which is
+// the better exchange exactly when stealing was predicted to pay — the
+// bottleneck stage has idle helpers, not spare memory-level parallelism.
+func (r *LiveRunner) runSearchMaybeChunked(b *liveBatch) {
+	if r.stealEligible(b) {
+		if n := b.buildFrameChunks(); n >= 2 {
+			b.searched = true
+			b.candLo = sizeI32(b.candLo, b.nq)
+			b.candHi = sizeI32(b.candHi, b.nq)
+			b.cands = sizeLoc(b.cands, b.nq*cuckoo.MaxCandidates)
+			r.runChunked(b, phaseSearch, n)
+			return
+		}
+	}
+	r.runSearch(b)
+}
+
+// runReadsMaybeChunked routes the fused KC+RD phase: wide chunks when the
+// batch qualifies for the wide path (each chunk is one batched store call
+// over its slice of the gathered GET vector), scalar chunks otherwise.
+func (r *LiveRunner) runReadsMaybeChunked(b *liveBatch) {
+	if !r.stealEligible(b) {
+		r.runReads(b)
+		return
+	}
+	if r.wideEligible(b) {
+		if n := b.buildWideChunks(); n >= 2 {
+			ng := len(b.getQ)
+			b.vlo = sizeI32(b.vlo, ng)
+			b.vhi = sizeI32(b.vhi, ng)
+			if b.searched {
+				b.glo = sizeI32(b.glo, ng)
+				b.ghi = sizeI32(b.ghi, ng)
+			}
+			b.ensureChunkVals(n)
+			r.runChunked(b, phaseWideReads, n)
+			r.wideBatches.Inc()
+			return
+		}
+		r.runReads(b) // one wide call: runReads' own wide path covers it
+		return
+	}
+	if n := b.buildFrameChunks(); n >= 2 {
+		b.ensureChunkVals(n)
+		r.runChunked(b, phaseReads, n)
+		return
+	}
+	r.runReads(b)
+}
+
+// ---- chunk executors ----------------------------------------------------
+
+// chunkWrites is the chunk-granular runWrites/runSets/runDeletes: identical
+// per-query work over frames [flo, fhi), accounting merged once at the end.
+func (r *LiveRunner) chunkWrites(b *liveBatch, phase stealPhase, flo, fhi int) int {
+	start := r.taskStart()
+	var cs chunkStats
+	r.eachFrameRange(b, flo, fhi, func(fi int, f *LiveFrame) {
+		lo := int(b.frameOff[fi])
+		for i := range f.Queries {
+			q := &f.Queries[i]
+			switch {
+			case q.Op == proto.OpSet && phase != phaseDeletes:
+				cs.sets++
+				cs.keyBytes += len(q.Key)
+				cs.valBytes += len(q.Value)
+				if r.wantProfile {
+					cs.wireBytes += proto.EncodedQueryLen(*q)
+				}
+				if err := r.store.Set(q.Key, q.Value); err != nil {
+					b.resps[lo+i] = proto.Response{Status: proto.StatusError}
+					cs.setErrs++
+				} else {
+					b.resps[lo+i] = proto.Response{Status: proto.StatusOK}
+				}
+			case q.Op == proto.OpDelete && phase != phaseSets:
+				cs.dels++
+				cs.keyBytes += len(q.Key)
+				if r.wantProfile {
+					cs.wireBytes += proto.EncodedQueryLen(*q)
+				}
+				if r.store.Delete(q.Key) {
+					b.resps[lo+i] = proto.Response{Status: proto.StatusOK}
+				} else {
+					b.resps[lo+i] = proto.Response{Status: proto.StatusNotFound}
+				}
+			}
+		}
+	})
+	if !start.IsZero() && cs.sets+cs.dels > 0 {
+		// Split the measured pass time between the two tasks by unit count,
+		// exactly like the fused fixed-assignment pass.
+		nanos := time.Since(start).Nanoseconds()
+		cs.taskNanos[task.INInsert] = nanos * int64(cs.sets) / int64(cs.sets+cs.dels)
+		cs.taskNanos[task.INDelete] = nanos * int64(cs.dels) / int64(cs.sets+cs.dels)
+	}
+	cs.taskUnits[task.INInsert] = int64(cs.sets)
+	cs.taskUnits[task.INDelete] = int64(cs.dels)
+	b.mergeChunk(&cs)
+	return cs.sets + cs.dels
+}
+
+// chunkSearch probes each GET of frames [flo, fhi) into the query's fixed
+// stride of the shared candidate arena: global offsets with no shared
+// append, so concurrent chunks never contend and the read stage's
+// candLo/candHi contract is unchanged.
+func (r *LiveRunner) chunkSearch(b *liveBatch, flo, fhi int) int {
+	start := r.taskStart()
+	var cs chunkStats
+	units := 0
+	r.eachFrameRange(b, flo, fhi, func(fi int, f *LiveFrame) {
+		lo := int(b.frameOff[fi])
+		for i := range f.Queries {
+			if f.Queries[i].Op != proto.OpGet {
+				continue
+			}
+			q := lo + i
+			base := q * cuckoo.MaxCandidates
+			got := r.store.Search(f.Queries[i].Key, b.cands[base:base:base+cuckoo.MaxCandidates])
+			n := len(got)
+			if n > cuckoo.MaxCandidates {
+				// An implementation that outgrew the stride reallocated; keep
+				// what fits — dropped candidates only mean the read falls
+				// back to its authoritative lookup (the stale-cands rule).
+				n = cuckoo.MaxCandidates
+			}
+			if n > 0 {
+				copy(b.cands[base:base+n], got[:n]) // no-op when appended in place
+			}
+			b.candLo[q], b.candHi[q] = int32(base), int32(base+n)
+			units++
+		}
+	})
+	if !start.IsZero() {
+		cs.taskNanos[task.INSearch] = time.Since(start).Nanoseconds()
+	}
+	cs.taskUnits[task.INSearch] = int64(units)
+	b.mergeChunk(&cs)
+	return units
+}
+
+// chunkScalarReads is the chunk-granular scalar KC+RD over frames
+// [flo, fhi), appending values into the chunk's own arena.
+func (r *LiveRunner) chunkScalarReads(b *liveBatch, ci, flo, fhi int) int {
+	start := r.taskStart()
+	var cs chunkStats
+	vals := b.chunkVals[ci][:0]
+	vals = r.readFramesInto(b, vals, flo, fhi, &cs)
+	b.chunkVals[ci] = vals
+	if !start.IsZero() {
+		cs.taskNanos[task.KC] = time.Since(start).Nanoseconds()
+	}
+	cs.taskUnits[task.KC] = int64(cs.gets)
+	b.mergeChunk(&cs)
+	return cs.gets
+}
+
+// readFramesInto runs the scalar fused KC+RD loop over frames [flo, fhi)
+// appending values to vals; shared by the scalar chunk executor and the wide
+// chunk's panic fallback. Growing vals keeps earlier backing arrays alive,
+// so responses already built stay valid (same contract as b.vals).
+func (r *LiveRunner) readFramesInto(b *liveBatch, vals []byte, flo, fhi int, cs *chunkStats) []byte {
+	r.eachFrameRange(b, flo, fhi, func(fi int, f *LiveFrame) {
+		lo := int(b.frameOff[fi])
+		for i := range f.Queries {
+			q := &f.Queries[i]
+			if q.Op != proto.OpGet {
+				continue
+			}
+			cs.gets++
+			cs.keyBytes += len(q.Key)
+			if r.wantProfile {
+				cs.wireBytes += proto.EncodedQueryLen(*q)
+			}
+			var cands []cuckoo.Location
+			if b.searched {
+				cands = b.cands[b.candLo[lo+i]:b.candHi[lo+i]]
+			}
+			mark := len(vals)
+			if out, ok := r.store.ReadCandidates(q.Key, cands, vals); ok {
+				vals = out
+				v := vals[mark:len(vals):len(vals)]
+				b.resps[lo+i] = proto.Response{Status: proto.StatusOK, Value: v}
+				cs.valBytes += len(v)
+				cs.hits++
+			} else {
+				b.resps[lo+i] = proto.Response{Status: proto.StatusNotFound}
+				cs.misses++
+			}
+		}
+	})
+	return vals
+}
+
+// chunkWideReads runs one batched store call over the chunk's slice of the
+// gathered GET vector, scattering values and responses for exactly those
+// gather entries (all index-disjoint across chunks). A panic inside the
+// store call falls back to the scalar loop over the chunk's frames, which
+// contains it per frame — the chunk-granular version of wideReads' rerun.
+func (r *LiveRunner) chunkWideReads(b *liveBatch, ci int) int {
+	start := r.taskStart()
+	var cs chunkStats
+	jlo, jhi := int(b.wchunkJ[ci]), int(b.wchunkJ[ci+1])
+	keys := b.getKeys[jlo:jhi]
+	vals := b.chunkVals[ci][:0]
+	var hits int
+	ok := func() (ok bool) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				ok = false
+			}
+		}()
+		if b.searched {
+			for j := jlo; j < jhi; j++ {
+				q := b.getQ[j]
+				b.glo[j], b.ghi[j] = b.candLo[q], b.candHi[q]
+			}
+			vals, hits = r.wide.ReadCandidatesBatch(keys, b.cands, b.glo[jlo:jhi], b.ghi[jlo:jhi], vals, b.vlo[jlo:jhi], b.vhi[jlo:jhi])
+		} else {
+			vals, hits = r.wide.GetBatch(keys, vals, b.vlo[jlo:jhi], b.vhi[jlo:jhi])
+		}
+		return true
+	}()
+	if !ok {
+		vals = r.readFramesInto(b, vals[:0], int(b.wchunkF[ci]), int(b.wchunkF[ci+1]), &cs)
+		b.chunkVals[ci] = vals
+		if !start.IsZero() {
+			cs.taskNanos[task.KC] = time.Since(start).Nanoseconds()
+		}
+		cs.taskUnits[task.KC] = int64(cs.gets)
+		b.mergeChunk(&cs)
+		return cs.gets
+	}
+	b.chunkVals[ci] = vals
+	for j := jlo; j < jhi; j++ {
+		q := b.getQ[j]
+		cs.keyBytes += len(keys[j-jlo])
+		if r.wantProfile {
+			cs.wireBytes += proto.EncodedQueryLen(proto.Query{Op: proto.OpGet, Key: keys[j-jlo]})
+		}
+		if b.vlo[j] >= 0 {
+			v := vals[b.vlo[j]:b.vhi[j]:b.vhi[j]]
+			b.resps[q] = proto.Response{Status: proto.StatusOK, Value: v}
+			cs.valBytes += len(v)
+		} else {
+			b.resps[q] = proto.Response{Status: proto.StatusNotFound}
+		}
+	}
+	cs.gets = jhi - jlo
+	cs.hits = hits
+	cs.misses = (jhi - jlo) - hits
+	if !start.IsZero() {
+		cs.taskNanos[task.KC] = time.Since(start).Nanoseconds()
+	}
+	cs.taskUnits[task.KC] = int64(cs.gets)
+	b.mergeChunk(&cs)
+	return cs.gets
+}
+
+// sizeLoc sizes a Location arena to n entries (contents are overwritten by
+// the per-query strides; unwritten strides are never referenced).
+func sizeLoc(s []cuckoo.Location, n int) []cuckoo.Location {
+	if cap(s) < n {
+		return make([]cuckoo.Location, n)
+	}
+	return s[:n]
+}

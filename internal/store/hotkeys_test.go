@@ -1,0 +1,327 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cuckoo"
+)
+
+func newHotStore(t *testing.T) *Store {
+	t.Helper()
+	return New(Config{MemoryBytes: 1 << 20, IndexEntries: 4096, HotKeys: 64})
+}
+
+// heat GETs key enough times that the sampled promotion must have fired
+// (every hit ticks the sample counter), and asserts the key went hot.
+func heat(t *testing.T, s *Store, key, want []byte) {
+	t.Helper()
+	for i := 0; i < 4*hotSampleInterval; i++ {
+		v, ok := s.Get(key)
+		if !ok || !bytes.Equal(v, want) {
+			t.Fatalf("Get(%q) = %q,%v during warm-up, want %q", key, v, ok, want)
+		}
+		if _, hot := s.hotProbe(key); hot {
+			return
+		}
+	}
+	t.Fatalf("key %q never promoted after %d hits", key, 4*hotSampleInterval)
+}
+
+func TestHotKeyPromoteAndServe(t *testing.T) {
+	s := newHotStore(t)
+	if _, _, err := s.Set([]byte("hot"), []byte("value-1")); err != nil {
+		t.Fatal(err)
+	}
+	heat(t, s, []byte("hot"), []byte("value-1"))
+	cached, _ := s.hotProbe([]byte("hot"))
+	if !bytes.Equal(cached, []byte("value-1")) {
+		t.Fatalf("cached value = %q, want value-1", cached)
+	}
+	before, enabled := s.HotStats()
+	if !enabled {
+		t.Fatal("HotStats reports disabled on a hot-enabled store")
+	}
+	if v, ok := s.Get([]byte("hot")); !ok || !bytes.Equal(v, []byte("value-1")) {
+		t.Fatalf("hot Get = %q,%v", v, ok)
+	}
+	if after, _ := s.HotStats(); after != before+1 {
+		t.Fatalf("hot hits %d -> %d, want +1 (the Get must be served hot)", before, after)
+	}
+}
+
+func TestHotKeyDisabledByDefault(t *testing.T) {
+	s := New(Config{MemoryBytes: 1 << 20})
+	if _, _, err := s.Set([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4*hotSampleInterval; i++ {
+		s.Get([]byte("k"))
+	}
+	if hits, enabled := s.HotStats(); enabled || hits != 0 {
+		t.Fatalf("HotStats = %d,%v on a disabled store", hits, enabled)
+	}
+}
+
+func TestHotKeyInvalidatedBySet(t *testing.T) {
+	s := newHotStore(t)
+	s.Set([]byte("hot"), []byte("old"))
+	heat(t, s, []byte("hot"), []byte("old"))
+	s.Set([]byte("hot"), []byte("new"))
+	if cached, hot := s.hotProbe([]byte("hot")); hot {
+		t.Fatalf("entry survived overwrite (cached %q)", cached)
+	}
+	if v, _ := s.Get([]byte("hot")); !bytes.Equal(v, []byte("new")) {
+		t.Fatalf("Get after overwrite = %q, want new", v)
+	}
+}
+
+func TestHotKeyInvalidatedByDelete(t *testing.T) {
+	s := newHotStore(t)
+	s.Set([]byte("hot"), []byte("v"))
+	heat(t, s, []byte("hot"), []byte("v"))
+	if !s.Delete([]byte("hot")) {
+		t.Fatal("Delete failed")
+	}
+	if _, hot := s.hotProbe([]byte("hot")); hot {
+		t.Fatal("entry survived Delete")
+	}
+	if _, ok := s.Get([]byte("hot")); ok {
+		t.Fatal("Get after Delete still hits")
+	}
+}
+
+// TestHotKeyInvalidatedByIndexOps covers the task-granular write path the
+// pipeline uses: AllocForSet + IndexInsert must retire the cached old value,
+// IndexDelete must retire the entry outright.
+func TestHotKeyInvalidatedByIndexOps(t *testing.T) {
+	s := newHotStore(t)
+	s.Set([]byte("hot"), []byte("old"))
+	heat(t, s, []byte("hot"), []byte("old"))
+
+	// Decomposed SET, the pipeline's MM + IN(Insert) + IN(Delete) sequence:
+	// find the old binding, insert the new one, retire the old one.
+	var oldLoc cuckoo.Location
+	foundOld := false
+	for _, loc := range s.IndexSearch([]byte("hot"), nil) {
+		if s.KeyCompare(loc, []byte("hot")) {
+			oldLoc, foundOld = loc, true
+			break
+		}
+	}
+	if !foundOld {
+		t.Fatal("old binding not found")
+	}
+	h, ev, err := s.AllocForSet([]byte("hot"), []byte("new"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev != nil {
+		t.Fatalf("unexpected eviction in a roomy arena: %+v", ev)
+	}
+	if !s.IndexInsert([]byte("hot"), h) {
+		t.Fatal("IndexInsert failed")
+	}
+	if _, hot := s.hotProbe([]byte("hot")); hot {
+		t.Fatal("entry survived IndexInsert of a new binding")
+	}
+	if !s.IndexDelete([]byte("hot"), oldLoc) {
+		t.Fatal("IndexDelete of the old binding failed")
+	}
+	if v, _ := s.Get([]byte("hot")); !bytes.Equal(v, []byte("new")) {
+		t.Fatalf("Get after decomposed SET = %q, want new", v)
+	}
+
+	heat(t, s, []byte("hot"), []byte("new"))
+	cands := s.IndexSearch([]byte("hot"), nil)
+	deleted := false
+	for _, loc := range cands {
+		if s.KeyCompare(loc, []byte("hot")) && s.IndexDelete([]byte("hot"), loc) {
+			deleted = true
+			break
+		}
+	}
+	if !deleted {
+		t.Fatal("IndexDelete never fired")
+	}
+	if _, hot := s.hotProbe([]byte("hot")); hot {
+		t.Fatal("entry survived IndexDelete")
+	}
+}
+
+func TestHotKeyLargeValuesNotPromoted(t *testing.T) {
+	s := New(Config{MemoryBytes: 1 << 22, IndexEntries: 4096, HotKeys: 64})
+	big := bytes.Repeat([]byte("x"), hotMaxValue+1)
+	s.Set([]byte("big"), big)
+	for i := 0; i < 4*hotSampleInterval; i++ {
+		if v, ok := s.Get([]byte("big")); !ok || !bytes.Equal(v, big) {
+			t.Fatalf("Get(big) wrong at iter %d", i)
+		}
+	}
+	if _, hot := s.hotProbe([]byte("big")); hot {
+		t.Fatalf("value of %d bytes was promoted past the %d cap", len(big), hotMaxValue)
+	}
+}
+
+// TestHotKeySearchServeSkipsProbe pins the staged serving contract: a hot
+// key's SearchServe returns no candidates, and ReadCandidates serves it from
+// the table; once invalidated, the empty candidate list falls back to the
+// authoritative lookup instead of manufacturing a miss.
+func TestHotKeySearchServeSkipsProbe(t *testing.T) {
+	s := newHotStore(t)
+	s.Set([]byte("hot"), []byte("v1"))
+	heat(t, s, []byte("hot"), []byte("v1"))
+
+	cands := s.SearchServe([]byte("hot"), nil)
+	if len(cands) != 0 {
+		t.Fatalf("SearchServe returned %d candidates for a hot key, want 0", len(cands))
+	}
+	if v, ok := s.ReadCandidates([]byte("hot"), cands, nil); !ok || !bytes.Equal(v, []byte("v1")) {
+		t.Fatalf("ReadCandidates hot = %q,%v, want v1", v, ok)
+	}
+
+	// Invalidate between the (skipped) search and the read: the staged read
+	// must still resolve authoritatively.
+	s.Set([]byte("hot"), []byte("v2"))
+	if v, ok := s.ReadCandidates([]byte("hot"), cands, nil); !ok || !bytes.Equal(v, []byte("v2")) {
+		t.Fatalf("ReadCandidates after invalidation = %q,%v, want v2", v, ok)
+	}
+
+	// A cold store's SearchServe is plain IndexSearch.
+	cold := New(Config{MemoryBytes: 1 << 20})
+	cold.Set([]byte("k"), []byte("v"))
+	if got := cold.SearchServe([]byte("k"), nil); len(got) == 0 {
+		t.Fatal("SearchServe on a hot-disabled store returned no candidates")
+	}
+}
+
+// TestHotKeyWidePaths drives the three wide entry points over a mix of hot,
+// cold and absent keys.
+func TestHotKeyWidePaths(t *testing.T) {
+	s := newHotStore(t)
+	s.Set([]byte("hot"), []byte("hv"))
+	s.Set([]byte("cold"), []byte("cv"))
+	heat(t, s, []byte("hot"), []byte("hv"))
+
+	keys := [][]byte{[]byte("hot"), []byte("cold"), []byte("absent"), []byte("hot")}
+	want := []string{"hv", "cv", "", "hv"}
+
+	checkSpans := func(t *testing.T, vals []byte, vlo, vhi []int32) {
+		t.Helper()
+		for i, w := range want {
+			if w == "" {
+				if vlo[i] != -1 {
+					t.Fatalf("key %d: want miss, got span %d:%d", i, vlo[i], vhi[i])
+				}
+				continue
+			}
+			if vlo[i] < 0 || string(vals[vlo[i]:vhi[i]]) != w {
+				t.Fatalf("key %d: got %q, want %q", i, vals[vlo[i]:vhi[i]], w)
+			}
+		}
+	}
+
+	t.Run("GetBatch", func(t *testing.T) {
+		vlo, vhi := make([]int32, len(keys)), make([]int32, len(keys))
+		vals, hits := s.GetBatch(keys, nil, vlo, vhi)
+		if hits != 3 {
+			t.Fatalf("hits = %d, want 3", hits)
+		}
+		checkSpans(t, vals, vlo, vhi)
+	})
+
+	t.Run("SearchThenRead", func(t *testing.T) {
+		lo, hi := make([]int32, len(keys)), make([]int32, len(keys))
+		cands := s.SearchBatch(keys, nil, lo, hi)
+		if hi[0] != lo[0] || hi[3] != lo[3] {
+			t.Fatalf("hot key got candidates (%d:%d, %d:%d), want empty spans",
+				lo[0], hi[0], lo[3], hi[3])
+		}
+		if hi[1] == lo[1] {
+			t.Fatal("cold key got no candidates")
+		}
+		vlo, vhi := make([]int32, len(keys)), make([]int32, len(keys))
+		vals, hits := s.ReadCandidatesBatch(keys, cands, lo, hi, nil, vlo, vhi)
+		if hits != 3 {
+			t.Fatalf("hits = %d, want 3", hits)
+		}
+		checkSpans(t, vals, vlo, vhi)
+	})
+
+	t.Run("InvalidateBetweenStages", func(t *testing.T) {
+		lo, hi := make([]int32, len(keys)), make([]int32, len(keys))
+		cands := s.SearchBatch(keys, nil, lo, hi)
+		s.Set([]byte("hot"), []byte("hv2")) // invalidates between stages
+		want[0], want[3] = "hv2", "hv2"
+		defer func() { want[0], want[3] = "hv", "hv" }()
+		vlo, vhi := make([]int32, len(keys)), make([]int32, len(keys))
+		vals, _ := s.ReadCandidatesBatch(keys, cands, lo, hi, nil, vlo, vhi)
+		checkSpans(t, vals, vlo, vhi)
+		s.Set([]byte("hot"), []byte("hv"))
+	})
+}
+
+// TestHotKeyNeverServesStale is the linearizability hammer: one writer
+// overwrites a single key with increasing versions while readers pound GETs
+// hot enough to keep promoting it. Any GET must observe at least the version
+// that had completed before the GET began — a stale hot entry would serve an
+// older one.
+func TestHotKeyNeverServesStale(t *testing.T) {
+	s := newHotStore(t)
+	key := []byte("contended")
+	val := func(v uint64) []byte { return []byte(fmt.Sprintf("v%08d", v)) }
+	s.Set(key, val(0))
+
+	var completed atomic.Uint64
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for v := uint64(1); ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := s.Set(key, val(v)); err != nil {
+				t.Errorf("Set: %v", err)
+				return
+			}
+			completed.Store(v)
+		}
+	}()
+
+	const readers = 4
+	var rg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for i := 0; i < 20000; i++ {
+				floor := completed.Load()
+				got, ok := s.Get(key)
+				if !ok {
+					t.Errorf("Get lost the key")
+					return
+				}
+				var v uint64
+				if _, err := fmt.Sscanf(string(got), "v%08d", &v); err != nil {
+					t.Errorf("unparseable value %q", got)
+					return
+				}
+				if v < floor {
+					t.Errorf("stale read: got version %d, but %d had completed before the Get", v, floor)
+					return
+				}
+			}
+		}()
+	}
+	// The readers bound the test; stop the writer once they finish.
+	rg.Wait()
+	close(stop)
+	writer.Wait()
+}

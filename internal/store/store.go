@@ -78,6 +78,12 @@ type Config struct {
 	// Slab optionally overrides the slab configuration; when non-nil its
 	// TotalBytes is the whole-store budget and is divided across shards.
 	Slab *slab.Config
+	// HotKeys, when positive, enables the skew-aware hot-key fast path with a
+	// side table of that many slots (rounded up to a power of two): sampled
+	// hot GETs are served from a cache-resident table before the cuckoo
+	// probe (see hotkeys.go). 0 disables the table entirely — the read paths
+	// then run exactly as before.
+	HotKeys int
 }
 
 // shard is one independent index+arena pair.
@@ -93,6 +99,7 @@ type Store struct {
 	shardMask uint64
 	seed      uint64
 	stamp     atomic.Uint32 // current sampling-interval timestamp
+	hot       *hotTable     // nil unless Config.HotKeys > 0
 
 	gets      stats.Counter
 	sets      stats.Counter
@@ -157,6 +164,9 @@ func New(cfg Config) *Store {
 		shardMask: uint64(nShards - 1),
 		seed:      cfg.Seed,
 	}
+	if cfg.HotKeys > 0 {
+		s.hot = newHotTable(cfg.HotKeys)
+	}
 	// Every shard hashes with the same seed: a key is hashed once, shards are
 	// routed on bits 40..43 of that hash (see routeShift), and the shard's
 	// table reuses the hash for its bucket index and signature.
@@ -209,15 +219,21 @@ func (s *Store) Get(key []byte) ([]byte, bool) {
 // so a concurrent eviction reusing the chunk can never tear the result.
 func (s *Store) GetInto(key, dst []byte) ([]byte, bool) {
 	s.gets.Inc()
-	_, sh, hv := s.shardFor(key)
-	return s.readVerified(sh, hv, key, dst)
+	si, sh, hv := s.shardFor(key)
+	if s.hot != nil {
+		if out, ok := s.hotServe(hv, key, dst); ok {
+			s.hits.Inc()
+			return out, true
+		}
+	}
+	return s.readVerified(si, sh, hv, key, dst)
 }
 
 // readVerified is the version-validated search+read loop shared by GetInto
 // and the staged read path's fallback (ReadCandidates): search the shard's
 // index, verify-and-copy candidates under the slab seqlock, and reprobe when
 // an index mutation raced the probe. It maintains the hit/miss counters.
-func (s *Store) readVerified(sh *shard, hv uint64, key, dst []byte) ([]byte, bool) {
+func (s *Store) readVerified(si int, sh *shard, hv uint64, key, dst []byte) ([]byte, bool) {
 	for attempt := 0; ; attempt++ {
 		v1 := sh.idx.Version()
 		var buf [cuckoo.MaxCandidates]cuckoo.Location
@@ -227,6 +243,9 @@ func (s *Store) readVerified(sh *shard, hv uint64, key, dst []byte) ([]byte, boo
 			if out, ok := sh.alloc.ReadIfMatch(h, key, dst); ok {
 				s.hits.Inc()
 				sh.alloc.Touch(h, s.stamp.Load())
+				if s.hot != nil {
+					s.maybePromote(si, sh, hv, key, out[len(dst):], h, v1)
+				}
 				return out, true
 			}
 		}
@@ -269,6 +288,12 @@ func (s *Store) Set(key, value []byte) (inserts, deletes int, err error) {
 		if sh.idx.Delete(ev.Key, evLoc) {
 			deletes++
 		}
+		// The victim's chunk was reused for the new object, so a hot-table
+		// entry for it is stale the moment Alloc returned; clear it now that
+		// the index mutation is applied (writer-side ordering, hotkeys.go).
+		if s.hot != nil {
+			s.hot.invalidate(cuckoo.Hash(ev.Key, s.seed), ev.Key)
+		}
 		if hadOld && evLoc == oldLoc {
 			hadOld = false // the victim was this key's own old object
 		}
@@ -287,6 +312,10 @@ func (s *Store) Set(key, value []byte) (inserts, deletes int, err error) {
 			deletes++
 		}
 	}
+	// Hot-table invalidation is the LAST step: it must follow every index
+	// mutation of this key so a racing promotion either lands before it (and
+	// is cleared here) or rechecks against the fully-applied new state.
+	s.hotInvalidate(hv, key)
 	return inserts, deletes, nil
 }
 
@@ -302,6 +331,7 @@ func (s *Store) Delete(key []byte) bool {
 		return false
 	}
 	sh.alloc.Free(handleOf(loc))
+	s.hotInvalidate(hv, key)
 	return true
 }
 
@@ -331,6 +361,23 @@ func (sh *shard) lookupLoc(hv uint64, key []byte) (cuckoo.Location, bool) {
 // be passed to KeyCompare / ReadValue / IndexDelete directly.
 func (s *Store) IndexSearch(key []byte, dst []cuckoo.Location) []cuckoo.Location {
 	_, sh, _ := s.shardFor(key)
+	cands, _ := sh.idx.Search(key, dst)
+	return cands
+}
+
+// SearchServe is IndexSearch for the GET serving path: a key currently
+// cached by the hot-key table skips the index probe entirely — the fused
+// KC+RD stage (ReadCandidates) serves it from the table, and if the entry is
+// invalidated in between, the empty candidate list falls back to the
+// authoritative lookup there. With no hot table it is exactly IndexSearch.
+// Only GET pipelines may use it; the task-granular IndexSearch keeps its
+// always-probe contract for callers that need real candidates (simulator,
+// write paths).
+func (s *Store) SearchServe(key []byte, dst []cuckoo.Location) []cuckoo.Location {
+	_, sh, hv := s.shardFor(key)
+	if s.hot != nil && s.hot.lookup(hv, key) != nil {
+		return dst
+	}
 	cands, _ := sh.idx.Search(key, dst)
 	return cands
 }
@@ -392,8 +439,14 @@ func (s *Store) AllocForSet(key, value []byte) (slab.Handle, *slab.Evicted, erro
 
 // IndexInsert performs the IN(Insert) task. h must come from AllocForSet.
 func (s *Store) IndexInsert(key []byte, h slab.Handle) bool {
-	_, sh, _ := s.shardFor(key)
-	return sh.idx.Insert(key, cuckoo.Location(h))
+	_, sh, hv := s.shardFor(key)
+	ok := sh.idx.Insert(key, cuckoo.Location(h))
+	if ok {
+		// A new binding supersedes any cached value (writer-side ordering:
+		// invalidate after the index mutation, hotkeys.go).
+		s.hotInvalidate(hv, key)
+	}
+	return ok
 }
 
 // IndexDelete performs the IN(Delete) task.
@@ -407,6 +460,9 @@ func (s *Store) IndexDelete(key []byte, loc cuckoo.Location) bool {
 		return false
 	}
 	sh.alloc.Free(handleOf(loc))
+	if s.hot != nil {
+		s.hot.invalidate(cuckoo.Hash(key, s.seed), key)
+	}
 	return true
 }
 
@@ -455,6 +511,7 @@ type Stats struct {
 	Gets, Sets, Deletes    uint64
 	Hits, Misses           uint64
 	Evictions              uint64
+	HotHits                uint64 // GETs served by the hot-key fast path
 	LiveObjects            int
 	IndexLoadFactor        float64
 	AvgInsertBucketsProbed float64
@@ -482,6 +539,9 @@ func (s *Store) StatsSnapshot() Stats {
 		Hits:      s.hits.Load(),
 		Misses:    s.misses.Load(),
 		Evictions: s.evictions.Load(),
+	}
+	if s.hot != nil {
+		st.HotHits = s.hot.hits.Load()
 	}
 	var inserts, insertBuckets float64
 	var loadSum float64

@@ -124,6 +124,13 @@ type Profile struct {
 	// group-commit append (unit-cost profiled like RV/SD, since most of LG
 	// is syscall + fsync time no instruction model can see).
 	LGRecordsPerQuery, LGSeqBytes, LGUnitNanos float64
+	// HotHitPortion is the measured fraction of GETs served by the store's
+	// hot-key side table (store.Config.HotKeys): those GETs skip the cuckoo
+	// probe entirely, so their IN(Search) random accesses collapse to a
+	// cache-resident table lookup. Measured, like AvgInsertBuckets (the
+	// model cannot derive it: it depends on the table size, sampling and
+	// invalidation churn, not just skew). 0 when the table is disabled.
+	HotHitPortion float64
 }
 
 // Coverage returns the fraction of the batch a task applies to: index
@@ -276,6 +283,22 @@ func ForTask(id ID, p Profile, pl Placement) Demand {
 	// the cache (§IV-B). Applies to object-touching tasks only.
 	if pl.OnCPU && (id == KC || id == RD) && p.CacheHitPortion > 0 {
 		hit := p.CacheHitPortion
+		moved := d.MemAccesses * hit
+		d.MemAccesses -= moved
+		d.CacheAccesses += moved
+	}
+	// Hot-key fast path: the measured portion H of GETs is served from the
+	// cache-resident side table before the cuckoo probe, turning their
+	// IN(Search) bucket walks into cache accesses. CPU only — the table
+	// lives in the serving cores' cache, a GPU-stage IN would still probe.
+	// Applied to IN(Search) alone: KC/RD savings for those GETs are already
+	// covered by CacheHitPortion (hot keys are exactly the ones the LRU term
+	// counts), so pricing them here too would double-count.
+	if pl.OnCPU && id == INSearch && p.HotHitPortion > 0 {
+		hit := p.HotHitPortion
+		if hit > 1 {
+			hit = 1
+		}
 		moved := d.MemAccesses * hit
 		d.MemAccesses -= moved
 		d.CacheAccesses += moved

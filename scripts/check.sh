@@ -44,6 +44,16 @@ go test -count=1 -race -timeout 900s ./internal/obs
 go test -count=1 -race -timeout 900s -run 'AdminUnderChaos|SlowLogOn|SlowLogThreshold|StatsDumpMetrics|CollectMetricsNames|ControllerTrace' \
     . ./internal/costmodel
 
+# The live steal path + hot-key fast path: the chunk-claim equivalence suite
+# (chunked vs fixed execution must produce identical responses), the stage-1
+# idle-seal race regressions, the controller's Eq-3 steal gating, and the
+# hot-table promotion/invalidation protocol incl. its staleness hammer — all
+# lock-free machinery, so un-cached and race-enabled every pass.
+echo "== steal + hot-key path (-race, -count=1) =="
+go test -count=1 -race -timeout 900s \
+    -run 'LiveSteal|LiveIdleSeal|LiveTrySealIdle|ControllerSteal|HotKey|WorkStealing' \
+    ./internal/pipeline ./internal/costmodel ./internal/store
+
 # The wide batched index path: cross-check SearchBatch/GetBatch against the
 # scalar search under concurrent churn (the amortized version-check fallback),
 # un-cached and race-enabled every pass.

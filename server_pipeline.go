@@ -55,6 +55,15 @@ type PipelineOptions struct {
 	// batched path. 0 means pipeline.DefaultWideMinGets; negative disables
 	// the wide path. Only effective when the backend is a *Store.
 	WideMinGets int
+	// Steal enables chunk-granular work stealing across the pipeline's stage
+	// groups: stage phases of batches sealed with a WorkStealing config are
+	// split into fixed-size chunks behind an atomic claim index, and idle
+	// workers from other groups pull chunks from the bottleneck stage
+	// (paper §III-B3). With Adapt the controller decides per batch whether
+	// stealing's predicted Eq 3 benefit clears the gate; without Adapt the
+	// static default config keeps WorkStealing off, so the flag only takes
+	// effect combined with a Provider that turns it on.
+	Steal bool
 	// Provider overrides the config provider entirely (tests); when set,
 	// Adapt is ignored.
 	Provider pipeline.ConfigProvider
@@ -147,6 +156,7 @@ func (s *Server) initPipeline(po *PipelineOptions) {
 			sizer := &pipeline.BatchSizer{Interval: interval, Min: pl.MinBatch, Max: maxBatch}
 			sizer.Set(pipeline.DefaultInitialBatch)
 			pipe.ctrl = costmodel.NewController(pl, profiler.New(inner), pipeline.DefaultLiveConfig(), sizer)
+			pipe.ctrl.AllowStealing = po.Steal
 			pipe.ctrl.Trace = po.Trace
 			provider = pipe.ctrl
 		} else {
@@ -164,6 +174,7 @@ func (s *Server) initPipeline(po *PipelineOptions) {
 		BatchInterval: interval,
 		Workers:       po.Workers,
 		WideMinGets:   po.WideMinGets,
+		Steal:         po.Steal,
 		DoneBatch:     s.pipelineBatchDone,
 	}
 	if s.dur != nil {
@@ -314,7 +325,10 @@ func newLiveStore(b Backend) (pipeline.LiveStore, *store.Store) {
 type storeLive struct{ s *store.Store }
 
 func (l storeLive) Search(key []byte, dst []cuckoo.Location) []cuckoo.Location {
-	return l.s.IndexSearch(key, dst)
+	// SearchServe, not IndexSearch: the GET serving path lets keys cached by
+	// the hot-key side table skip the index probe (ReadCandidates serves
+	// them, or falls back authoritatively if the entry is invalidated).
+	return l.s.SearchServe(key, dst)
 }
 
 func (l storeLive) ReadCandidates(key []byte, cands []cuckoo.Location, dst []byte) ([]byte, bool) {
@@ -347,6 +361,10 @@ func (l storeLive) LiveMetrics() (liveObjects, evictions uint64, avgInsertBucket
 	st := l.s.StatsSnapshot()
 	return uint64(st.LiveObjects), st.Evictions, st.AvgInsertBucketsProbed
 }
+
+// HotStats satisfies pipeline.HotKeyStats so the measured hot-hit portion
+// reaches the adaptation profile.
+func (l storeLive) HotStats() (hits uint64, enabled bool) { return l.s.HotStats() }
 
 type backendLive struct {
 	b  Backend
