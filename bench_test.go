@@ -19,6 +19,7 @@ import (
 
 	dido "repro"
 	"repro/internal/bench"
+	"repro/internal/frontend"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/wal"
@@ -403,6 +404,106 @@ func BenchmarkServeUniformAdaptSteal(b *testing.B) {
 
 func BenchmarkServePerFrame(b *testing.B)  { benchmarkServe(b, false, false, "") }
 func BenchmarkServePipelined(b *testing.B) { benchmarkServe(b, true, false, "") }
+
+// benchmarkServeRESP is the UDP A/B's TCP/RESP counterpart: the same store,
+// key space, value size and 5%-SET mix driven through the RESP front end with
+// the in-repo pipelining client (one command per query, one write per batch).
+// Beyond the TCP+RESP framing tax, the mixed workload prices the front end's
+// sequential-semantics contract: command runs seal at read↔write boundaries,
+// so a 64-command batch with interleaved SETs fragments into ~7 frames where
+// the binary protocol carries it as 1 (see bench_results.txt).
+func benchmarkServeRESP(b *testing.B, pipelined bool) {
+	const (
+		keys       = 8 << 10
+		frameQs    = 64
+		valueBytes = 64
+	)
+	st := dido.NewStore(dido.StoreConfig{MemoryBytes: 64 << 20})
+	val := make([]byte, valueBytes)
+	keyName := make([][]byte, keys)
+	for i := 0; i < keys; i++ {
+		keyName[i] = []byte(fmt.Sprintf("bench-key-%06d", i))
+		if err := st.Set(keyName[i], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	opts := dido.ServerOptions{}
+	if pipelined {
+		opts.Pipeline = &dido.PipelineOptions{
+			BatchInterval: 100 * time.Microsecond,
+			Provider: &pipeline.StaticProvider{
+				Config:   pipeline.Config{GPUDepth: 0},
+				Interval: 100 * time.Microsecond,
+				MinBatch: pipeline.DefaultLiveMinBatch,
+				MaxBatch: pipeline.DefaultLiveMaxBatch,
+			},
+		}
+	}
+	srv := dido.NewServerOpts(st, opts)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ServeRESP("127.0.0.1:0") }()
+	for srv.RESPAddr() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	addr := srv.RESPAddr().String()
+	defer func() {
+		srv.Close()
+		if err := <-errc; err != nil {
+			b.Fatal(err)
+		}
+	}()
+
+	b.SetParallelism(32)
+	var cursor atomic.Int64
+	var busyQueries atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c, err := frontend.DialRESP(addr, 10*time.Second)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer c.Close()
+		qs := make([]dido.Query, frameQs)
+		seq := int(cursor.Add(1)) * 7919
+		for pb.Next() {
+			for i := range qs {
+				k := keyName[(seq+i)%keys]
+				if i%20 == 19 { // 5% SET
+					qs[i] = dido.Query{Op: dido.OpSet, Key: k, Value: val}
+				} else {
+					qs[i] = dido.Query{Op: dido.OpGet, Key: k}
+				}
+			}
+			seq += frameQs
+			resps, err := c.Do(qs)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			// Per-conn admission sheds individual frames with -BUSY rather
+			// than failing the whole round trip; exclude shed queries from
+			// the served count the way the UDP harness excludes ErrBusy.
+			for _, r := range resps {
+				if r.Status == dido.StatusBusy {
+					busyQueries.Add(1)
+				}
+			}
+		}
+	})
+	b.StopTimer()
+	served := float64(b.N)*frameQs - float64(busyQueries.Load())
+	b.ReportMetric(served/b.Elapsed().Seconds()/1000, "kqops")
+	if n := busyQueries.Load(); n > 0 {
+		b.Logf("%d of %d queries shed with -BUSY", n, int64(b.N)*frameQs)
+	}
+	if ps, ok := srv.PipelineStats(); ok && ps.Batches > 0 {
+		b.ReportMetric(float64(ps.Queries)/float64(ps.Batches), "q/batch")
+	}
+}
+
+func BenchmarkServeRESPPerFrame(b *testing.B)  { benchmarkServeRESP(b, false) }
+func BenchmarkServeRESPPipelined(b *testing.B) { benchmarkServeRESP(b, true) }
 
 // BenchmarkServePipelinedObserved is BenchmarkServePipelined with the full
 // observability layer attached: slow-query log on every frame completion and

@@ -1,6 +1,8 @@
 // Command dido-loadgen drives a dido-server with one of the paper's 24
 // standard workloads over UDP, batching queries per frame the way the
-// evaluation does (§V-A), and reports achieved throughput.
+// evaluation does (§V-A), and reports achieved throughput. With -resp the
+// same workloads drive the TCP/RESP2 frontend instead, pipelining one
+// command per query so a batch still round-trips on one write.
 //
 // The client retries lost frames with exponential backoff (-timeout,
 // -retries, -backoff) and tolerates overload shedding: StatusBusy rounds are
@@ -37,11 +39,20 @@ import (
 
 	"repro"
 	"repro/internal/faults"
+	"repro/internal/frontend"
 	"repro/internal/workload"
 )
 
+// kvClient is the slice of the UDP and RESP clients the driver loop needs.
+type kvClient interface {
+	Do([]dido.Query) ([]dido.Response, error)
+	Close() error
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:11311", "server UDP address")
+	addr := flag.String("addr", "127.0.0.1:11311", "server address (UDP binary, or TCP RESP with -resp)")
+	resp := flag.Bool("resp", false, "drive the TCP/RESP2 frontend instead of the UDP binary protocol")
+	assertHitRate := flag.Float64("assert-min-hit-rate", 0, "exit non-zero if the final GET hit rate is below this (0 disables)")
 	wl := flag.String("workload", "K16-G95-U", "standard workload name (see README)")
 	dur := flag.Duration("duration", 10*time.Second, "run duration")
 	batch := flag.Int("batch", 128, "queries per frame")
@@ -85,6 +96,10 @@ func main() {
 	}
 	var injector *faults.Conn
 	if profile != (faults.Profile{}) {
+		if *resp {
+			fmt.Fprintln(os.Stderr, "-fault-* flags inject on the UDP socket and cannot combine with -resp")
+			os.Exit(2)
+		}
 		opts.WrapConn = func(conn *net.UDPConn) dido.ClientConn {
 			injector = faults.Wrap(conn, faults.Symmetric(*faultSeed, profile))
 			return injector
@@ -93,10 +108,23 @@ func main() {
 			*faultDrop, *faultDup, *faultReorder, *faultCorrupt, *faultDelay, *faultSeed)
 	}
 
-	c, err := dido.DialOpts(*addr, opts)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dial:", err)
-		os.Exit(1)
+	var c kvClient
+	var udpClient *dido.Client
+	if *resp {
+		rc, err := frontend.DialRESP(*addr, *timeout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dial resp:", err)
+			os.Exit(1)
+		}
+		c = rc
+	} else {
+		var err error
+		udpClient, err = dido.DialOpts(*addr, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dial:", err)
+			os.Exit(1)
+		}
+		c = udpClient
 	}
 	defer c.Close()
 
@@ -170,6 +198,13 @@ func main() {
 		}
 		sent += uint64(len(qs))
 		for i, r := range resps {
+			// RESP sheds per command batch in-band; skip busy replies so the
+			// hit rate reflects answered GETs only (UDP busy rounds retry
+			// inside Do and never reach here).
+			if r.Status == dido.StatusBusy {
+				failedBusy++
+				continue
+			}
 			if qs[i].Op != dido.OpGet {
 				continue
 			}
@@ -181,13 +216,21 @@ func main() {
 		}
 	}
 	elapsed := time.Since(start)
+	hitRate := float64(hits) / float64(maxU(hits+misses, 1))
 	fmt.Printf("sent %d queries in %v: %.1f KOPS, GET hit rate %.3f\n",
 		sent, elapsed.Round(time.Millisecond),
-		float64(sent)/elapsed.Seconds()/1000,
-		float64(hits)/float64(maxU(hits+misses, 1)))
-	cs := c.Stats()
-	fmt.Printf("resilience: retries=%d timeouts=%d busy-rounds=%d failed[busy=%d timeout=%d]\n",
-		cs.Retries, cs.Timeouts, cs.BusyRounds, failedBusy, failedTimeout)
+		float64(sent)/elapsed.Seconds()/1000, hitRate)
+	if udpClient != nil {
+		cs := udpClient.Stats()
+		fmt.Printf("resilience: retries=%d timeouts=%d busy-rounds=%d failed[busy=%d timeout=%d]\n",
+			cs.Retries, cs.Timeouts, cs.BusyRounds, failedBusy, failedTimeout)
+	} else {
+		fmt.Printf("resilience: failed[busy=%d timeout=%d]\n", failedBusy, failedTimeout)
+	}
+	if *assertHitRate > 0 && hitRate < *assertHitRate {
+		fmt.Fprintf(os.Stderr, "GET hit rate %.3f below required %.3f\n", hitRate, *assertHitRate)
+		os.Exit(1)
+	}
 	if injector != nil {
 		fs := injector.Stats()
 		fmt.Printf("faults injected: drop=%d dup=%d reorder=%d corrupt=%d delayed=%d\n",

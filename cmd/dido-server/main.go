@@ -37,13 +37,16 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:11311", "UDP listen address (binary batched protocol)")
+	respAddr := flag.String("resp", "", "optional TCP listen address for the RESP2 (Redis) protocol")
 	textAddr := flag.String("text", "", "optional TCP listen address for the memcached ASCII protocol")
 	mem := flag.Int64("mem", 256<<20, "key-value arena bytes")
 	shards := flag.Int("shards", 0, "store shards (power of two, 0 = 1; divides the arena budget)")
 	statsEvery := flag.Duration("stats-interval", 10*time.Second, "stats print interval (0 disables)")
 	maxInflight := flag.Int("max-inflight", dido.DefaultMaxInFlight, "frames processed concurrently before shedding with StatusBusy")
 	replyCache := flag.Int("reply-cache", dido.DefaultReplyCacheSize, "retried-request reply cache entries (negative disables)")
-	maxSessions := flag.Int("text-max-sessions", 0, "text protocol session budget (0 = unlimited)")
+	maxSessions := flag.Int("text-max-sessions", 0, "text protocol session budget (0 = share -max-conns with the RESP frontend)")
+	maxConns := flag.Int("max-conns", 0, "stream connection budget across RESP + text frontends (0 = default 1024, negative = unlimited)")
+	respInflight := flag.Int("resp-conn-inflight", 0, "per-RESP-connection in-flight command-batch cap before shedding with -BUSY (0 = default)")
 
 	pipelineMode := flag.String("pipeline", "off", "serving path: off = goroutine per frame, on = batched task-granular pipeline")
 	batchInterval := flag.Duration("batch-interval", 500*time.Microsecond, "pipeline: max wait before a partial batch executes")
@@ -73,10 +76,32 @@ func main() {
 	faultCorrupt := flag.Float64("fault-corrupt", 0, "inject: datagram corruption rate [0,1]")
 	faultDelay := flag.Duration("fault-delay", 0, "inject: per-datagram delay")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed (deterministic)")
+
+	faultConnStallRate := flag.Float64("fault-conn-stall-rate", 0, "inject: per-read/write stall rate on stream conns [0,1]")
+	faultConnStall := flag.Duration("fault-conn-stall", 0, "inject: stream stall duration (with -fault-conn-stall-rate)")
+	faultConnCorrupt := flag.Float64("fault-conn-corrupt", 0, "inject: stream read corruption rate [0,1]")
+	faultConnShort := flag.Float64("fault-conn-short", 0, "inject: stream short-read (torn command) rate [0,1]")
 	flag.Parse()
 
 	st := dido.NewStore(dido.StoreConfig{MemoryBytes: *mem, Shards: *shards, HotKeys: *hotKeys})
-	opts := dido.ServerOptions{MaxInFlight: *maxInflight, ReplyCacheSize: *replyCache}
+	opts := dido.ServerOptions{
+		MaxInFlight:      *maxInflight,
+		ReplyCacheSize:   *replyCache,
+		MaxConns:         *maxConns,
+		RESPConnInFlight: *respInflight,
+	}
+	streamFaults := faults.StreamConfig{
+		Seed:        *faultSeed,
+		StallRate:   *faultConnStallRate,
+		Stall:       *faultConnStall,
+		CorruptRate: *faultConnCorrupt,
+		ShortRate:   *faultConnShort,
+	}
+	if streamFaults.StallRate > 0 || streamFaults.CorruptRate > 0 || streamFaults.ShortRate > 0 {
+		opts.WrapStreamConn = func(c net.Conn) net.Conn { return faults.WrapStream(c, streamFaults) }
+		log.Printf("stream fault injection armed: stall=%.2f×%v corrupt=%.2f short=%.2f seed=%d",
+			*faultConnStallRate, *faultConnStall, *faultConnCorrupt, *faultConnShort, *faultSeed)
+	}
 	if *walDir != "" {
 		dopts := &dido.DurabilityOptions{Dir: *walDir, SnapshotInterval: *snapInterval}
 		switch *walSync {
@@ -170,6 +195,18 @@ func main() {
 	log.Printf("dido-server listening on %s (arena %d MB, max-inflight %d, pipeline=%s adapt=%v)",
 		srv.Addr(), *mem>>20, *maxInflight, *pipelineMode, *adapt)
 
+	if *respAddr != "" {
+		go func() {
+			if err := srv.ServeRESP(*respAddr); err != nil {
+				log.Fatalf("resp serve: %v", err)
+			}
+		}()
+		for srv.RESPAddr() == nil {
+			time.Sleep(time.Millisecond)
+		}
+		log.Printf("RESP2 (Redis) protocol on %s (tcp; GET/SET/DEL/MGET/PING)", srv.RESPAddr())
+	}
+
 	var admin *obs.Admin
 	if *adminAddr != "" {
 		admin = obs.NewAdmin(obs.AdminOptions{
@@ -190,7 +227,14 @@ func main() {
 	var textSrv *dido.TextServer
 	if *textAddr != "" {
 		textSrv = dido.NewTextServer(st)
-		textSrv.MaxSessions = *maxSessions
+		if *maxSessions > 0 {
+			textSrv.MaxSessions = *maxSessions
+		} else {
+			// Share one connection budget with the RESP frontend so a flood on
+			// either protocol sheds globally.
+			textSrv.Gate = srv.ConnGate()
+		}
+		srv.AttachFrontendStats(textSrv)
 		go func() {
 			if err := textSrv.Serve(*textAddr); err != nil {
 				log.Fatalf("text serve: %v", err)

@@ -1,0 +1,222 @@
+// Package frontend is the server's transport layer: each Frontend owns one
+// listening socket, its wire framing, and response delivery, and feeds parsed
+// frames to a protocol-independent Core that owns admission, at-most-once
+// dedupe, durability commit-before-ack, and per-frame vs pipelined execution.
+//
+// The split follows the paper's reading of RV/PP (receive/parse) as pipeline
+// tasks rather than server plumbing: a frontend is exactly the RV/PP producer
+// plus the SD (send) consumer for one protocol, and everything between those
+// tasks is shared. The UDP binary protocol, the RESP2 TCP protocol and the
+// memcached text protocol are three implementations over one core instead of
+// three servers.
+//
+// Contract (DESIGN.md §5.15): for every Frame a frontend hands to
+// Core.Admit/Submit, the core calls exactly one terminal delivery on the
+// frame's Responder — Deliver (success), Busy (shed) or Fail (poisoned or
+// durability-dropped) — followed by exactly one Release. Stream frontends
+// rely on that accounting to keep per-connection reply ordering and buffer
+// lifetimes correct; the core relies on Deliver running only after the
+// durability tier committed the frame's records (commit-before-ack).
+package frontend
+
+import (
+	"net"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/stats"
+)
+
+// Frame is one parsed request travelling between a frontend and the core: a
+// batch of queries plus the identity the core needs for dedupe and durability.
+// Frames are pooled by their owning frontend; the core must not retain one
+// past Release.
+type Frame struct {
+	// Queries is the parsed query batch. It aliases frontend-owned buffers
+	// and is valid until Release.
+	Queries []proto.Query
+	// ReqID is the client's retry-stable request ID (0 = none; the frame is
+	// then not deduplicated).
+	ReqID uint64
+	// AKey is the client's memoized address key for the reply cache. Empty
+	// disables dedupe for the frame (stream transports get at-most-once from
+	// the connection itself).
+	AKey string
+	// Tracked is set by the core when the frame holds an in-flight marker in
+	// the reply cache (Admit outcome); the core clears it on finish/abort.
+	Tracked bool
+	// Start is the admission timestamp when the core has a slow-query log
+	// attached (zero otherwise).
+	Start time.Time
+	// ParseNanos is the frontend's measured RV/PP cost, feeding the pipeline's
+	// adaptation profile when the core asked for measurement.
+	ParseNanos int64
+	// Units holds the encoded response units once Encode ran (the pipelined
+	// path encodes before batched delivery; the reply cache retains them, so
+	// they are freshly allocated and never pooled).
+	Units [][]byte
+	// R is the responder that delivers this frame's outcome — always the
+	// frame's owning frontend.
+	R Responder
+	// Ctx is the frontend's private per-frame state.
+	Ctx any
+}
+
+// reset clears the core-facing fields before a frame returns to its pool.
+// Frontend-private state (Ctx, R) survives across reuses.
+func (f *Frame) reset() {
+	f.Queries = nil
+	f.ReqID = 0
+	f.AKey = ""
+	f.Tracked = false
+	f.Start = time.Time{}
+	f.ParseNanos = 0
+	f.Units = nil
+}
+
+// Responder is the delivery half of a frontend: how the core answers a frame.
+// Exactly one of Deliver, Busy or Fail runs per frame, then exactly one
+// Release. All methods must be safe for concurrent use across frames (the
+// per-frame path answers from many goroutines, the pipelined path from
+// concurrent batch completions).
+type Responder interface {
+	// Encode renders resps into the frame's wire units. The returned slices
+	// are freshly allocated: the core's reply cache and WAL REPLY records
+	// retain them past Release.
+	Encode(f *Frame, resps []proto.Response) [][]byte
+	// Deliver sends encoded units for one frame. The returned ok gates the
+	// per-frame path's reply-cache fill (a failed send must not cache a reply
+	// the client never saw).
+	Deliver(f *Frame, units [][]byte) bool
+	// DeliverBatch sends one completed pipeline batch's frames (each with
+	// f.Units already encoded) in as few kernel crossings as the transport
+	// allows — sendmmsg for UDP, one coalesced write per connection for TCP.
+	DeliverBatch(fs []*Frame)
+	// Busy answers a shed frame with per-query busy errors so the client
+	// backs off instead of timing out. Never cached by the core.
+	Busy(f *Frame)
+	// Fail answers a frame whose execution produced no usable response set
+	// (poisoned batch, failed WAL commit). Datagram transports send nothing —
+	// the client times out and retries; stream transports must emit
+	// per-command errors to keep the connection's ordered reply stream in
+	// sync.
+	Fail(f *Frame, reason string)
+	// Release returns the frame and its buffers to the frontend. Runs exactly
+	// once per frame, after its terminal delivery (and after the core is done
+	// reading Queries — WAL records and the slow-query log alias them).
+	Release(f *Frame)
+}
+
+// Core is the protocol-independent server surface a frontend feeds.
+// *dido.Server implements it.
+type Core interface {
+	// Admit runs pre-parse admission on a frame (reply-cache dedupe via
+	// AKey/ReqID, then the in-flight token gate). It returns true when the
+	// caller should parse and Submit the frame; false when the core already
+	// answered and released it (replayed, duplicate-dropped, or shed).
+	Admit(f *Frame) bool
+	// Submit executes an admitted, parsed frame on the configured serving
+	// path. The core releases the frame when done.
+	Submit(f *Frame)
+	// Cancel aborts an admitted frame whose payload failed to parse: the core
+	// counts the malformed drop, returns the admission slot, and releases the
+	// frame. No delivery runs — datagram-only (a stream frontend must turn
+	// parse errors into in-band error replies instead).
+	Cancel(f *Frame)
+	// Malformed counts a frame dropped before admission (bad header).
+	Malformed()
+	// Draining reports whether the core is shutting down; frontends exit
+	// their read loops on it.
+	Draining() bool
+}
+
+// FrameSource is the lifecycle half of a frontend. The owning server calls
+// Listen, then Run on a dedicated goroutine; on shutdown it calls Interrupt
+// on every frontend (stopping frame production), drains the core, and only
+// then Shutdown (tearing sockets down so late responses still go out).
+type FrameSource interface {
+	// Listen binds the transport; Addr is valid afterwards.
+	Listen(addr string) error
+	// Run reads, parses and submits frames until Interrupt or a fatal socket
+	// error. Blocks.
+	Run(core Core) error
+	// Interrupt stops frame production and returns only once no further
+	// Admit/Submit call can happen (read loops exited). The transport stays
+	// up for response delivery.
+	Interrupt()
+	// Shutdown tears the transport down. Called after the core drained.
+	Shutdown()
+	// Addr is the bound address (nil before Listen).
+	Addr() net.Addr
+}
+
+// Stats is a per-frontend counter snapshot for the observability surface.
+type Stats struct {
+	// Frames counts frames submitted to the core; Malformed counts framing
+	// and parse rejections at this frontend.
+	Frames, Malformed uint64
+	// BytesIn and BytesOut count transport payload bytes.
+	BytesIn, BytesOut uint64
+	// ConnsAccepted and ConnsShed count stream connections admitted and
+	// rejected over the connection budget; ConnsActive is the current count.
+	// All zero for datagram transports.
+	ConnsAccepted, ConnsShed uint64
+	ConnsActive              int
+}
+
+// StatsSource is implemented by every frontend (and the text server) so the
+// server can render per-frontend metrics with a frontend="<name>" label.
+type StatsSource interface {
+	Name() string
+	FrontendStats() Stats
+}
+
+// Frontend is a full transport implementation: lifecycle, delivery and stats.
+type Frontend interface {
+	FrameSource
+	Responder
+	StatsSource
+}
+
+// Gate is the connection-scale admission shared by the server's stream
+// frontends (RESP, memcached text): a bounded budget of concurrently open
+// connections, shedding beyond it. One Gate serves several frontends so a
+// flood on one protocol sheds globally, and its counters surface in
+// ServerStats alongside the frame-level shed accounting.
+type Gate struct {
+	max      int64
+	active   atomic.Int64
+	accepted stats.Counter
+	shed     stats.Counter
+}
+
+// NewGate returns a connection gate admitting at most max concurrent
+// connections; max <= 0 means unlimited.
+func NewGate(max int) *Gate {
+	return &Gate{max: int64(max)}
+}
+
+// Acquire claims a connection slot, reporting false (and counting the shed)
+// when the budget is exhausted.
+func (g *Gate) Acquire() bool {
+	if n := g.active.Add(1); g.max > 0 && n > g.max {
+		g.active.Add(-1)
+		g.shed.Inc()
+		return false
+	}
+	g.accepted.Inc()
+	return true
+}
+
+// Release returns a slot claimed by Acquire.
+func (g *Gate) Release() { g.active.Add(-1) }
+
+// Active is the number of currently held slots.
+func (g *Gate) Active() int { return int(g.active.Load()) }
+
+// Accepted is the total connections admitted.
+func (g *Gate) Accepted() uint64 { return g.accepted.Load() }
+
+// Shed is the total connections rejected over the budget.
+func (g *Gate) Shed() uint64 { return g.shed.Load() }

@@ -1,0 +1,243 @@
+package frontend
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// RESPClient is a minimal RESP2 client for the in-repo load generator, e2e
+// tests and benchmarks (redis-cli works too; this avoids the dependency). It
+// pipelines one command per query and reads replies in order, so one Do call
+// round-trips a whole batch on one write.
+//
+// Not safe for concurrent use; open one client per goroutine.
+type RESPClient struct {
+	nc      net.Conn
+	br      *bufio.Reader
+	wbuf    []byte
+	timeout time.Duration
+}
+
+// DialRESP connects to a RESP server. timeout bounds the dial and each Do
+// round trip (0 = 2s).
+func DialRESP(addr string, timeout time.Duration) (*RESPClient, error) {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) //nolint:errcheck
+	}
+	return &RESPClient{nc: nc, br: bufio.NewReaderSize(nc, 64<<10), timeout: timeout}, nil
+}
+
+// Close closes the connection.
+func (c *RESPClient) Close() error { return c.nc.Close() }
+
+// Do pipelines one RESP command per query (GET/SET/DEL) in a single write and
+// maps the in-order replies back onto proto responses: +OK/:n → StatusOK,
+// $-1 → StatusNotFound, -BUSY → StatusBusy, other errors → StatusError.
+func (c *RESPClient) Do(queries []proto.Query) ([]proto.Response, error) {
+	c.wbuf = c.wbuf[:0]
+	for _, q := range queries {
+		switch q.Op {
+		case proto.OpGet:
+			c.wbuf = appendRESPCommand(c.wbuf, [][]byte{[]byte("GET"), q.Key})
+		case proto.OpSet:
+			c.wbuf = appendRESPCommand(c.wbuf, [][]byte{[]byte("SET"), q.Key, q.Value})
+		case proto.OpDelete:
+			c.wbuf = appendRESPCommand(c.wbuf, [][]byte{[]byte("DEL"), q.Key})
+		default:
+			return nil, fmt.Errorf("resp client: unsupported op %v", q.Op)
+		}
+	}
+	if err := c.write(c.wbuf); err != nil {
+		return nil, err
+	}
+	c.nc.SetReadDeadline(time.Now().Add(c.timeout)) //nolint:errcheck
+	resps := make([]proto.Response, len(queries))
+	for i := range queries {
+		v, err := c.readReply()
+		if err != nil {
+			return nil, err
+		}
+		resps[i] = v.toResponse()
+	}
+	return resps, nil
+}
+
+// MGet issues one MGET for keys and maps the array reply ($-1 → NotFound).
+func (c *RESPClient) MGet(keys ...[]byte) ([]proto.Response, error) {
+	args := make([][]byte, 0, len(keys)+1)
+	args = append(args, []byte("MGET"))
+	args = append(args, keys...)
+	v, err := c.Cmd(args...)
+	if err != nil {
+		return nil, err
+	}
+	if v.typ == '-' {
+		return nil, fmt.Errorf("resp client: MGET error: %s", v.str)
+	}
+	if v.typ != '*' {
+		return nil, fmt.Errorf("resp client: MGET: unexpected reply type %q", v.typ)
+	}
+	resps := make([]proto.Response, len(v.arr))
+	for i, e := range v.arr {
+		resps[i] = e.toResponse()
+	}
+	return resps, nil
+}
+
+// Ping round-trips a PING.
+func (c *RESPClient) Ping() error {
+	v, err := c.Cmd([]byte("PING"))
+	if err != nil {
+		return err
+	}
+	if v.typ != '+' || string(v.str) != "PONG" {
+		return fmt.Errorf("resp client: unexpected PING reply %q %q", v.typ, v.str)
+	}
+	return nil
+}
+
+// Cmd sends one raw command and returns its reply value.
+func (c *RESPClient) Cmd(args ...[]byte) (respValue, error) {
+	if err := c.write(appendRESPCommand(c.wbuf[:0], args)); err != nil {
+		return respValue{}, err
+	}
+	c.nc.SetReadDeadline(time.Now().Add(c.timeout)) //nolint:errcheck
+	return c.readReply()
+}
+
+func (c *RESPClient) write(buf []byte) error {
+	c.nc.SetWriteDeadline(time.Now().Add(c.timeout)) //nolint:errcheck
+	_, err := c.nc.Write(buf)
+	return err
+}
+
+// appendRESPCommand encodes one command as an array of bulk strings.
+func appendRESPCommand(dst []byte, args [][]byte) []byte {
+	dst = append(dst, '*')
+	dst = appendRESPIntBytes(dst, int64(len(args)))
+	dst = append(dst, '\r', '\n')
+	for _, a := range args {
+		dst = appendRESPBulk(dst, a)
+	}
+	return dst
+}
+
+// respValue is one decoded RESP reply.
+type respValue struct {
+	typ byte        // '+', '-', ':', '$', '*'
+	str []byte      // simple/error/bulk payload (nil for null bulk)
+	n   int64       // integer value
+	arr []respValue // array elements
+}
+
+// Type returns the reply's RESP type byte ('+', '-', ':', '$', '*').
+func (v respValue) Type() byte { return v.typ }
+
+// Err returns the error text of a '-' reply, nil for any other type.
+func (v respValue) Err() []byte {
+	if v.typ != '-' {
+		return nil
+	}
+	return v.str
+}
+
+// toResponse maps a reply onto the binary protocol's response space.
+func (v respValue) toResponse() proto.Response {
+	switch v.typ {
+	case '+', ':':
+		return proto.Response{Status: proto.StatusOK}
+	case '$':
+		if v.str == nil {
+			return proto.Response{Status: proto.StatusNotFound}
+		}
+		return proto.Response{Status: proto.StatusOK, Value: v.str}
+	case '-':
+		if bytes.HasPrefix(v.str, []byte("BUSY")) {
+			return proto.Response{Status: proto.StatusBusy}
+		}
+		return proto.Response{Status: proto.StatusError, Value: v.str}
+	default:
+		return proto.Response{Status: proto.StatusError}
+	}
+}
+
+func (c *RESPClient) readReply() (respValue, error) {
+	line, err := c.readLine()
+	if err != nil {
+		return respValue{}, err
+	}
+	if len(line) == 0 {
+		return respValue{}, fmt.Errorf("resp client: empty reply line")
+	}
+	typ, rest := line[0], line[1:]
+	switch typ {
+	case '+', '-':
+		return respValue{typ: typ, str: append([]byte(nil), rest...)}, nil
+	case ':':
+		n, ok := respInt(rest)
+		if !ok {
+			return respValue{}, fmt.Errorf("resp client: bad integer %q", rest)
+		}
+		return respValue{typ: typ, n: n}, nil
+	case '$':
+		blen, ok := respInt(rest)
+		if !ok || blen > maxRESPBulk {
+			return respValue{}, fmt.Errorf("resp client: bad bulk length %q", rest)
+		}
+		if blen < 0 {
+			return respValue{typ: typ}, nil // null bulk
+		}
+		buf := make([]byte, blen+2)
+		if _, err := io.ReadFull(c.br, buf); err != nil {
+			return respValue{}, err
+		}
+		if buf[blen] != '\r' || buf[blen+1] != '\n' {
+			return respValue{}, fmt.Errorf("resp client: bulk missing CRLF")
+		}
+		return respValue{typ: typ, str: buf[:blen]}, nil
+	case '*':
+		alen, ok := respInt(rest)
+		if !ok || alen > maxRESPArgs {
+			return respValue{}, fmt.Errorf("resp client: bad array length %q", rest)
+		}
+		if alen < 0 {
+			return respValue{typ: typ}, nil
+		}
+		arr := make([]respValue, alen)
+		for i := range arr {
+			e, err := c.readReply()
+			if err != nil {
+				return respValue{}, err
+			}
+			arr[i] = e
+		}
+		return respValue{typ: typ, arr: arr}, nil
+	default:
+		return respValue{}, fmt.Errorf("resp client: unknown reply type %q", typ)
+	}
+}
+
+func (c *RESPClient) readLine() ([]byte, error) {
+	line, err := c.br.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	line = line[:len(line)-1]
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	return line, nil
+}

@@ -1,0 +1,397 @@
+package frontend
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/stats"
+	"repro/internal/udpbatch"
+)
+
+// UDPOptions configures the binary-protocol UDP frontend.
+type UDPOptions struct {
+	// WrapConn wraps the listening socket before serving — the fault
+	// injector's hook.
+	WrapConn func(net.PacketConn) net.PacketConn
+	// Batched drains bursts of datagrams per kernel crossing (recvmmsg where
+	// available); set when the core serves the pipelined path, mirroring the
+	// batched response sends.
+	Batched bool
+	// Dedupe computes the frame's reply-cache address key (v2 frames with a
+	// request ID); set when the core has a reply cache.
+	Dedupe bool
+	// MeasureParse times RV/PP per frame for the adaptation profile.
+	MeasureParse bool
+	// StampStart records the admission time per frame (slow-query log).
+	StampStart bool
+}
+
+// UDP is the batched binary protocol over a UDP socket: one datagram per
+// request frame, one or more per response. This is the serve loop that used
+// to live inside dido.Server, behind the Frontend interface.
+type UDP struct {
+	opts UDPOptions
+
+	mu sync.Mutex
+	pc net.PacketConn
+
+	started atomic.Bool
+	runDone chan struct{}
+
+	bufs   sync.Pool // []byte of proto.MaxFrameBytes
+	frames sync.Pool // *udpFrame
+	addrs  addrCache
+	sender *udpbatch.Sender
+
+	nframes   stats.Counter
+	malformed stats.Counter
+	bytesIn   stats.Counter
+	bytesOut  stats.Counter
+}
+
+// udpFrame is the UDP-private context of one frame: the receive buffer the
+// queries alias, the peer address, and the v2 framing bits the encoder needs.
+type udpFrame struct {
+	f       Frame
+	buf     []byte
+	raddr   net.Addr
+	v2      bool
+	count   int
+	queries []proto.Query
+}
+
+// NewUDP returns an unbound UDP frontend.
+func NewUDP(opts UDPOptions) *UDP {
+	u := &UDP{opts: opts, runDone: make(chan struct{})}
+	u.bufs.New = func() any { return make([]byte, proto.MaxFrameBytes) }
+	u.frames.New = func() any {
+		uf := &udpFrame{}
+		uf.f.R = u
+		uf.f.Ctx = uf
+		return uf
+	}
+	return u
+}
+
+func (u *UDP) Name() string { return "udp" }
+
+// Listen binds the socket (wrapped when configured). Addr is valid after.
+func (u *UDP) Listen(addr string) error {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return err
+	}
+	var pc net.PacketConn = conn
+	if u.opts.WrapConn != nil {
+		pc = u.opts.WrapConn(pc)
+	}
+	u.mu.Lock()
+	u.pc = pc
+	u.sender = udpbatch.NewSender(pc)
+	u.mu.Unlock()
+	return nil
+}
+
+// Addr returns the bound address, or nil before Listen.
+func (u *UDP) Addr() net.Addr {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.pc == nil {
+		return nil
+	}
+	return u.pc.LocalAddr()
+}
+
+// Run is the read/admit/dispatch loop. It exits nil once core.Draining and
+// the socket read unblocks (Interrupt sets a read deadline); the socket stays
+// up so draining frames still answer, until Shutdown.
+func (u *UDP) Run(core Core) error {
+	u.started.Store(true)
+	defer close(u.runDone)
+	if u.opts.Batched {
+		return u.runBatched(core)
+	}
+	for {
+		buf := u.bufs.Get().([]byte)
+		n, raddr, err := u.pc.ReadFrom(buf)
+		if err != nil {
+			u.bufs.Put(buf) //nolint:staticcheck // fixed-size buffer
+			if done, serr := u.readErr(core, err); done {
+				return serr
+			}
+			continue
+		}
+		u.handleDatagram(core, buf, n, raddr)
+	}
+}
+
+// runBatched is the pipelined-path variant of Run: it drains bursts of
+// datagrams per kernel crossing (recvmmsg where available) before running the
+// same per-datagram admission.
+func (u *UDP) runBatched(core Core) error {
+	rcv := udpbatch.NewReceiver(u.pc)
+	const burst = 16
+	bufs := make([][]byte, burst)
+	addrs := make([]net.Addr, burst)
+	sizes := make([]int, burst)
+	for {
+		for i := range bufs {
+			if bufs[i] == nil {
+				bufs[i] = u.bufs.Get().([]byte)
+			}
+		}
+		got, err := rcv.Recv(bufs, addrs, sizes)
+		if err != nil {
+			if done, serr := u.readErr(core, err); done {
+				for _, buf := range bufs {
+					if buf != nil {
+						u.bufs.Put(buf) //nolint:staticcheck // fixed-size buffer
+					}
+				}
+				return serr
+			}
+			continue
+		}
+		for i := 0; i < got; i++ {
+			buf := bufs[i]
+			bufs[i] = nil // ownership moves to the frame
+			u.handleDatagram(core, buf, sizes[i], addrs[i])
+		}
+	}
+}
+
+// readErr classifies a receive error: exit cleanly when draining, ride out
+// transient timeouts, fail on anything else.
+func (u *UDP) readErr(core Core, err error) (done bool, _ error) {
+	if core.Draining() {
+		return true, nil
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return false, nil
+	}
+	return true, err
+}
+
+// handleDatagram runs one datagram through header check, core admission,
+// parse, and submission. It takes ownership of buf.
+func (u *UDP) handleDatagram(core Core, buf []byte, n int, raddr net.Addr) {
+	u.bytesIn.Add(uint64(n))
+	count, reqID, v2, herr := proto.FrameHeader(buf[:n])
+	if herr != nil {
+		// Malformed or corrupted frame: drop, as a UDP service must.
+		u.malformed.Inc()
+		core.Malformed()
+		u.bufs.Put(buf) //nolint:staticcheck // fixed-size buffer
+		return
+	}
+	uf := u.frames.Get().(*udpFrame)
+	uf.buf, uf.raddr, uf.v2, uf.count = buf, raddr, v2, count
+	f := &uf.f
+	f.ReqID = reqID
+	if u.opts.Dedupe && v2 && reqID != 0 {
+		f.AKey = u.addrs.keyFor(raddr)
+	}
+	if u.opts.StampStart {
+		f.Start = time.Now()
+	}
+	if !core.Admit(f) {
+		return // replayed, duplicate-dropped or shed: core answered and released
+	}
+	var parseStart time.Time
+	if u.opts.MeasureParse {
+		parseStart = time.Now()
+	}
+	queries, _, perr := proto.ParseFrameID(buf[:n], uf.queries[:0])
+	if u.opts.MeasureParse {
+		f.ParseNanos = time.Since(parseStart).Nanoseconds()
+	}
+	if perr != nil {
+		u.malformed.Inc()
+		core.Cancel(f)
+		return
+	}
+	uf.queries = queries
+	f.Queries = queries
+	u.nframes.Inc()
+	core.Submit(f)
+}
+
+// Interrupt unblocks the read loop via a read deadline and waits for it to
+// exit, so no further frame can reach the core.
+func (u *UDP) Interrupt() {
+	u.mu.Lock()
+	pc := u.pc
+	u.mu.Unlock()
+	if pc != nil {
+		pc.SetReadDeadline(time.Now()) //nolint:errcheck
+	}
+	if u.started.Load() {
+		<-u.runDone
+	}
+}
+
+// Shutdown closes the socket. Called after the core drained so every
+// in-flight frame got its response first.
+func (u *UDP) Shutdown() {
+	u.mu.Lock()
+	pc := u.pc
+	u.pc = nil
+	u.mu.Unlock()
+	if pc != nil {
+		pc.Close()
+	}
+}
+
+// maxResponsePayload keeps each response frame within a safe UDP datagram.
+const maxResponsePayload = 60 << 10
+
+// AppendResponseFrames encodes resps split across as many datagrams as needed
+// (the client reassembles by offset), appending each encoded frame to dst.
+// The returned frames are freshly allocated: the reply cache retains them
+// across retries.
+func AppendResponseFrames(dst [][]byte, reqID uint64, v2 bool, resps []proto.Response) [][]byte {
+	start := 0
+	for {
+		end := start
+		bytes := 0
+		for end < len(resps) {
+			rlen := 5 + len(resps[end].Value)
+			if end > start && bytes+rlen > maxResponsePayload {
+				break
+			}
+			bytes += rlen
+			end++
+		}
+		if v2 {
+			dst = append(dst, proto.EncodeResponseFrameV2(nil, reqID, start, resps[start:end]))
+		} else {
+			dst = append(dst, proto.EncodeResponseFrame(nil, resps[start:end]))
+		}
+		start = end
+		if start >= len(resps) {
+			return dst
+		}
+	}
+}
+
+// Encode renders resps as v1/v2 response datagrams.
+func (u *UDP) Encode(f *Frame, resps []proto.Response) [][]byte {
+	uf := f.Ctx.(*udpFrame)
+	return AppendResponseFrames(nil, f.ReqID, uf.v2, resps)
+}
+
+// Deliver writes each unit to the frame's peer; ok is false on the first
+// write error (oversized single value or transient failure: rest dropped).
+func (u *UDP) Deliver(f *Frame, units [][]byte) bool {
+	uf := f.Ctx.(*udpFrame)
+	for _, out := range units {
+		if _, err := u.pc.WriteTo(out, uf.raddr); err != nil {
+			return false
+		}
+		u.bytesOut.Add(uint64(len(out)))
+	}
+	return true
+}
+
+// DeliverBatch transmits one completed batch's datagrams in one batched send
+// (Linux sendmmsg — the WR/SD counterpart of batching queries into frames).
+func (u *UDP) DeliverBatch(fs []*Frame) {
+	msgs := make([]udpbatch.Message, 0, len(fs))
+	total := 0
+	for _, f := range fs {
+		uf := f.Ctx.(*udpFrame)
+		for _, out := range f.Units {
+			msgs = append(msgs, udpbatch.Message{Buf: out, Addr: uf.raddr})
+			total += len(out)
+		}
+	}
+	if len(msgs) > 0 {
+		u.sender.Send(msgs)
+		u.bytesOut.Add(uint64(total))
+	}
+}
+
+// Busy answers a shed frame with one StatusBusy response per query so the
+// client learns about the overload immediately instead of timing out.
+func (u *UDP) Busy(f *Frame) {
+	uf := f.Ctx.(*udpFrame)
+	resps := make([]proto.Response, uf.count)
+	for i := range resps {
+		resps[i].Status = proto.StatusBusy
+	}
+	u.Deliver(f, u.Encode(f, resps))
+}
+
+// Fail sends nothing: a datagram client times out and retries, and the
+// cleared in-flight marker re-admits the retry.
+func (u *UDP) Fail(f *Frame, reason string) {}
+
+// Release returns the frame's receive buffer and pooled state.
+func (u *UDP) Release(f *Frame) {
+	uf := f.Ctx.(*udpFrame)
+	u.bufs.Put(uf.buf) //nolint:staticcheck // fixed-size buffer
+	uf.buf = nil
+	uf.raddr = nil
+	uf.v2 = false
+	uf.count = 0
+	if len(uf.queries) > 0 {
+		uf.queries = uf.queries[:0]
+	}
+	f.reset()
+	u.frames.Put(uf)
+}
+
+// FrontendStats snapshots the frontend's counters.
+func (u *UDP) FrontendStats() Stats {
+	return Stats{
+		Frames:    u.nframes.Load(),
+		Malformed: u.malformed.Load(),
+		BytesIn:   u.bytesIn.Load(),
+		BytesOut:  u.bytesOut.Load(),
+	}
+}
+
+// addrCache memoizes net.Addr → string conversions so the reply-cache path
+// does not allocate a fresh address string per datagram. UDP addresses are
+// keyed by their comparable netip.AddrPort form; other address types fall
+// back to String().
+type addrCache struct {
+	mu sync.Mutex
+	m  map[netip.AddrPort]string
+}
+
+// addrCacheMax bounds the memoized address set; beyond it the map is reset
+// (a full rebuild is cheaper than tracking recency for a niche overflow).
+const addrCacheMax = 4096
+
+func (ac *addrCache) keyFor(a net.Addr) string {
+	ua, ok := a.(*net.UDPAddr)
+	if !ok {
+		return a.String()
+	}
+	ap := ua.AddrPort()
+	ac.mu.Lock()
+	if s, ok := ac.m[ap]; ok {
+		ac.mu.Unlock()
+		return s
+	}
+	ac.mu.Unlock()
+	s := a.String()
+	ac.mu.Lock()
+	if ac.m == nil || len(ac.m) >= addrCacheMax {
+		ac.m = make(map[netip.AddrPort]string, 64)
+	}
+	ac.m[ap] = s
+	ac.mu.Unlock()
+	return s
+}

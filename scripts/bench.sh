@@ -1,70 +1,52 @@
 #!/usr/bin/env bash
-# bench.sh — the serving-path A/B behind the work-stealing + hot-key PR:
-# zipf(0.99) saturation with stealing off/on and the hot-key table off/on,
-# plus the uniform control where -adapt -steal should keep stealing gated
-# off. Echoes the raw `go test -bench` output and distills it into a
-# machine-readable BENCH_7.json (CI uploads it as a non-blocking artifact —
-# shared runners are far too noisy for benchmark numbers to gate merges).
+# bench.sh — the serving-path A/B behind the front-end PR: the binary UDP
+# protocol vs the TCP/RESP2 front end, each on the per-frame and batched
+# pipeline paths, same store / key space / 5%-SET mix. Echoes the raw
+# `go test -bench` output and distills it into a machine-readable
+# BENCH_8.json (CI uploads it as a non-blocking artifact — shared runners
+# are far too noisy for benchmark numbers to gate merges).
 #
 # Usage: scripts/bench.sh [out.json]
 #   BENCHTIME=3s scripts/bench.sh    # per-benchmark duration (default 3s)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_7.json}"
+OUT="${1:-BENCH_8.json}"
 BENCHTIME="${BENCHTIME:-3s}"
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench 'BenchmarkServe(Zipf|Uniform)' \
+go test -run '^$' -bench 'BenchmarkServe(PerFrame|Pipelined|RESPPerFrame|RESPPipelined)$' \
     -benchtime "$BENCHTIME" -count 1 -timeout 1200s . | tee "$RAW"
 
 awk -v host_cpus="$(nproc)" \
     -v go_version="$(go version | awk '{print $3}')" \
     -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     -v benchtime="$BENCHTIME" '
-# Result lines carry the metrics; the --- BENCH: block that follows carries
-# the b.Logf diagnostics of every retry run — last occurrence wins, which is
-# the final (longest, reported) run.
+# Result lines carry the metrics (kqops = served queries/s across all client
+# goroutines; q/batch = mean pipeline batch fill on the batched paths).
 /^BenchmarkServe/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     order[++n] = name
     ns[name] = $3
     for (i = 4; i < NF; i++) {
-        if ($(i+1) == "kqops")       kqops[name] = $i
-        if ($(i+1) == "tmax_p99_us") tmax[name]  = $i
+        if ($(i+1) == "kqops")   kqops[name] = $i
+        if ($(i+1) == "q/batch") qbatch[name] = $i
     }
-}
-/^--- BENCH: / { cur = $3; sub(/-[0-9]+$/, "", cur) }
-cur != "" && match($0, /steal\[batches=[0-9]+ chunks=[0-9]+ queries=[0-9]+\]/) {
-    s = substr($0, RSTART, RLENGTH)
-    if (match(s, /batches=[0-9]+/))  sb[cur] = substr(s, RSTART+8, RLENGTH-8)
-    if (match(s, /chunks=[0-9]+/))   sc[cur] = substr(s, RSTART+7, RLENGTH-7)
-    if (match(s, /queries=[0-9]+/))  sq[cur] = substr(s, RSTART+8, RLENGTH-8)
-}
-cur != "" && match($0, /hot=[0-9]+ of gets=[0-9]+/) {
-    s = substr($0, RSTART, RLENGTH)
-    if (match(s, /hot=[0-9]+/))  hh[cur] = substr(s, RSTART+4, RLENGTH-4)
-    if (match(s, /gets=[0-9]+/)) hg[cur] = substr(s, RSTART+5, RLENGTH-5)
 }
 END {
     printf "{\n"
-    printf "  \"issue\": 7,\n"
-    printf "  \"bench\": \"serving A/B: work stealing + hot-key fast path under zipf(0.99)\",\n"
+    printf "  \"issue\": 8,\n"
+    printf "  \"bench\": \"serving A/B: UDP binary protocol vs TCP/RESP2 front end, per-frame vs pipelined\",\n"
     printf "  \"go\": \"%s\",\n  \"commit\": \"%s\",\n", go_version, commit
     printf "  \"host_cpus\": %s,\n  \"benchtime\": \"%s\",\n", host_cpus, benchtime
     printf "  \"benchmarks\": [\n"
     for (i = 1; i <= n; i++) {
         name = order[i]
         printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns[name]
-        if (kqops[name] != "") printf ", \"kqops\": %s", kqops[name]
-        if (tmax[name]  != "") printf ", \"tmax_p99_us\": %s", tmax[name]
-        if (sb[name] != "")
-            printf ", \"steal_batches\": %s, \"stolen_chunks\": %s, \"stolen_queries\": %s", \
-                sb[name], sc[name], sq[name]
-        if (hh[name] != "")
-            printf ", \"hot_hits\": %s, \"gets\": %s", hh[name], hg[name]
+        if (kqops[name]  != "") printf ", \"kqops\": %s", kqops[name]
+        if (qbatch[name] != "") printf ", \"q_per_batch\": %s", qbatch[name]
         printf "}%s\n", (i < n ? "," : "")
     }
     printf "  ]\n}\n"

@@ -71,6 +71,15 @@ echo "== durability (-race, -count=1) =="
 go test -count=1 -race -timeout 900s ./internal/wal ./internal/snapshot ./internal/faults
 go test -count=1 -race -timeout 900s -run 'TestDurable|TestCrash' .
 
+# The transport front ends: RESP parser/framer unit + fuzz corpus, command-run
+# sealing, per-connection ordered dispatch, reply sequencing, and the
+# root-package RESP e2e (faulty conns, per-conn caps, the shared stream gate
+# with the text server) — all socket-facing concurrency, so un-cached under
+# the race detector every pass.
+echo "== frontend (-race, -count=1) =="
+go test -count=1 -race -timeout 900s ./internal/frontend
+go test -count=1 -race -timeout 900s -run 'TestServeRESP|TestTextServerSharedGate' .
+
 # Benchmark smoke: one iteration each, just proving the benchmarks still
 # compile and run (allocation regressions show up in the full bench runs).
 echo "== benchmark smoke =="
@@ -129,12 +138,37 @@ sleep 0.3
 kill "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true
 
+# RESP front-end smoke with the durability contract: a -resp -wal server takes
+# a warmed write-bearing run over TCP/RESP, is killed with SIGKILL (no drain),
+# restarts from the same directory, and an unwarmed GET-only pass over the
+# same deterministic keyspace must hit ≥99% — acked RESP SETs survive kill -9.
+echo "== RESP smoke (kill -9 recovery of acked SETs) =="
+RESP_UDP="127.0.0.1:13313"
+RESP_ADDR="127.0.0.1:13314"
+"$SMOKE_DIR/dido-server" -addr "$RESP_UDP" -resp "$RESP_ADDR" -stats-interval 0 \
+    -wal "$SMOKE_DIR/respwal" &
+SERVER_PID=$!
+sleep 0.3
+"$SMOKE_DIR/dido-loadgen" -addr "$RESP_ADDR" -resp -workload K16-G50-S -duration 1s \
+    -population 5000
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+"$SMOKE_DIR/dido-server" -addr "$RESP_UDP" -resp "$RESP_ADDR" -stats-interval 0 \
+    -wal "$SMOKE_DIR/respwal" &
+SERVER_PID=$!
+sleep 0.3
+"$SMOKE_DIR/dido-loadgen" -addr "$RESP_ADDR" -resp -workload K16-G100-U -duration 1s \
+    -population 5000 -warm=false -assert-min-hit-rate 0.99
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+
 if [ "$FUZZTIME" != "0" ]; then
     echo "== fuzz smoke ($FUZZTIME per target) =="
     go test -run='^$' -fuzz=FuzzParseFrame -fuzztime="$FUZZTIME" ./internal/proto
     go test -run='^$' -fuzz=FuzzParseResponseFrame -fuzztime="$FUZZTIME" ./internal/proto
     go test -run='^$' -fuzz=FuzzSearchBatchMatchesSearchBuf -fuzztime="$FUZZTIME" ./internal/cuckoo
     go test -run='^$' -fuzz=FuzzWALReplay -fuzztime="$FUZZTIME" ./internal/wal
+    go test -run='^$' -fuzz=FuzzRESPParse -fuzztime="$FUZZTIME" ./internal/frontend
 fi
 
 echo "== check.sh: all green =="

@@ -4,18 +4,17 @@ import (
 	"errors"
 	"math/rand"
 	"net"
-	"net/netip"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/frontend"
 	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/stats"
-	"repro/internal/udpbatch"
 )
 
-// Backend is the store surface the UDP server serves. *Store implements it;
+// Backend is the store surface the server serves. *Store implements it;
 // tests and the fault injector substitute their own.
 type Backend interface {
 	Get(key []byte) ([]byte, bool)
@@ -39,14 +38,26 @@ type ServerOptions struct {
 	// latency of admitted frames bounded under overload. 0 means
 	// DefaultMaxInFlight.
 	MaxInFlight int
+	// MaxConns bounds concurrently open stream connections across all stream
+	// frontends (RESP, memcached text when it shares the gate): connection-
+	// scale admission, the stream analogue of MaxInFlight. 0 means
+	// DefaultMaxConns; negative disables the limit.
+	MaxConns int
+	// RESPConnInFlight caps frames in flight per RESP connection; beyond it
+	// the frontend sheds with -BUSY without consuming MaxInFlight tokens.
+	// 0 means the frontend default (16); negative disables the cap.
+	RESPConnInFlight int
 	// ReplyCacheSize bounds how many recent request replies are retained
 	// (per client address + request ID) to answer retried frames without
 	// re-executing them. 0 means DefaultReplyCacheSize; negative disables
 	// the cache.
 	ReplyCacheSize int
-	// WrapConn, when set, wraps the listening socket before serving. This
+	// WrapConn, when set, wraps the UDP listening socket before serving. This
 	// is the hook the fault injector (internal/faults) uses.
 	WrapConn func(net.PacketConn) net.PacketConn
+	// WrapStreamConn, when set, wraps each accepted RESP connection — the
+	// stream-side fault injector hook (stalls, corruption, torn reads).
+	WrapStreamConn func(net.Conn) net.Conn
 	// Pipeline, when non-nil, serves admitted frames through the batched
 	// task-granular pipeline (see server_pipeline.go) instead of one
 	// goroutine per frame. Admission, dedupe and at-most-once semantics are
@@ -67,42 +78,44 @@ type ServerOptions struct {
 // Defaults for ServerOptions zero fields.
 const (
 	DefaultMaxInFlight    = 256
+	DefaultMaxConns       = 1024
 	DefaultReplyCacheSize = 4096
 )
 
-// Server serves a Backend over UDP using the batched binary protocol: each
-// datagram carries a frame of queries (the paper batches "queries and their
-// responses in an Ethernet frame as many as possible", §V-A), and each
-// receives one or more response frames.
+// Server is the protocol-independent core of the key-value server: admission
+// (frame tokens and the connection gate), at-most-once dedupe through the
+// reply cache, durability commit-before-ack, and per-frame vs pipelined
+// execution. Transports are frontends (internal/frontend): the batched UDP
+// binary protocol (Serve), TCP/RESP2 (ServeRESP), and the memcached text
+// protocol (TextServer) all feed this one core. Server implements
+// frontend.Core; see the frontend package for the delivery contract.
 //
 // The serving path is hardened for lossy networks and overload: frames are
 // processed by a bounded pool (excess load is shed with StatusBusy), v2
 // request IDs deduplicate retried frames through a reply cache, a poisoned
-// frame cannot kill the serve loop (per-frame recover), and Close drains
-// in-flight frames before the socket is torn down.
+// frame cannot kill a serve loop (per-frame recover), and Close drains
+// in-flight frames before sockets are torn down.
 type Server struct {
 	store   Backend
 	getInto GetIntoBackend // non-nil when store implements the fast GET path
 	opts    ServerOptions
 
-	mu     sync.Mutex
-	conn   net.PacketConn
-	closed atomic.Bool
+	mu        sync.Mutex
+	fes       []frontend.Frontend    // registered, running frontends
+	udpFE     *frontend.UDP          // set by Serve
+	respFE    *frontend.RESP         // set by ServeRESP
+	statsSrcs []frontend.StatsSource // frontends + attached stream servers
+	closed    atomic.Bool
+
+	gate *frontend.Gate // connection-scale admission, shared across streams
 
 	pipe *serverPipeline // non-nil when opts.Pipeline is set
 	dur  *durability     // non-nil when opts.Durability is set
 
-	// drained closes when the serve loop has finished its graceful drain (or
-	// exited); Close waits on it before fsyncing the WAL tail.
-	drained   chan struct{}
-	drainOnce sync.Once
-
 	tokens  chan struct{}
 	wg      sync.WaitGroup
 	replies *replyCache
-	bufs    sync.Pool
-	scratch sync.Pool // *frameScratch: per-frame query/response/value reuse
-	addrs   addrCache
+	scratch sync.Pool // *frameScratch: per-frame response/value reuse
 
 	served     stats.Counter
 	frames     stats.Counter
@@ -114,20 +127,19 @@ type Server struct {
 }
 
 // frameScratch holds the per-frame slices that are pooled across frames so
-// the steady-state GET path performs no allocations: parsed queries, the
-// response set, and a flat arena the backend appends values into.
+// the steady-state GET path performs no allocations: the response set and a
+// flat arena the backend appends values into.
 type frameScratch struct {
-	queries []proto.Query
-	resps   []proto.Response
-	vals    []byte
+	resps []proto.Response
+	vals  []byte
 }
 
-// NewServer returns a UDP server over b with default options.
+// NewServer returns a server over b with default options.
 func NewServer(b Backend) *Server {
 	return NewServerOpts(b, ServerOptions{})
 }
 
-// NewServerOpts returns a UDP server over b with the given options. When
+// NewServerOpts returns a server over b with the given options. When
 // opts.Durability is set, opening the tier can fail; this constructor panics
 // on that error — use NewServerDurable to handle it.
 func NewServerOpts(b Backend, opts ServerOptions) *Server {
@@ -138,7 +150,7 @@ func NewServerOpts(b Backend, opts ServerOptions) *Server {
 	return s
 }
 
-// NewServerDurable returns a UDP server over b, running startup recovery and
+// NewServerDurable returns a server over b, running startup recovery and
 // opening the write-ahead log when opts.Durability is set. It is the
 // error-returning form of NewServerOpts for durable servers: recovery reads
 // disk state and can fail.
@@ -150,15 +162,18 @@ func newServer(b Backend, opts ServerOptions) (*Server, error) {
 	if opts.MaxInFlight <= 0 {
 		opts.MaxInFlight = DefaultMaxInFlight
 	}
+	if opts.MaxConns == 0 {
+		opts.MaxConns = DefaultMaxConns
+	}
 	cacheSize := opts.ReplyCacheSize
 	if cacheSize == 0 {
 		cacheSize = DefaultReplyCacheSize
 	}
 	s := &Server{
-		store:   b,
-		opts:    opts,
-		drained: make(chan struct{}),
-		tokens:  make(chan struct{}, opts.MaxInFlight),
+		store:  b,
+		opts:   opts,
+		tokens: make(chan struct{}, opts.MaxInFlight),
+		gate:   frontend.NewGate(opts.MaxConns),
 	}
 	if gi, ok := b.(GetIntoBackend); ok {
 		s.getInto = gi
@@ -166,7 +181,6 @@ func newServer(b Backend, opts ServerOptions) (*Server, error) {
 	if cacheSize > 0 {
 		s.replies = newReplyCache(cacheSize)
 	}
-	s.bufs.New = func() any { return make([]byte, proto.MaxFrameBytes) }
 	s.scratch.New = func() any { return &frameScratch{} }
 	// Durability opens before the pipeline: recovery must finish before any
 	// frame can execute, and initPipeline arms its LG hook only when s.dur
@@ -184,342 +198,213 @@ func newServer(b Backend, opts ServerOptions) (*Server, error) {
 	return s, nil
 }
 
-// Serve listens on addr (e.g. "127.0.0.1:11211") and processes frames until
-// Close. It blocks; run it in a goroutine. After Close, Serve returns only
-// once in-flight frames have drained.
+// register publishes a listening frontend so Close can reach it, unless the
+// server already closed (then the frontend is torn back down and false is
+// returned — the caller should not Run it).
+func (s *Server) register(fe frontend.Frontend) bool {
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		fe.Shutdown()
+		return false
+	}
+	s.fes = append(s.fes, fe)
+	s.statsSrcs = append(s.statsSrcs, fe)
+	s.mu.Unlock()
+	return true
+}
+
+// Serve listens on addr (e.g. "127.0.0.1:11211") for the batched UDP binary
+// protocol and processes frames until Close. It blocks; run it in a
+// goroutine. Serve returns once Close has stopped frame production.
 func (s *Server) Serve(addr string) error {
-	// Whatever path Serve exits by, it has stopped admitting frames and (on
-	// the graceful path) drained the in-flight ones; Close waits on this
-	// before fsyncing the WAL tail.
-	defer s.drainOnce.Do(func() { close(s.drained) })
-	udpAddr, err := net.ResolveUDPAddr("udp", addr)
-	if err != nil {
+	fe := frontend.NewUDP(frontend.UDPOptions{
+		WrapConn:     s.opts.WrapConn,
+		Batched:      s.pipe != nil,
+		Dedupe:       s.replies != nil,
+		MeasureParse: s.pipe != nil && s.pipe.measureParse,
+		StampStart:   s.opts.SlowLog != nil,
+	})
+	if err := fe.Listen(addr); err != nil {
 		return err
-	}
-	conn, err := net.ListenUDP("udp", udpAddr)
-	if err != nil {
-		return err
-	}
-	var pc net.PacketConn = conn
-	if s.opts.WrapConn != nil {
-		pc = s.opts.WrapConn(pc)
 	}
 	s.mu.Lock()
-	s.conn = pc
+	s.udpFE = fe
 	s.mu.Unlock()
-	// Close may have run before the conn was published; it then had nothing
-	// to close, so re-check and shut the listener down ourselves. (The
-	// pipeline runner may already be closed by Close, or not; its Close is
-	// idempotent.)
-	if s.closed.Load() {
-		pc.Close()
-		if s.pipe != nil {
-			s.pipe.runner.Close()
-		}
+	if !s.register(fe) {
 		return nil
 	}
-	return s.serveLoop(pc)
+	return fe.Run(s)
 }
 
-// serveLoop is the read/admit/dispatch loop.
-func (s *Server) serveLoop(pc net.PacketConn) error {
-	if s.pipe != nil {
-		return s.serveLoopBatched(pc)
+// ServeRESP listens on addr (e.g. "127.0.0.1:6379") for RESP2 over TCP and
+// serves it through the same core — same admission, durability and serving
+// paths as the UDP frontend. It blocks; run it in a goroutine (concurrently
+// with Serve when both protocols are wanted).
+func (s *Server) ServeRESP(addr string) error {
+	fe := frontend.NewRESP(frontend.RESPOptions{
+		Gate:            s.gate,
+		MaxConnInFlight: s.opts.RESPConnInFlight,
+		WrapConn:        s.opts.WrapStreamConn,
+		MeasureParse:    s.pipe != nil && s.pipe.measureParse,
+		StampStart:      s.opts.SlowLog != nil,
+	})
+	if err := fe.Listen(addr); err != nil {
+		return err
 	}
-	for {
-		buf := s.bufs.Get().([]byte)
-		n, raddr, err := pc.ReadFrom(buf)
-		if err != nil {
-			s.bufs.Put(buf) //nolint:staticcheck // fixed-size buffer
-			if done, serr := s.readErr(pc, err); done {
-				return serr
-			}
-			continue
-		}
-		s.admit(pc, buf, n, raddr)
+	s.mu.Lock()
+	s.respFE = fe
+	s.mu.Unlock()
+	if !s.register(fe) {
+		return nil
 	}
+	return fe.Run(s)
 }
 
-// serveLoopBatched is the pipelined-path variant of serveLoop: it drains
-// bursts of datagrams per kernel crossing (recvmmsg where available) before
-// running the same per-datagram admission. Batching receives mirrors the
-// batched response sends — once frames are executed batch-at-a-time, the
-// recv syscall is the remaining per-frame kernel crossing worth amortizing.
-func (s *Server) serveLoopBatched(pc net.PacketConn) error {
-	rcv := udpbatch.NewReceiver(pc)
-	const burst = 16
-	bufs := make([][]byte, burst)
-	addrs := make([]net.Addr, burst)
-	sizes := make([]int, burst)
-	for {
-		for i := range bufs {
-			if bufs[i] == nil {
-				bufs[i] = s.bufs.Get().([]byte)
-			}
-		}
-		got, err := rcv.Recv(bufs, addrs, sizes)
-		if err != nil {
-			if done, serr := s.readErr(pc, err); done {
-				for _, buf := range bufs {
-					if buf != nil {
-						s.bufs.Put(buf) //nolint:staticcheck // fixed-size buffer
-					}
-				}
-				return serr
-			}
-			continue
-		}
-		for i := 0; i < got; i++ {
-			buf := bufs[i]
-			bufs[i] = nil // ownership moves to admit
-			s.admit(pc, buf, sizes[i], addrs[i])
-		}
-	}
-}
+// --- frontend.Core ---
 
-// readErr handles a receive error shared by both serve loops: it reports
-// whether the loop should exit, performing the graceful drain on shutdown.
-func (s *Server) readErr(pc net.PacketConn, err error) (done bool, _ error) {
-	if s.closed.Load() {
-		// Graceful drain: in-flight frames finish and write their
-		// responses before the socket goes away. On the pipelined
-		// path wg.Wait needs the runner still executing, so the
-		// runner shuts down after the drain.
-		s.wg.Wait()
-		if s.pipe != nil {
-			s.pipe.runner.Close()
-		}
-		pc.Close()
-		return true, nil
-	}
-	var ne net.Error
-	if errors.As(err, &ne) && ne.Timeout() {
-		return false, nil
-	}
-	return true, err
-}
-
-// admit runs the per-datagram admission pipeline — header check, reply-cache
-// dedupe, token gate — and dispatches the frame to the configured serving
-// path. It takes ownership of buf.
-func (s *Server) admit(pc net.PacketConn, buf []byte, n int, raddr net.Addr) {
-	// The slow-query clock starts at admission so a recorded latency covers
-	// everything the client waited on server-side: dedupe, batching, staged
-	// execution and the response send. Read only when a log is attached.
-	var start time.Time
-	if s.opts.SlowLog != nil {
-		start = time.Now()
-	}
-	count, reqID, v2, herr := proto.FrameHeader(buf[:n])
-	if herr != nil {
-		// Malformed or corrupted frame: drop, as a UDP service must.
-		s.malformed.Inc()
-		s.bufs.Put(buf)
-		return
-	}
-	// A retried frame whose reply was already computed is answered from
-	// the cache without re-executing it or consuming a token; this is
-	// what makes client retries of SET safe (at-most-once execution).
-	// A retry that lands while the original frame is still executing is
-	// dropped — admitting it would re-execute the SET before the reply
-	// cache is populated, reopening the at-most-once hole. The client
-	// simply retries again and is then answered from the cache.
-	var akey string
-	tracked := false
-	if v2 && reqID != 0 && s.replies != nil {
-		akey = s.addrs.keyFor(raddr)
-		frames, state := s.replies.begin(akey, reqID)
+// Admit runs pre-parse admission: reply-cache dedupe, then the token gate.
+// A retried frame whose reply was already computed is answered from the
+// cache without re-executing it or consuming a token; this is what makes
+// client retries of SET safe (at-most-once execution). A retry that lands
+// while the original frame is still executing is dropped — admitting it
+// would re-execute the SET before the reply cache is populated, reopening
+// the at-most-once hole. The client simply retries again and is then
+// answered from the cache.
+func (s *Server) Admit(f *frontend.Frame) bool {
+	if f.AKey != "" && f.ReqID != 0 && s.replies != nil {
+		frames, state := s.replies.begin(f.AKey, f.ReqID)
 		switch state {
 		case replyCached:
-			for _, f := range frames {
-				pc.WriteTo(f, raddr)
-			}
+			f.R.Deliver(f, frames)
 			s.replayed.Inc()
-			s.bufs.Put(buf)
-			return
+			f.R.Release(f)
+			return false
 		case replyInFlight:
 			s.dupDropped.Inc()
-			s.bufs.Put(buf)
-			return
+			f.R.Release(f)
+			return false
 		case replyAdmitted:
-			tracked = true
+			f.Tracked = true
 		}
 	}
 	select {
 	case s.tokens <- struct{}{}:
 	default:
-		// Overload: shed the whole frame now rather than queuing it.
-		if tracked {
-			s.replies.abort(akey, reqID)
+		// Overload: shed the whole frame now rather than queuing it. Busy
+		// replies are never cached: a later retry should be re-admitted.
+		if f.Tracked {
+			s.replies.abort(f.AKey, f.ReqID)
+			f.Tracked = false
 		}
 		s.shed.Inc()
-		s.writeBusy(pc, raddr, reqID, v2, count)
-		s.bufs.Put(buf)
-		return
+		f.R.Busy(f)
+		f.R.Release(f)
+		return false
 	}
 	s.wg.Add(1)
-	if s.pipe != nil {
-		// Pipelined path: parse here (RV/PP on the socket reader) and
-		// batch the frame into the staged executor.
-		s.submitPipelined(pc, buf, n, raddr, akey, reqID, v2, tracked, start)
+	return true
+}
+
+// Submit executes an admitted, parsed frame on the configured serving path.
+func (s *Server) Submit(f *frontend.Frame) {
+	s.frames.Inc()
+	if len(f.Queries) == 0 {
+		// Nothing to execute or log (RESP PING/COMMAND runs, empty UDP
+		// frames): answer inline instead of riding a pipeline batch.
+		s.finishDirect(f)
 		return
 	}
-	go s.handleFrame(pc, buf, n, raddr, akey, reqID, v2, tracked, start)
+	if s.pipe != nil {
+		s.submitPipelined(f)
+		return
+	}
+	go s.executeFrame(f)
 }
 
-// addrCache memoizes net.Addr → string conversions so the reply-cache path
-// does not allocate a fresh address string per datagram. UDP addresses are
-// keyed by their comparable netip.AddrPort form; other address types fall
-// back to String().
-type addrCache struct {
-	mu sync.Mutex
-	m  map[netip.AddrPort]string
+// Cancel aborts an admitted frame whose payload failed to parse.
+func (s *Server) Cancel(f *frontend.Frame) {
+	s.malformed.Inc()
+	if f.Tracked {
+		s.replies.abort(f.AKey, f.ReqID)
+		f.Tracked = false
+	}
+	<-s.tokens
+	s.wg.Done()
+	f.R.Release(f)
 }
 
-// addrCacheMax bounds the memoized address set; beyond it the map is reset
-// (a full rebuild is cheaper than tracking recency for a niche overflow).
-const addrCacheMax = 4096
+// Malformed counts a frame dropped by a frontend before admission.
+func (s *Server) Malformed() { s.malformed.Inc() }
 
-func (ac *addrCache) keyFor(a net.Addr) string {
-	ua, ok := a.(*net.UDPAddr)
-	if !ok {
-		return a.String()
+// Draining reports whether Close has begun.
+func (s *Server) Draining() bool { return s.closed.Load() }
+
+// finishDirect answers a query-less admitted frame without touching the
+// execution paths: encode (the frame may still carry protocol-level replies,
+// e.g. RESP PING), deliver, settle dedupe state, release.
+func (s *Server) finishDirect(f *frontend.Frame) {
+	units := f.R.Encode(f, nil)
+	ok := f.R.Deliver(f, units)
+	if f.Tracked {
+		if ok {
+			s.replies.finish(f.AKey, f.ReqID, units)
+		} else {
+			s.replies.abort(f.AKey, f.ReqID)
+		}
+		f.Tracked = false
 	}
-	ap := ua.AddrPort()
-	ac.mu.Lock()
-	if s, ok := ac.m[ap]; ok {
-		ac.mu.Unlock()
-		return s
-	}
-	ac.mu.Unlock()
-	s := a.String()
-	ac.mu.Lock()
-	if ac.m == nil || len(ac.m) >= addrCacheMax {
-		ac.m = make(map[netip.AddrPort]string, 64)
-	}
-	ac.m[ap] = s
-	ac.mu.Unlock()
-	return s
+	<-s.tokens
+	s.wg.Done()
+	f.R.Release(f)
 }
 
-// handleFrame processes one admitted frame in its own goroutine. start is
-// the admission time when a slow-query log is attached (zero otherwise).
-func (s *Server) handleFrame(pc net.PacketConn, buf []byte, n int, raddr net.Addr, akey string, reqID uint64, v2, tracked bool, start time.Time) {
+// executeFrame processes one admitted frame in its own goroutine (the
+// unpipelined serving path).
+func (s *Server) executeFrame(f *frontend.Frame) {
 	defer s.wg.Done()
 	defer func() { <-s.tokens }()
-	defer s.bufs.Put(buf)
-	if tracked {
-		// Clear the in-flight marker on every exit path (panic, malformed,
-		// failed send); a successful sendResponses clears it atomically with
-		// the reply-cache fill, making this a no-op.
-		defer s.replies.abort(akey, reqID)
+	defer f.R.Release(f)
+	if f.Tracked {
+		// Clear the in-flight marker on every exit path (panic, failed
+		// commit, failed send); a successful delivery clears it atomically
+		// with the reply-cache fill, making this a no-op.
+		defer s.replies.abort(f.AKey, f.ReqID)
 	}
-	// One poisoned frame must not kill the serve loop: the client times out
-	// and retries; everyone else is unaffected.
+	sc := s.scratch.Get().(*frameScratch)
+	defer s.scratch.Put(sc)
+	// One poisoned frame must not kill a serve loop: the datagram client
+	// times out and retries, the stream client gets in-band errors; everyone
+	// else is unaffected.
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Inc()
+			f.R.Fail(f, "internal error")
 		}
 	}()
-	sc := s.scratch.Get().(*frameScratch)
-	defer s.scratch.Put(sc)
-	queries, _, err := proto.ParseFrameID(buf[:n], sc.queries[:0])
-	sc.queries = queries[:0]
-	if err != nil {
-		s.malformed.Inc()
-		return
-	}
-	s.frames.Inc()
-	resps := s.process(queries, sc)
+	resps := s.process(f.Queries, sc)
+	units := f.R.Encode(f, resps)
 	if s.dur != nil {
 		// Redo-after-apply: the writes already executed; their records must
-		// be durable before the ack. The response frames are encoded first so
+		// be durable before the ack. The response units are encoded first so
 		// the REPLY record binds the exact reply the client will see.
-		frames := appendResponseFrames(nil, reqID, v2, resps)
-		if !s.dur.commitFrame(queries, resps, akey, reqID, tracked, frames) {
+		if !s.dur.commitFrame(f.Queries, resps, f.AKey, f.ReqID, f.Tracked, units) {
 			// Commit failed: drop the ack (the deferred abort clears the
 			// in-flight marker) so the client retries instead of trusting a
 			// write that never reached disk.
 			sc.resps = resps[:0]
+			f.R.Fail(f, "wal commit failed")
 			return
 		}
-		s.sendFrames(pc, raddr, akey, reqID, v2, true, frames)
-	} else {
-		s.sendResponses(pc, raddr, akey, reqID, v2, true, resps)
+	}
+	ok := f.R.Deliver(f, units)
+	if f.Tracked && ok && s.replies != nil {
+		s.replies.finish(f.AKey, f.ReqID, units)
 	}
 	sc.resps = resps[:0]
-	if sl := s.opts.SlowLog; sl != nil && len(queries) > 0 {
-		sl.Observe(time.Since(start), len(queries), uint8(queries[0].Op), queries[0].Key)
+	if sl := s.opts.SlowLog; sl != nil && len(f.Queries) > 0 {
+		sl.Observe(time.Since(f.Start), len(f.Queries), uint8(f.Queries[0].Op), f.Queries[0].Key)
 	}
-}
-
-// maxResponsePayload keeps each response frame within a safe UDP datagram.
-const maxResponsePayload = 60 << 10
-
-// appendResponseFrames encodes resps split across as many datagrams as
-// needed (the client reassembles by offset), appending each encoded frame to
-// dst. The returned frames are freshly allocated: the reply cache retains
-// them across retries.
-func appendResponseFrames(dst [][]byte, reqID uint64, v2 bool, resps []proto.Response) [][]byte {
-	start := 0
-	for {
-		end := start
-		bytes := 0
-		for end < len(resps) {
-			rlen := 5 + len(resps[end].Value)
-			if end > start && bytes+rlen > maxResponsePayload {
-				break
-			}
-			bytes += rlen
-			end++
-		}
-		if v2 {
-			dst = append(dst, proto.EncodeResponseFrameV2(nil, reqID, start, resps[start:end]))
-		} else {
-			dst = append(dst, proto.EncodeResponseFrame(nil, resps[start:end]))
-		}
-		start = end
-		if start >= len(resps) {
-			return dst
-		}
-	}
-}
-
-// sendResponses writes resps split across as many frames as needed and, for
-// cacheable v2 requests, retains the encoded frames for duplicate
-// suppression. akey is the memoized raddr string (may be empty when no
-// caching applies).
-func (s *Server) sendResponses(pc net.PacketConn, raddr net.Addr, akey string, reqID uint64, v2, cache bool, resps []proto.Response) {
-	s.sendFrames(pc, raddr, akey, reqID, v2, cache, appendResponseFrames(nil, reqID, v2, resps))
-}
-
-// sendFrames is the lower half of sendResponses for callers that already hold
-// the encoded frames (the durable path encodes them before the WAL commit).
-func (s *Server) sendFrames(pc net.PacketConn, raddr net.Addr, akey string, reqID uint64, v2, cache bool, frames [][]byte) {
-	sendOK := true
-	for _, out := range frames {
-		if _, err := pc.WriteTo(out, raddr); err != nil {
-			sendOK = false
-			break // oversized single value or transient error: drop rest
-		}
-	}
-	if cache && sendOK && v2 && reqID != 0 && s.replies != nil {
-		if akey == "" {
-			akey = s.addrs.keyFor(raddr)
-		}
-		s.replies.finish(akey, reqID, frames)
-	}
-}
-
-// writeBusy answers a shed frame with one StatusBusy response per query so
-// the client learns about the overload immediately instead of timing out.
-// Busy replies are never cached: a later retry should be re-admitted.
-func (s *Server) writeBusy(pc net.PacketConn, raddr net.Addr, reqID uint64, v2 bool, count int) {
-	resps := make([]proto.Response, count)
-	for i := range resps {
-		resps[i].Status = proto.StatusBusy
-	}
-	s.sendResponses(pc, raddr, "", reqID, v2, false, resps)
 }
 
 // process executes one frame's queries, reusing sc's pooled response slice
@@ -565,14 +450,40 @@ func (s *Server) process(queries []proto.Query, sc *frameScratch) []proto.Respon
 	return resps
 }
 
-// Addr returns the bound address, or nil before Serve.
+// Addr returns the UDP frontend's bound address, or nil before Serve.
 func (s *Server) Addr() net.Addr {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.conn == nil {
+	fe := s.udpFE
+	s.mu.Unlock()
+	if fe == nil {
 		return nil
 	}
-	return s.conn.LocalAddr()
+	return fe.Addr()
+}
+
+// RESPAddr returns the RESP frontend's bound address, or nil before
+// ServeRESP.
+func (s *Server) RESPAddr() net.Addr {
+	s.mu.Lock()
+	fe := s.respFE
+	s.mu.Unlock()
+	if fe == nil {
+		return nil
+	}
+	return fe.Addr()
+}
+
+// ConnGate exposes the server's connection-scale admission gate so other
+// stream servers (the memcached text frontend) can share its budget and
+// surface their sheds in ServerStats.
+func (s *Server) ConnGate() *frontend.Gate { return s.gate }
+
+// AttachFrontendStats registers an external per-frontend stats source (e.g.
+// the text server) for the /metrics frontend breakdown.
+func (s *Server) AttachFrontendStats(src frontend.StatsSource) {
+	s.mu.Lock()
+	s.statsSrcs = append(s.statsSrcs, src)
+	s.mu.Unlock()
 }
 
 // Served returns the number of queries processed.
@@ -596,6 +507,9 @@ type ServerStats struct {
 	Malformed uint64
 	// Panics counts frames whose processing panicked (and was contained).
 	Panics uint64
+	// ConnsShed counts stream connections rejected over the MaxConns budget
+	// (across every frontend sharing the gate).
+	ConnsShed uint64
 	// InFlight is the number of frames currently being processed.
 	InFlight int
 }
@@ -610,38 +524,36 @@ func (s *Server) Stats() ServerStats {
 		DupDropped: s.dupDropped.Load(),
 		Malformed:  s.malformed.Load(),
 		Panics:     s.panics.Load(),
+		ConnsShed:  s.gate.Shed(),
 		InFlight:   len(s.tokens),
 	}
 }
 
-// Close stops the server. It unblocks the serve loop without tearing down
-// the socket, so in-flight frames still get their responses; Serve returns
-// once they have drained. Close is idempotent.
+// Close stops the server: it interrupts every frontend (no further frame can
+// be admitted), drains in-flight frames so they still get their responses,
+// then tears transports down. Close is idempotent.
 func (s *Server) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
 	s.mu.Lock()
-	conn := s.conn
+	fes := make([]frontend.Frontend, len(s.fes))
+	copy(fes, s.fes)
 	s.mu.Unlock()
-	if conn != nil {
-		// The serve loop notices closed, drains, and shuts the pipeline
-		// runner down itself; wait for that drain so every in-flight frame
-		// has committed its records before the WAL tail is sealed below.
-		err := conn.SetReadDeadline(time.Now())
-		<-s.drained
-		if s.dur != nil {
-			if derr := s.dur.close(); err == nil {
-				err = derr
-			}
-		}
-		return err
+	// Interrupt blocks until the frontend's read loops exited, so after this
+	// loop nothing can race wg.Add against the Wait below.
+	for _, fe := range fes {
+		fe.Interrupt()
 	}
-	// Serve never ran (or has not published its socket yet): the pipeline
-	// workers started at construction, so release them here. Serve's
-	// closed re-check covers the not-yet-published race.
+	s.wg.Wait()
+	// The pipeline runner shuts down after the drain: wg.Wait needs the
+	// runner still executing. Its Close is idempotent — it also runs when
+	// Serve was never called.
 	if s.pipe != nil {
 		s.pipe.runner.Close()
+	}
+	for _, fe := range fes {
+		fe.Shutdown()
 	}
 	if s.dur != nil {
 		return s.dur.close()
@@ -1006,6 +918,12 @@ type Query = proto.Query
 
 // Response re-exports the wire response type.
 type Response = proto.Response
+
+// Op and Status re-export the wire enums alongside their constants below.
+type (
+	Op     = proto.Op
+	Status = proto.Status
+)
 
 // Re-exported query ops and statuses.
 const (

@@ -270,14 +270,15 @@ func (s *Server) pipelineLogBatch(lfs []*pipeline.LiveFrame) (records, bytes int
 		if lf.Err {
 			continue
 		}
-		pf := lf.Ctx.(*pframe)
+		sl := lf.Ctx.(*liveSlot)
+		f := sl.f
 		// Encode here (not in batchDone) so the REPLY record holds exactly
-		// the frames the client will receive and the cache will retain.
-		pf.respFrames = appendResponseFrames(nil, pf.reqID, pf.v2, lf.Resps)
+		// the units the client will receive and the cache will retain.
+		f.Units = f.R.Encode(f, lf.Resps)
 		var n int
-		buf, n = appendFrameRecords(buf, pf.queries, lf.Resps, pf.akey, pf.reqID, pf.tracked, pf.respFrames)
+		buf, n = appendFrameRecords(buf, f.Queries, lf.Resps, f.AKey, f.ReqID, f.Tracked, f.Units)
 		if n > 0 {
-			pf.walRecords = true
+			sl.walRecords = true
 			records += n
 		}
 	}
@@ -288,8 +289,8 @@ func (s *Server) pipelineLogBatch(lfs []*pipeline.LiveFrame) (records, bytes int
 				if lf.Err {
 					continue
 				}
-				if pf := lf.Ctx.(*pframe); pf.walRecords {
-					pf.walFailed = true
+				if sl := lf.Ctx.(*liveSlot); sl.walRecords {
+					sl.walFailed = true
 					d.walDrops.Inc()
 				}
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/frontend"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/wal"
@@ -19,8 +20,8 @@ import (
 // and writeServerMetrics consume the same snapshot — tests pin that both
 // report identical values from one Stats() call.
 func (ss ServerStats) String() string {
-	return fmt.Sprintf("served=%d frames=%d shed=%d replayed=%d dup-dropped=%d malformed=%d panics=%d inflight=%d",
-		ss.Served, ss.Frames, ss.Shed, ss.Replayed, ss.DupDropped, ss.Malformed, ss.Panics, ss.InFlight)
+	return fmt.Sprintf("served=%d frames=%d shed=%d replayed=%d dup-dropped=%d malformed=%d panics=%d conns-shed=%d inflight=%d",
+		ss.Served, ss.Frames, ss.Shed, ss.Replayed, ss.DupDropped, ss.Malformed, ss.Panics, ss.ConnsShed, ss.InFlight)
 }
 
 // writeServerMetrics emits one ServerStats snapshot in exposition format.
@@ -33,13 +34,35 @@ func writeServerMetrics(w *obs.MetricsWriter, ss ServerStats) {
 	w.Counter("dido_dup_dropped_frames_total", "Duplicate frames dropped while the original executed.", ss.DupDropped)
 	w.Counter("dido_malformed_frames_total", "Undecodable or corrupted frames dropped.", ss.Malformed)
 	w.Counter("dido_panics_total", "Frames whose processing panicked (contained).", ss.Panics)
+	w.Counter("dido_shed_conns_total", "Stream connections rejected over the MaxConns budget.", ss.ConnsShed)
 	w.Gauge("dido_inflight_frames", "Frames currently being processed.", float64(ss.InFlight))
+}
+
+// collectFrontendMetrics emits the per-frontend breakdown (udp / resp / text),
+// one labelled series per counter, from each registered StatsSource.
+func (s *Server) collectFrontendMetrics(w *obs.MetricsWriter) {
+	s.mu.Lock()
+	srcs := make([]frontend.StatsSource, len(s.statsSrcs))
+	copy(srcs, s.statsSrcs)
+	s.mu.Unlock()
+	for _, src := range srcs {
+		fs := src.FrontendStats()
+		labels := fmt.Sprintf("frontend=%q", src.Name())
+		w.CounterL("dido_frontend_frames_total", "Frames decoded and handed to the core, per frontend.", labels, fs.Frames)
+		w.CounterL("dido_frontend_malformed_total", "Undecodable inputs dropped at the frontend.", labels, fs.Malformed)
+		w.CounterL("dido_frontend_bytes_in_total", "Transport bytes received.", labels, fs.BytesIn)
+		w.CounterL("dido_frontend_bytes_out_total", "Transport bytes sent.", labels, fs.BytesOut)
+		w.CounterL("dido_frontend_conns_accepted_total", "Stream connections accepted (0 for datagram frontends).", labels, fs.ConnsAccepted)
+		w.CounterL("dido_frontend_conns_shed_total", "Stream connections shed at accept.", labels, fs.ConnsShed)
+		w.GaugeL("dido_frontend_conns_active", "Stream connections currently open.", labels, float64(fs.ConnsActive))
+	}
 }
 
 // CollectMetrics appends the server's serving and pipeline metrics to w; it
 // is the server's half of the admin endpoint's Collect callback.
 func (s *Server) CollectMetrics(w *obs.MetricsWriter) {
 	writeServerMetrics(w, s.Stats())
+	s.collectFrontendMetrics(w)
 	if s.dur != nil {
 		s.collectDurabilityMetrics(w)
 	}

@@ -1,31 +1,29 @@
 package dido
 
 import (
-	"net"
 	"sync"
 	"time"
 
 	"repro/internal/apu"
 	"repro/internal/costmodel"
 	"repro/internal/cuckoo"
+	"repro/internal/frontend"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/profiler"
-	"repro/internal/proto"
 	"repro/internal/store"
-	"repro/internal/udpbatch"
 )
 
-// This file routes the UDP server's admitted frames through the task-granular
-// live pipeline (internal/pipeline.LiveRunner) instead of one goroutine per
-// frame: the socket reader performs RV/PP (parse) and submits, stage worker
-// groups execute IN/KC+RD/WR batched under each batch's sealed config, and
-// the SD callback sends the responses and releases the frame's admission
-// token. Dedupe, shedding and at-most-once semantics are exactly the
-// per-frame path's: a frame passes the same reply-cache begin / token gate
-// before it ever reaches the pipeline, and its in-flight marker is cleared
-// only when its responses were sent (or it was poisoned and the client must
-// retry).
+// This file routes admitted frames — from any frontend — through the
+// task-granular live pipeline (internal/pipeline.LiveRunner) instead of one
+// goroutine per frame: the frontend readers perform RV/PP (parse) and the
+// core submits, stage worker groups execute IN/KC+RD/WR batched under each
+// batch's sealed config, and the SD callback encodes and delivers responses
+// through each frame's Responder and releases the frame's admission token.
+// Dedupe, shedding and at-most-once semantics are exactly the per-frame
+// path's: a frame passes the same reply-cache begin / token gate before it
+// ever reaches the pipeline, and its in-flight marker is cleared only when
+// its responses were sent (or it was poisoned and the client must retry).
 
 // PipelineOptions configures the server's batched pipeline serving path.
 //
@@ -77,54 +75,28 @@ type PipelineOptions struct {
 type serverPipeline struct {
 	runner *pipeline.LiveRunner
 	ctrl   *costmodel.Controller // non-nil only when adapting
-	frames sync.Pool             // *pframe
-	// measureParse mirrors runner.WantsProfile(): whether to time RV/PP on
-	// the socket reader (the cost feeds only the measured profile).
+	slots  sync.Pool             // *liveSlot
+	// measureParse mirrors runner.WantsProfile(): whether frontends should
+	// time RV/PP per frame (the cost feeds only the measured profile).
 	measureParse bool
-
-	// sendMu guards the lazily-built batched sender (one per listening
-	// socket; the socket exists only once Serve has bound it).
-	sendMu   sync.Mutex
-	sender   *udpbatch.Sender
-	senderPC net.PacketConn
 }
 
-// senderFor returns the batched sender over pc, building it on first use.
-func (p *serverPipeline) senderFor(pc net.PacketConn) *udpbatch.Sender {
-	p.sendMu.Lock()
-	defer p.sendMu.Unlock()
-	if p.senderPC != pc {
-		p.sender = udpbatch.NewSender(pc)
-		p.senderPC = pc
-	}
-	return p.sender
-}
-
-// pframe is the server-side context of one frame travelling through the
-// pipeline: everything pipelineBatchDone needs to answer the client and
-// release the frame's resources.
-type pframe struct {
-	lf      pipeline.LiveFrame
-	queries []proto.Query
-	buf     []byte
-	pc      net.PacketConn
-	raddr   net.Addr
-	akey    string
-	reqID   uint64
-	v2      bool
-	tracked bool
-	// start is the admission time when a slow-query log is attached (zero
-	// otherwise); measured latency spans queueing, batching and the send.
-	start time.Time
-	// respFrames holds the encoded response datagrams between the batched
-	// send and the reply-cache fill. Freshly allocated per frame — the cache
-	// retains them. On a durable server the LG task (pipelineLogBatch)
-	// encodes them early so the REPLY record can carry them.
-	respFrames [][]byte
+// liveSlot binds one frontend frame to its pipeline LiveFrame while it
+// travels the staged executor, plus the durability flags the LG task and the
+// SD callback coordinate through.
+type liveSlot struct {
+	lf pipeline.LiveFrame
+	f  *frontend.Frame
 	// walRecords marks a frame that contributed records to the batch's WAL
 	// commit; walFailed marks one whose commit failed — its ack is dropped so
 	// the client retries (acked implies durable).
 	walRecords, walFailed bool
+}
+
+func (sl *liveSlot) reset() {
+	sl.lf = pipeline.LiveFrame{}
+	sl.f = nil
+	sl.walRecords, sl.walFailed = false, false
 }
 
 // initPipeline wires the live runner into s; called from NewServerOpts when
@@ -168,7 +140,7 @@ func (s *Server) initPipeline(po *PipelineOptions) {
 			}
 		}
 	}
-	pipe.frames.New = func() any { return &pframe{} }
+	pipe.slots.New = func() any { return &liveSlot{} }
 	lopts := pipeline.LiveOptions{
 		Provider:      provider,
 		BatchInterval: interval,
@@ -188,67 +160,42 @@ func (s *Server) initPipeline(po *PipelineOptions) {
 	s.pipe = pipe
 }
 
-// submitPipelined parses an admitted frame (the RV/PP tasks, on the socket
-// reader) and hands it to the pipeline. The caller has already passed the
-// dedupe gate and acquired a token and a wg slot; every exit path here or in
+// submitPipelined hands an admitted, parsed frame to the pipeline. The
+// frontend already ran RV/PP; the caller has passed the dedupe gate and
+// acquired a token and a wg slot, and every exit path here or in
 // pipelineBatchDone releases all three.
-func (s *Server) submitPipelined(pc net.PacketConn, buf []byte, n int, raddr net.Addr, akey string, reqID uint64, v2, tracked bool, start time.Time) {
-	release := func() {
-		if tracked {
-			s.replies.abort(akey, reqID)
-		}
-		<-s.tokens
-		s.bufs.Put(buf) //nolint:staticcheck // fixed-size buffer
-		s.wg.Done()
+func (s *Server) submitPipelined(f *frontend.Frame) {
+	sl := s.pipe.slots.Get().(*liveSlot)
+	sl.f = f
+	sl.lf = pipeline.LiveFrame{
+		Queries:    f.Queries,
+		ParseNanos: f.ParseNanos,
+		Ctx:        sl,
 	}
-	pf := s.pipe.frames.Get().(*pframe)
-	var parseStart time.Time
-	if s.pipe.measureParse {
-		parseStart = time.Now()
-	}
-	queries, _, err := proto.ParseFrameID(buf[:n], pf.queries[:0])
-	var parseNanos int64
-	if s.pipe.measureParse {
-		parseNanos = time.Since(parseStart).Nanoseconds()
-	}
-	if err != nil {
-		s.malformed.Inc()
-		s.pipe.frames.Put(pf)
-		release()
-		return
-	}
-	s.frames.Inc()
-	pf.queries = queries
-	pf.buf = buf
-	pf.pc = pc
-	pf.raddr = raddr
-	pf.akey = akey
-	pf.reqID = reqID
-	pf.v2 = v2
-	pf.tracked = tracked
-	pf.start = start
-	pf.lf = pipeline.LiveFrame{
-		Queries:    queries,
-		ParseNanos: parseNanos,
-		Ctx:        pf,
-	}
-	if !s.pipe.runner.Submit(&pf.lf) {
+	if !s.pipe.runner.Submit(&sl.lf) {
 		// Pipeline saturated (or closing): shed like the token path does, so
 		// the client backs off instead of timing out.
 		s.shed.Inc()
-		s.writeBusy(pc, raddr, reqID, v2, len(queries))
-		s.pipe.frames.Put(pf)
-		release()
+		if f.Tracked {
+			s.replies.abort(f.AKey, f.ReqID)
+			f.Tracked = false
+		}
+		f.R.Busy(f)
+		sl.reset()
+		s.pipe.slots.Put(sl)
+		<-s.tokens
+		s.wg.Done()
+		f.R.Release(f)
 	}
 }
 
 // pipelineBatchDone is the SD task for one completed batch: it encodes every
-// healthy frame's responses, transmits all the batch's datagrams in one
-// batched send (Linux sendmmsg — the WR/SD counterpart of batching queries
-// into frames, §V-A), fills the reply cache, and releases each frame's
-// token, buffer and wg slot. A poisoned frame (lf.Err) sends nothing — its
-// in-flight marker is cleared so the client's retry is re-admitted, same as
-// the per-frame path.
+// healthy frame's responses, delivers the batch through each responder's
+// batched path (sendmmsg for UDP, one coalesced write per connection for
+// RESP), fills the reply cache, and releases each frame's token and wg slot.
+// A poisoned frame (lf.Err) or one whose WAL commit failed gets Fail instead
+// of an ack: the datagram client's retry is re-admitted, the stream client
+// sees in-band errors (its reply ordering must not skip a frame).
 //
 // Reply caching here does not depend on send success: the batched sender is
 // best-effort (UDP gives no per-datagram delivery signal), so a computed
@@ -257,53 +204,81 @@ func (s *Server) submitPipelined(pc net.PacketConn, buf []byte, n int, raddr net
 // per-frame path.
 func (s *Server) pipelineBatchDone(lfs []*pipeline.LiveFrame) {
 	var (
-		msgs = make([]udpbatch.Message, 0, len(lfs))
-		pc   net.PacketConn
+		fs    []*frontend.Frame
+		first frontend.Responder
+		mixed bool
 	)
 	for _, lf := range lfs {
-		pf := lf.Ctx.(*pframe)
+		sl := lf.Ctx.(*liveSlot)
+		f := sl.f
 		if lf.Err {
 			s.panics.Inc()
+			f.R.Fail(f, "internal error")
 			continue
 		}
-		if pf.walFailed {
+		if sl.walFailed {
 			// The batch's WAL commit failed: this frame's writes are applied
-			// in memory but not durable, so it gets no ack — the client's
-			// retry re-executes (idempotent) or is answered once a later
-			// commit lands its records.
+			// in memory but not durable, so it gets no successful ack — the
+			// client's retry re-executes (idempotent) or is answered once a
+			// later commit lands its records.
+			f.R.Fail(f, "wal commit failed")
 			continue
 		}
 		s.served.Add(uint64(len(lf.Queries)))
-		if pf.respFrames == nil { // already encoded by the LG task on durable servers
-			pf.respFrames = appendResponseFrames(nil, pf.reqID, pf.v2, lf.Resps)
+		if f.Units == nil { // already encoded by the LG task on durable servers
+			f.Units = f.R.Encode(f, lf.Resps)
 		}
-		for _, out := range pf.respFrames {
-			msgs = append(msgs, udpbatch.Message{Buf: out, Addr: pf.raddr})
+		fs = append(fs, f)
+		if first == nil {
+			first = f.R
+		} else if first != f.R {
+			mixed = true
 		}
-		pc = pf.pc
 	}
-	if len(msgs) > 0 {
-		s.pipe.senderFor(pc).Send(msgs)
-	}
-	sl := s.opts.SlowLog
-	for _, lf := range lfs {
-		pf := lf.Ctx.(*pframe)
-		if sl != nil && !lf.Err && !pf.walFailed && len(pf.queries) > 0 {
-			sl.Observe(time.Since(pf.start), len(pf.queries), uint8(pf.queries[0].Op), pf.queries[0].Key)
-		}
-		if pf.tracked {
-			if lf.Err || pf.walFailed {
-				// Clear the in-flight marker so the retry is re-admitted.
-				s.replies.abort(pf.akey, pf.reqID)
-			} else {
-				s.replies.finish(pf.akey, pf.reqID, pf.respFrames)
+	if len(fs) > 0 {
+		if !mixed {
+			first.DeliverBatch(fs)
+		} else {
+			// Several frontends contributed to this batch: partition by
+			// responder, preserving per-responder frame order.
+			rem := fs
+			for len(rem) > 0 {
+				r0 := rem[0].R
+				group := make([]*frontend.Frame, 0, len(rem))
+				rest := rem[:0]
+				for _, f := range rem {
+					if f.R == r0 {
+						group = append(group, f)
+					} else {
+						rest = append(rest, f)
+					}
+				}
+				r0.DeliverBatch(group)
+				rem = rest
 			}
 		}
+	}
+	slog := s.opts.SlowLog
+	for _, lf := range lfs {
+		sl := lf.Ctx.(*liveSlot)
+		f := sl.f
+		bad := lf.Err || sl.walFailed
+		if slog != nil && !bad && len(f.Queries) > 0 {
+			slog.Observe(time.Since(f.Start), len(f.Queries), uint8(f.Queries[0].Op), f.Queries[0].Key)
+		}
+		if f.Tracked {
+			if bad {
+				// Clear the in-flight marker so the retry is re-admitted.
+				s.replies.abort(f.AKey, f.ReqID)
+			} else {
+				s.replies.finish(f.AKey, f.ReqID, f.Units)
+			}
+			f.Tracked = false
+		}
 		<-s.tokens
-		s.bufs.Put(pf.buf) //nolint:staticcheck // fixed-size buffer
-		queries := pf.queries[:0]
-		*pf = pframe{queries: queries}
-		s.pipe.frames.Put(pf)
+		sl.reset()
+		s.pipe.slots.Put(sl)
+		f.R.Release(f)
 		s.wg.Done()
 	}
 }

@@ -117,6 +117,7 @@ var dumpToMetricName = map[string]string{
 	"dup-dropped": "dido_dup_dropped_frames_total",
 	"malformed":   "dido_malformed_frames_total",
 	"panics":      "dido_panics_total",
+	"conns-shed":  "dido_shed_conns_total",
 	"inflight":    "dido_inflight_frames",
 }
 
@@ -126,7 +127,7 @@ var dumpToMetricName = map[string]string{
 func TestStatsDumpMetricsParity(t *testing.T) {
 	ss := ServerStats{
 		Served: 101, Frames: 23, Shed: 7, Replayed: 5,
-		DupDropped: 3, Malformed: 2, Panics: 1, InFlight: 4,
+		DupDropped: 3, Malformed: 2, Panics: 1, ConnsShed: 6, InFlight: 4,
 	}
 	w := obs.NewMetricsWriter()
 	writeServerMetrics(w, ss)
@@ -223,7 +224,15 @@ func TestCollectMetricsNames(t *testing.T) {
 	for _, name := range []string{
 		"dido_served_queries_total", "dido_frames_total", "dido_shed_frames_total",
 		"dido_replayed_frames_total", "dido_dup_dropped_frames_total",
-		"dido_malformed_frames_total", "dido_panics_total", "dido_inflight_frames",
+		"dido_malformed_frames_total", "dido_panics_total", "dido_shed_conns_total",
+		"dido_inflight_frames",
+		`dido_frontend_frames_total{frontend="udp"}`,
+		`dido_frontend_malformed_total{frontend="udp"}`,
+		`dido_frontend_bytes_in_total{frontend="udp"}`,
+		`dido_frontend_bytes_out_total{frontend="udp"}`,
+		`dido_frontend_conns_accepted_total{frontend="udp"}`,
+		`dido_frontend_conns_shed_total{frontend="udp"}`,
+		`dido_frontend_conns_active{frontend="udp"}`,
 		"dido_pipeline_batches_total", "dido_pipeline_queries_total",
 		"dido_pipeline_wide_batches_total", "dido_pipeline_reconfigs_total",
 		"dido_pipeline_submit_shed_total", "dido_pipeline_panics_total",

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/frontend"
 	"repro/internal/proto"
 	"repro/internal/stats"
 )
@@ -12,22 +13,36 @@ import (
 // TextServer serves a Store over TCP speaking the memcached-compatible ASCII
 // protocol (get / gets / set / add / replace / delete / version / quit), so
 // stock memcached clients and tools work against it.
+//
+// Connection-scale admission goes through a frontend.Gate. By default the
+// server builds a private gate from MaxSessions; set Gate (before Serve) to
+// the core server's ConnGate() instead and the text sessions share one
+// connection budget with the RESP frontend — a flood on either protocol
+// sheds globally, and the sheds surface in ServerStats.ConnsShed.
 type TextServer struct {
 	store *Store
 
 	// MaxSessions bounds concurrent sessions; connections beyond the budget
 	// are answered with "SERVER_ERROR busy" and closed instead of queuing,
 	// mirroring the UDP server's admission control. Set before Serve.
-	// 0 means unlimited.
+	// 0 means unlimited. Ignored when Gate is set.
 	MaxSessions int
 
+	// Gate, when set before Serve, replaces the private MaxSessions budget
+	// with a shared connection gate (normally Server.ConnGate()).
+	Gate *frontend.Gate
+
 	mu       sync.Mutex
+	gate     *frontend.Gate
 	listener net.Listener
 	closed   bool
 	sessions map[net.Conn]struct{}
 	wg       sync.WaitGroup
 
-	shed stats.Counter
+	accepted stats.Counter
+	shed     stats.Counter
+	bytesIn  stats.Counter
+	bytesOut stats.Counter
 }
 
 // NewTextServer returns a TCP text-protocol server over st.
@@ -49,6 +64,11 @@ func (s *TextServer) Serve(addr string) error {
 		return nil
 	}
 	s.listener = ln
+	s.gate = s.Gate
+	if s.gate == nil {
+		s.gate = frontend.NewGate(s.MaxSessions)
+	}
+	gate := s.gate
 	s.mu.Unlock()
 
 	for {
@@ -63,25 +83,27 @@ func (s *TextServer) Serve(addr string) error {
 			}
 			return err
 		}
+		if !gate.Acquire() {
+			// Shed instead of queuing, like the UDP server's StatusBusy.
+			s.shed.Inc()
+			conn.Write([]byte("SERVER_ERROR busy\r\n"))
+			conn.Close()
+			continue
+		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
+			gate.Release()
 			conn.Close()
 			continue
 		}
-		if s.MaxSessions > 0 && len(s.sessions) >= s.MaxSessions {
-			s.mu.Unlock()
-			// Shed instead of queuing, like the UDP server's StatusBusy.
-			conn.Write([]byte("SERVER_ERROR busy\r\n"))
-			conn.Close()
-			s.shed.Inc()
-			continue
-		}
+		s.accepted.Inc()
 		s.sessions[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
+			defer gate.Release()
 			defer conn.Close()
 			defer func() {
 				s.mu.Lock()
@@ -89,9 +111,28 @@ func (s *TextServer) Serve(addr string) error {
 				s.mu.Unlock()
 			}()
 			// Session errors are per-connection; the server keeps serving.
-			_ = proto.TextSession(conn, s.store)
+			cc := &countingConn{Conn: conn, in: &s.bytesIn, out: &s.bytesOut}
+			_ = proto.TextSession(cc, s.store)
 		}()
 	}
+}
+
+// countingConn counts transport bytes for FrontendStats.
+type countingConn struct {
+	net.Conn
+	in, out *stats.Counter
+}
+
+func (c *countingConn) Read(b []byte) (int, error) {
+	n, err := c.Conn.Read(b)
+	c.in.Add(uint64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(b []byte) (int, error) {
+	n, err := c.Conn.Write(b)
+	c.out.Add(uint64(n))
+	return n, err
 }
 
 // Addr returns the bound address, or nil before Serve.
@@ -104,8 +145,28 @@ func (s *TextServer) Addr() net.Addr {
 	return s.listener.Addr()
 }
 
-// Shed returns the number of connections rejected over the session budget.
+// Shed returns the number of connections this server rejected over the
+// connection budget (its own accept-side count, whether the budget is the
+// private MaxSessions gate or a shared one).
 func (s *TextServer) Shed() uint64 { return s.shed.Load() }
+
+// Name implements frontend.StatsSource.
+func (s *TextServer) Name() string { return "text" }
+
+// FrontendStats implements frontend.StatsSource so the text protocol shows
+// up in the per-frontend metrics breakdown alongside udp and resp.
+func (s *TextServer) FrontendStats() frontend.Stats {
+	s.mu.Lock()
+	active := len(s.sessions)
+	s.mu.Unlock()
+	return frontend.Stats{
+		BytesIn:       s.bytesIn.Load(),
+		BytesOut:      s.bytesOut.Load(),
+		ConnsAccepted: s.accepted.Load(),
+		ConnsShed:     s.shed.Load(),
+		ConnsActive:   active,
+	}
+}
 
 // Close stops accepting and drains: in-flight commands finish, idle sessions
 // are unblocked via a read deadline, and Close returns once every session
