@@ -35,6 +35,33 @@ import (
 	"repro/internal/wal"
 )
 
+// waitForBind blocks until addr reports a bound address and returns it. The
+// serve functions can return a nil error without ever binding (the server
+// closed between Listen and register), so a bare busy-wait could spin
+// forever; watching the serve goroutine's exit and a generous deadline
+// turns both of those into a clean startup failure instead.
+func waitForBind(name string, addr func() net.Addr, served <-chan struct{}) net.Addr {
+	deadline := time.NewTimer(10 * time.Second)
+	defer deadline.Stop()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		if a := addr(); a != nil {
+			return a
+		}
+		select {
+		case <-served:
+			if a := addr(); a != nil {
+				return a
+			}
+			log.Fatalf("%s: server exited before binding", name)
+		case <-deadline.C:
+			log.Fatalf("%s: no listener bound within 10s", name)
+		case <-tick.C:
+		}
+	}
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:11311", "UDP listen address (binary batched protocol)")
 	respAddr := flag.String("resp", "", "optional TCP listen address for the RESP2 (Redis) protocol")
@@ -183,28 +210,27 @@ func main() {
 			log.Printf("WARNING: recovery dropped %d SET applications (arena too small for the recovered state?); previously durable keys are missing", ds.RecoveryDroppedApplies)
 		}
 	}
+	udpServed := make(chan struct{})
 	go func() {
+		defer close(udpServed)
 		if err := srv.Serve(*addr); err != nil {
 			log.Fatalf("serve: %v", err)
 		}
 	}()
 	// Wait for bind so the printed address is real.
-	for srv.Addr() == nil {
-		time.Sleep(time.Millisecond)
-	}
 	log.Printf("dido-server listening on %s (arena %d MB, max-inflight %d, pipeline=%s adapt=%v)",
-		srv.Addr(), *mem>>20, *maxInflight, *pipelineMode, *adapt)
+		waitForBind("udp", srv.Addr, udpServed), *mem>>20, *maxInflight, *pipelineMode, *adapt)
 
 	if *respAddr != "" {
+		respServed := make(chan struct{})
 		go func() {
+			defer close(respServed)
 			if err := srv.ServeRESP(*respAddr); err != nil {
 				log.Fatalf("resp serve: %v", err)
 			}
 		}()
-		for srv.RESPAddr() == nil {
-			time.Sleep(time.Millisecond)
-		}
-		log.Printf("RESP2 (Redis) protocol on %s (tcp; GET/SET/DEL/MGET/PING)", srv.RESPAddr())
+		log.Printf("RESP2 (Redis) protocol on %s (tcp; GET/SET/DEL/MGET/PING)",
+			waitForBind("resp", srv.RESPAddr, respServed))
 	}
 
 	var admin *obs.Admin
@@ -235,15 +261,15 @@ func main() {
 			textSrv.Gate = srv.ConnGate()
 		}
 		srv.AttachFrontendStats(textSrv)
+		textServed := make(chan struct{})
 		go func() {
+			defer close(textServed)
 			if err := textSrv.Serve(*textAddr); err != nil {
 				log.Fatalf("text serve: %v", err)
 			}
 		}()
-		for textSrv.Addr() == nil {
-			time.Sleep(time.Millisecond)
-		}
-		log.Printf("memcached ASCII protocol on %s (tcp)", textSrv.Addr())
+		log.Printf("memcached ASCII protocol on %s (tcp)",
+			waitForBind("text", textSrv.Addr, textServed))
 	}
 
 	if *statsEvery > 0 {

@@ -319,18 +319,25 @@ func (r *RESP) Encode(f *Frame, resps []proto.Response) [][]byte {
 	return [][]byte{appendRESPReplies(nil, rf.cmds, resps)}
 }
 
-// Deliver stages the frame's reply in connection order and flushes.
+// Deliver stages the frame's reply in connection order, dispatches the
+// connection's next queued frame, and flushes. The flush is synchronous
+// because the result gates the caller's reply-cache settlement, but it runs
+// after dispatch and outside the connection lock, so a stalled client pins
+// only this goroutine, not the connection's pipeline.
 func (r *RESP) Deliver(f *Frame, units [][]byte) bool {
 	rf := f.Ctx.(*respFrame)
 	c := rf.c
 	r.stage(rf, flattenUnits(units))
-	ok := r.flushConn(c)
 	r.dispatchNext(c)
-	return ok
+	return r.flushConn(c)
 }
 
-// DeliverBatch stages every frame, then flushes each touched connection once:
-// one write per connection per completed pipeline batch.
+// DeliverBatch stages every frame, dispatches each touched connection's next
+// frame, then hands each connection's flush to its own goroutine: the
+// pipeline's batch-done callback must not block behind one stalled
+// (slowloris) client's socket for up to WriteTimeout, and per-connection
+// write serialization (flushConn's writing flag) bounds the goroutines to
+// one blocked writer per connection.
 func (r *RESP) DeliverBatch(fs []*Frame) {
 	var touched []*respConn
 	for _, f := range fs {
@@ -348,8 +355,8 @@ func (r *RESP) DeliverBatch(fs []*Frame) {
 		}
 	}
 	for _, c := range touched {
-		r.flushConn(c)
 		r.dispatchNext(c)
+		go r.flushConn(c)
 	}
 }
 
@@ -358,8 +365,10 @@ func (r *RESP) Busy(f *Frame) {
 	rf := f.Ctx.(*respFrame)
 	c := rf.c
 	r.stage(rf, appendRESPBusy(nil, rf.cmds))
-	r.flushConn(c)
 	r.dispatchNext(c)
+	// No caller consumes a delivery result for sheds, so the flush need not
+	// block this goroutine (often the conn reader, via Admit→Busy).
+	go r.flushConn(c)
 }
 
 // Fail answers every command with -ERR <reason>: a stream frontend must emit
@@ -369,8 +378,8 @@ func (r *RESP) Fail(f *Frame, reason string) {
 	rf := f.Ctx.(*respFrame)
 	c := rf.c
 	r.stage(rf, appendRESPFail(nil, rf.cmds, reason))
-	r.flushConn(c)
 	r.dispatchNext(c)
+	go r.flushConn(c)
 }
 
 // dispatchNext hands the connection's next queued frame to the core once no
@@ -457,29 +466,56 @@ func (r *RESP) stage(rf *respFrame, payload []byte) {
 // flushConn writes the connection's staged replies, tearing the connection
 // down on write error/stall or once its close-marked reply has flushed.
 // Returns false when the connection is (now) gone.
+//
+// The socket write runs outside c.mu: the caller swaps the staged buffer out
+// under the lock, marks itself the active writer (c.writing) and writes
+// unlocked, so concurrent stage() calls — other frames completing for this
+// connection — never block behind a stalled (slowloris) client for up to
+// WriteTimeout. At most one writer is active per connection; a flush that
+// finds one already active returns immediately and the active writer's loop
+// picks up whatever was staged meanwhile.
 func (r *RESP) flushConn(c *respConn) bool {
 	c.mu.Lock()
-	if c.tornDown {
+	for {
+		if c.tornDown {
+			c.mu.Unlock()
+			return false
+		}
+		if c.writing || len(c.wbuf) == 0 {
+			// Nothing for this caller to write: either the active writer will
+			// drain what we staged (and re-check close conditions after), or
+			// the buffer is empty and only the close check remains.
+			closeNow := !c.writing &&
+				((c.closeSeq != ^uint64(0) && c.wnext > c.closeSeq) ||
+					(c.readerDone && c.inflight == 0))
+			c.mu.Unlock()
+			if closeNow {
+				c.teardown()
+				return false
+			}
+			return true
+		}
+		buf := c.wbuf
+		c.wbuf = nil
+		c.writing = true
 		c.mu.Unlock()
-		return false
-	}
-	var werr error
-	if len(c.wbuf) > 0 {
+
 		c.nc.SetWriteDeadline(time.Now().Add(r.writeTimeout)) //nolint:errcheck
-		n, err := c.nc.Write(c.wbuf)
+		n, err := c.nc.Write(buf)
 		r.bytesOut.Add(uint64(n))
-		c.wbuf = c.wbuf[:0]
-		werr = err
+
+		c.mu.Lock()
+		c.writing = false
+		if err != nil {
+			c.mu.Unlock()
+			c.teardown()
+			return false
+		}
+		if !c.tornDown && len(c.wbuf) == 0 {
+			c.wbuf = buf[:0] // recycle the detached buffer's capacity
+		}
+		// Loop: drain anything staged during the write, then settle close.
 	}
-	closeNow := werr != nil ||
-		(c.closeSeq != ^uint64(0) && c.wnext > c.closeSeq) ||
-		(c.readerDone && c.inflight == 0)
-	c.mu.Unlock()
-	if closeNow {
-		c.teardown()
-		return false
-	}
-	return true
 }
 
 // --- connections ---
@@ -506,6 +542,7 @@ type respConn struct {
 	pending     []*respFrame      // parsed frames awaiting their dispatch turn
 	running     *respFrame        // the frame currently at the core, if any
 	dispatching bool              // a dispatchNext loop is active on this conn
+	writing     bool              // a flushConn writer holds the socket
 	closeSeq    uint64            // seq whose flush closes the conn (^0 = none)
 	readerDone  bool
 	tornDown    bool
@@ -540,7 +577,9 @@ func (c *respConn) readLoop(core Core) {
 		fe.putRbuf(c.rb)
 		c.mu.Lock()
 		c.readerDone = true
-		idle := c.inflight == 0 && len(c.wbuf) == 0
+		// An active writer owns the conn's last reply; its flush loop settles
+		// the readerDone close itself (flushConn) — don't yank the socket.
+		idle := c.inflight == 0 && len(c.wbuf) == 0 && !c.writing
 		c.mu.Unlock()
 		if idle {
 			c.teardown()
@@ -552,6 +591,15 @@ func (c *respConn) readLoop(core Core) {
 			return
 		}
 		c.ensureSpace()
+		if c.fill == len(c.rb.b) {
+			// Defensive: ensureSpace caps the buffer above any single command
+			// the parser accepts, so a full buffer holding one incomplete
+			// command means the parser failed to bound it. Close rather than
+			// spin on zero-length reads.
+			fe.malformed.Inc()
+			core.Malformed()
+			return
+		}
 		n, err := c.nc.Read(c.rb.b[c.fill:])
 		if n > 0 {
 			c.fill += n

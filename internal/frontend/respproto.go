@@ -47,7 +47,22 @@ func respErrf(format string, args ...any) error {
 // args, the number of bytes consumed, and an error: errRESPIncomplete when
 // buf ends mid-command, a *respProtoError on a protocol violation, nil on
 // success. A consumed empty line (or "*0") yields zero args and nil error.
+//
+// The incomplete verdict is bounded: when buf ends mid-command, buf is by
+// definition a single command's prefix, so a prefix already past
+// maxRESPCommandBytes can never complete within budget and is rejected
+// outright. Without this, a prefix that happens to end at an arg boundary
+// (or mid-'$' header) would report incomplete forever while the reader's
+// buffer is capped — a zero-length-read spin.
 func parseRESPCommand(buf []byte, args [][]byte) ([][]byte, int, error) {
+	args, n, err := parseRESPCommandRaw(buf, args)
+	if errors.Is(err, errRESPIncomplete) && len(buf) > maxRESPCommandBytes {
+		return args, 0, respErrf("Protocol error: command too large")
+	}
+	return args, n, err
+}
+
+func parseRESPCommandRaw(buf []byte, args [][]byte) ([][]byte, int, error) {
 	if len(buf) == 0 {
 		return args, 0, errRESPIncomplete
 	}
@@ -82,9 +97,6 @@ func parseRESPCommand(buf []byte, args [][]byte) ([][]byte, int, error) {
 		}
 		end := next + int(blen)
 		if end+2 > len(buf) {
-			if len(buf) > maxRESPCommandBytes {
-				return args, 0, respErrf("Protocol error: command too large")
-			}
 			return args, 0, errRESPIncomplete
 		}
 		if buf[end] != '\r' || buf[end+1] != '\n' {

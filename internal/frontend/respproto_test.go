@@ -116,11 +116,36 @@ func TestParseRESPCommandMalformed(t *testing.T) {
 		})
 	}
 	// A valid-but-incomplete command larger than the command budget is
-	// rejected rather than buffered forever.
-	huge := []byte("*2\r\n$3\r\nSET\r\n$999999\r\n")
-	huge = append(huge, bytes.Repeat([]byte("v"), maxRESPCommandBytes)...)
-	if _, _, err := parseRESPCommand(huge, nil); err == nil || errors.Is(err, errRESPIncomplete) {
-		t.Fatalf("oversized incomplete command: got %v, want protocol error", err)
+	// rejected rather than buffered forever — on EVERY incomplete shape, not
+	// just mid-bulk-body. The arg-boundary and mid-'$'-header shapes below
+	// regression-test an infinite zero-length-read spin: they used to report
+	// incomplete forever while the reader's buffer was already at its cap.
+	// 2048-byte args cross the command cap after ~550 of the declared 1024
+	// args, so the buffer ends at an arg boundary with the command still
+	// incomplete.
+	atBoundary := []byte(fmt.Sprintf("*%d\r\n", maxRESPArgs))
+	arg := []byte("$2048\r\n" + strings.Repeat("k", 2048) + "\r\n")
+	for len(atBoundary) <= maxRESPCommandBytes {
+		atBoundary = append(atBoundary, arg...)
+	}
+	midHeader := append(append([]byte{}, atBoundary...), '$')
+	midBody := []byte("*2\r\n$3\r\nSET\r\n$999999\r\n")
+	midBody = append(midBody, bytes.Repeat([]byte("v"), maxRESPCommandBytes)...)
+	for _, tc := range []struct {
+		name string
+		in   []byte
+	}{
+		{"ends at arg boundary", atBoundary},
+		{"ends mid bulk header", midHeader},
+		{"ends mid bulk body", midBody},
+	} {
+		t.Run("oversized incomplete "+tc.name, func(t *testing.T) {
+			_, _, err := parseRESPCommand(tc.in, nil)
+			var pe *respProtoError
+			if !errors.As(err, &pe) {
+				t.Fatalf("got %v, want protocol error", err)
+			}
+		})
 	}
 }
 

@@ -236,6 +236,56 @@ func TestServeRESPFaultyConn(t *testing.T) {
 	}
 }
 
+// TestServeRESPOversizedCommand regression-tests a remotely triggerable spin:
+// a single command whose encoding exceeds the whole-command budget, with the
+// buffered prefix ending at an arg boundary, used to parse as "incomplete"
+// forever while the read buffer was already at its cap — an infinite
+// zero-length-read loop at 100% CPU. The server must instead answer with a
+// protocol error, close the connection, and keep serving others.
+func TestServeRESPOversizedCommand(t *testing.T) {
+	respPaths(t, func(t *testing.T, srv *Server, addr string) {
+		// ~550 complete 2KB args of a declared 1024-arg MGET: > 1.09MB of
+		// prefix, every byte of it ending on an arg boundary.
+		payload := []byte("*1024\r\n$4\r\nMGET\r\n")
+		arg := []byte("$2048\r\n" + strings.Repeat("k", 2048) + "\r\n")
+		for len(payload) <= 1<<20+64<<10 {
+			payload = append(payload, arg...)
+		}
+		nc, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		nc.SetDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+		if _, err := nc.Write(payload); err != nil {
+			// The server may have already rejected and closed mid-write;
+			// that's the behavior under test, not a failure.
+			t.Logf("write cut short (server closed early): %v", err)
+		}
+		var reply bytes.Buffer
+		buf := make([]byte, 4096)
+		for {
+			n, err := nc.Read(buf)
+			reply.Write(buf[:n])
+			if err != nil {
+				break // EOF: the server closed the connection
+			}
+		}
+		if !bytes.Contains(reply.Bytes(), []byte("Protocol error: command too large")) {
+			t.Fatalf("reply %q, want a command-too-large protocol error", reply.String())
+		}
+		// The listener must still be healthy.
+		c, err := frontend.DialRESP(addr, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.Ping(); err != nil {
+			t.Fatalf("server unhealthy after oversized command: %v", err)
+		}
+	})
+}
+
 // TestServeRESPMaxConns pins connection-scale admission: with MaxConns=1 the
 // second connection is told the budget is spent and closed at accept.
 func TestServeRESPMaxConns(t *testing.T) {
