@@ -83,7 +83,20 @@ func BenchmarkFig21FluctuationCycles(b *testing.B) {
 // below A/B the per-frame path against the batched pipeline, and each path
 // with and without the durability tier (walSync "" disables it; otherwise it
 // names the -wal-sync policy: "batch" or "interval").
-func benchmarkServe(b *testing.B, pipelined, observed bool, walSync string) {
+// serveBenchConfig selects the variant of the saturation A/B: execution path,
+// attached observability/durability tiers, and the ingestion tier's shape
+// (netQueues REUSEPORT queues; adapt swaps the static stage provider for the
+// online planner, which also sizes the effective reader count at startup).
+type serveBenchConfig struct {
+	pipelined bool
+	observed  bool
+	walSync   string
+	netQueues int
+	adapt     bool
+}
+
+func benchmarkServe(b *testing.B, cfg serveBenchConfig) {
+	pipelined, observed, walSync := cfg.pipelined, cfg.observed, cfg.walSync
 	const (
 		keys       = 8 << 10
 		frameQs    = 64
@@ -100,8 +113,13 @@ func benchmarkServe(b *testing.B, pipelined, observed bool, walSync string) {
 			b.Fatal(err)
 		}
 	}
-	opts := dido.ServerOptions{}
-	if pipelined {
+	opts := dido.ServerOptions{NetQueues: cfg.netQueues}
+	if cfg.adapt {
+		// The real deployment shape for the multi-queue A/B: -adapt prices
+		// RV/PP parallelism in the cost model and sizes the effective reader
+		// count at startup (a 1-CPU host gates extra queues off entirely).
+		opts.Pipeline = &dido.PipelineOptions{BatchInterval: 100 * time.Microsecond, Adapt: true}
+	} else if pipelined {
 		// The A/B isolates batched stage execution against per-frame
 		// goroutines, so the pipeline gets the shape appropriate for this
 		// CPU-only host: the single CPU stage (the same config the online
@@ -258,6 +276,34 @@ func benchmarkServe(b *testing.B, pipelined, observed bool, walSync string) {
 		b.Logf("wal: records=%d bytes=%d syncs=%d drops=%d",
 			ds.WAL.Records, ds.WAL.Bytes, ds.WAL.Syncs, ds.DroppedAcks)
 	}
+	reportQueueSpread(b, srv, "udp", cfg.netQueues)
+}
+
+// reportQueueSpread records the ingestion tier's shape in the bench output:
+// how many queues were effective (the platform can clamp and -adapt can gate
+// the requested count down) and the per-queue receive counters proving — or
+// disproving — that the kernel actually spread the load.
+func reportQueueSpread(b *testing.B, srv *dido.Server, name string, requested int) {
+	if requested <= 1 {
+		return
+	}
+	b.ReportMetric(float64(srv.NetQueues()), "queues_effective")
+	qs := srv.FrontendQueueStats(name)
+	if len(qs) <= 1 {
+		return
+	}
+	qmin, qmax := qs[0].Frames, qs[0].Frames
+	for _, q := range qs[1:] {
+		if q.Frames < qmin {
+			qmin = q.Frames
+		}
+		if q.Frames > qmax {
+			qmax = q.Frames
+		}
+	}
+	b.ReportMetric(float64(qmin)/1000, "kframes_qmin")
+	b.ReportMetric(float64(qmax)/1000, "kframes_qmax")
+	b.Logf("%s queue spread: %d queues, frames min=%d max=%d", name, len(qs), qmin, qmax)
 }
 
 // benchmarkServeSkew measures the pipelined path at saturation under a
@@ -402,8 +448,23 @@ func BenchmarkServeUniformAdaptSteal(b *testing.B) {
 	benchmarkServeSkew(b, 0, "adapt", 0)
 }
 
-func BenchmarkServePerFrame(b *testing.B)  { benchmarkServe(b, false, false, "") }
-func BenchmarkServePipelined(b *testing.B) { benchmarkServe(b, true, false, "") }
+func BenchmarkServePerFrame(b *testing.B)  { benchmarkServe(b, serveBenchConfig{}) }
+func BenchmarkServePipelined(b *testing.B) { benchmarkServe(b, serveBenchConfig{pipelined: true}) }
+
+// The Q4 variants shard ingestion across 4 SO_REUSEPORT queues (each with its
+// own reader, sender and address cache). RunParallel's per-goroutine clients
+// are distinct source sockets, so the kernel hashes them across the queues —
+// the per-queue frame counters in the bench log prove the spread. AdaptQ4 is
+// the deployment shape: the online planner prices RV/PP parallelism and sizes
+// the effective reader count at startup, so on a 1-CPU host queues_effective
+// reports the controller gating the extra readers off.
+func BenchmarkServePerFrameQ4(b *testing.B) { benchmarkServe(b, serveBenchConfig{netQueues: 4}) }
+func BenchmarkServePipelinedQ4(b *testing.B) {
+	benchmarkServe(b, serveBenchConfig{pipelined: true, netQueues: 4})
+}
+func BenchmarkServePipelinedAdaptQ4(b *testing.B) {
+	benchmarkServe(b, serveBenchConfig{pipelined: true, netQueues: 4, adapt: true})
+}
 
 // benchmarkServeRESP is the UDP A/B's TCP/RESP counterpart: the same store,
 // key space, value size and 5%-SET mix driven through the RESP front end with
@@ -412,7 +473,7 @@ func BenchmarkServePipelined(b *testing.B) { benchmarkServe(b, true, false, "") 
 // sequential-semantics contract: command runs seal at read↔write boundaries,
 // so a 64-command batch with interleaved SETs fragments into ~7 frames where
 // the binary protocol carries it as 1 (see bench_results.txt).
-func benchmarkServeRESP(b *testing.B, pipelined bool) {
+func benchmarkServeRESP(b *testing.B, pipelined bool, netQueues int) {
 	const (
 		keys       = 8 << 10
 		frameQs    = 64
@@ -427,7 +488,7 @@ func benchmarkServeRESP(b *testing.B, pipelined bool) {
 			b.Fatal(err)
 		}
 	}
-	opts := dido.ServerOptions{}
+	opts := dido.ServerOptions{NetQueues: netQueues}
 	if pipelined {
 		opts.Pipeline = &dido.PipelineOptions{
 			BatchInterval: 100 * time.Microsecond,
@@ -500,15 +561,23 @@ func benchmarkServeRESP(b *testing.B, pipelined bool) {
 	if ps, ok := srv.PipelineStats(); ok && ps.Batches > 0 {
 		b.ReportMetric(float64(ps.Queries)/float64(ps.Batches), "q/batch")
 	}
+	reportQueueSpread(b, srv, "resp", netQueues)
 }
 
-func BenchmarkServeRESPPerFrame(b *testing.B)  { benchmarkServeRESP(b, false) }
-func BenchmarkServeRESPPipelined(b *testing.B) { benchmarkServeRESP(b, true) }
+func BenchmarkServeRESPPerFrame(b *testing.B)  { benchmarkServeRESP(b, false, 1) }
+func BenchmarkServeRESPPipelined(b *testing.B) { benchmarkServeRESP(b, true, 1) }
+
+// BenchmarkServeRESPPipelinedQ4 shards the RESP accept path across 4
+// REUSEPORT listeners sharing one ConnGate; each per-goroutine client is its
+// own TCP connection, so the kernel spreads accepts across the listeners.
+func BenchmarkServeRESPPipelinedQ4(b *testing.B) { benchmarkServeRESP(b, true, 4) }
 
 // BenchmarkServePipelinedObserved is BenchmarkServePipelined with the full
 // observability layer attached: slow-query log on every frame completion and
 // an admin endpoint scraped every 50ms during the run.
-func BenchmarkServePipelinedObserved(b *testing.B) { benchmarkServe(b, true, true, "") }
+func BenchmarkServePipelinedObserved(b *testing.B) {
+	benchmarkServe(b, serveBenchConfig{pipelined: true, observed: true})
+}
 
 // The Durable variants attach the durability tier with -wal-sync batch (the
 // default: group-commit fsync before every ack). Group commit is what keeps
@@ -516,11 +585,15 @@ func BenchmarkServePipelinedObserved(b *testing.B) { benchmarkServe(b, true, tru
 // frames share one fsync. The Interval variants relax the ack-time fsync to a
 // 10ms background sync (acked writes can lose up to one interval on power
 // loss, not on process crash).
-func BenchmarkServePerFrameDurable(b *testing.B)  { benchmarkServe(b, false, false, "batch") }
-func BenchmarkServePipelinedDurable(b *testing.B) { benchmarkServe(b, true, false, "batch") }
+func BenchmarkServePerFrameDurable(b *testing.B) {
+	benchmarkServe(b, serveBenchConfig{walSync: "batch"})
+}
+func BenchmarkServePipelinedDurable(b *testing.B) {
+	benchmarkServe(b, serveBenchConfig{pipelined: true, walSync: "batch"})
+}
 func BenchmarkServePerFrameDurableInterval(b *testing.B) {
-	benchmarkServe(b, false, false, "interval")
+	benchmarkServe(b, serveBenchConfig{walSync: "interval"})
 }
 func BenchmarkServePipelinedDurableInterval(b *testing.B) {
-	benchmarkServe(b, true, false, "interval")
+	benchmarkServe(b, serveBenchConfig{pipelined: true, walSync: "interval"})
 }

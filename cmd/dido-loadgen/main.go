@@ -49,6 +49,30 @@ type kvClient interface {
 	Close() error
 }
 
+// roundRobin cycles frames across source sockets so a REUSEPORT-sharded
+// server sees more than one 4-tuple. The driver loop is single-threaded, so
+// no lock guards next.
+type roundRobin struct {
+	conns []kvClient
+	next  int
+}
+
+func (r *roundRobin) Do(qs []dido.Query) ([]dido.Response, error) {
+	c := r.conns[r.next]
+	r.next = (r.next + 1) % len(r.conns)
+	return c.Do(qs)
+}
+
+func (r *roundRobin) Close() error {
+	var first error
+	for _, c := range r.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:11311", "server address (UDP binary, or TCP RESP with -resp)")
 	resp := flag.Bool("resp", false, "drive the TCP/RESP2 frontend instead of the UDP binary protocol")
@@ -56,6 +80,7 @@ func main() {
 	wl := flag.String("workload", "K16-G95-U", "standard workload name (see README)")
 	dur := flag.Duration("duration", 10*time.Second, "run duration")
 	batch := flag.Int("batch", 128, "queries per frame")
+	srcConns := flag.Int("src-conns", 1, "source sockets to round-robin frames across (use >= the server's -net-queues so SO_REUSEPORT hashing can spread load over every queue)")
 	pop := flag.Uint64("population", 100000, "key population")
 	warm := flag.Bool("warm", true, "pre-load the population before measuring")
 	seed := flag.Int64("seed", 1, "generator seed")
@@ -86,7 +111,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := dido.ClientOptions{Timeout: *timeout, Retries: *retries, Backoff: *backoff, Seed: *seed}
+	if *srcConns < 1 {
+		*srcConns = 1
+	}
 	profile := faults.Profile{
 		Drop:    *faultDrop,
 		Dup:     *faultDup,
@@ -94,38 +121,50 @@ func main() {
 		Corrupt: *faultCorrupt,
 		Delay:   *faultDelay,
 	}
-	var injector *faults.Conn
-	if profile != (faults.Profile{}) {
+	injectFaults := profile != (faults.Profile{})
+	if injectFaults {
 		if *resp {
 			fmt.Fprintln(os.Stderr, "-fault-* flags inject on the UDP socket and cannot combine with -resp")
 			os.Exit(2)
-		}
-		opts.WrapConn = func(conn *net.UDPConn) dido.ClientConn {
-			injector = faults.Wrap(conn, faults.Symmetric(*faultSeed, profile))
-			return injector
 		}
 		fmt.Printf("fault injection armed: drop=%.2f dup=%.2f reorder=%.2f corrupt=%.2f delay=%v seed=%d\n",
 			*faultDrop, *faultDup, *faultReorder, *faultCorrupt, *faultDelay, *faultSeed)
 	}
 
-	var c kvClient
-	var udpClient *dido.Client
-	if *resp {
-		rc, err := frontend.DialRESP(*addr, *timeout)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dial resp:", err)
-			os.Exit(1)
+	// One client per source socket. A REUSEPORT-sharded server hashes flows
+	// by 4-tuple, so a single source socket pins every frame to one ingestion
+	// queue no matter how many queues the server opened; round-robining over
+	// -src-conns distinct sockets lets the kernel spread the load.
+	var injectors []*faults.Conn
+	var udpClients []*dido.Client
+	conns := make([]kvClient, *srcConns)
+	for i := range conns {
+		if *resp {
+			rc, err := frontend.DialRESP(*addr, *timeout)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dial resp:", err)
+				os.Exit(1)
+			}
+			conns[i] = rc
+			continue
 		}
-		c = rc
-	} else {
-		var err error
-		udpClient, err = dido.DialOpts(*addr, opts)
+		opts := dido.ClientOptions{Timeout: *timeout, Retries: *retries, Backoff: *backoff, Seed: *seed + int64(i)}
+		if injectFaults {
+			opts.WrapConn = func(conn *net.UDPConn) dido.ClientConn {
+				inj := faults.Wrap(conn, faults.Symmetric(*faultSeed+int64(len(injectors)), profile))
+				injectors = append(injectors, inj)
+				return inj
+			}
+		}
+		uc, err := dido.DialOpts(*addr, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dial:", err)
 			os.Exit(1)
 		}
-		c = udpClient
+		udpClients = append(udpClients, uc)
+		conns[i] = uc
 	}
+	c := &roundRobin{conns: conns}
 	defer c.Close()
 
 	var before map[string]float64
@@ -162,7 +201,7 @@ func main() {
 		}
 	}
 
-	fmt.Printf("running %s for %v (batch %d)...\n", spec.Name, *dur, *batch)
+	fmt.Printf("running %s for %v (batch %d, %d source conns)...\n", spec.Name, *dur, *batch, *srcConns)
 	deadline := time.Now().Add(*dur)
 	var sent, hits, misses, failedBusy, failedTimeout uint64
 	start := time.Now()
@@ -220,8 +259,14 @@ func main() {
 	fmt.Printf("sent %d queries in %v: %.1f KOPS, GET hit rate %.3f\n",
 		sent, elapsed.Round(time.Millisecond),
 		float64(sent)/elapsed.Seconds()/1000, hitRate)
-	if udpClient != nil {
-		cs := udpClient.Stats()
+	if len(udpClients) > 0 {
+		var cs dido.ClientStats
+		for _, uc := range udpClients {
+			s := uc.Stats()
+			cs.Retries += s.Retries
+			cs.Timeouts += s.Timeouts
+			cs.BusyRounds += s.BusyRounds
+		}
 		fmt.Printf("resilience: retries=%d timeouts=%d busy-rounds=%d failed[busy=%d timeout=%d]\n",
 			cs.Retries, cs.Timeouts, cs.BusyRounds, failedBusy, failedTimeout)
 	} else {
@@ -231,8 +276,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "GET hit rate %.3f below required %.3f\n", hitRate, *assertHitRate)
 		os.Exit(1)
 	}
-	if injector != nil {
-		fs := injector.Stats()
+	if len(injectors) > 0 {
+		var fs faults.Stats
+		for _, inj := range injectors {
+			s := inj.Stats()
+			fs.Dropped += s.Dropped
+			fs.Duplicated += s.Duplicated
+			fs.Reordered += s.Reordered
+			fs.Corrupted += s.Corrupted
+			fs.Delayed += s.Delayed
+		}
 		fmt.Printf("faults injected: drop=%d dup=%d reorder=%d corrupt=%d delayed=%d\n",
 			fs.Dropped, fs.Duplicated, fs.Reordered, fs.Corrupted, fs.Delayed)
 	}

@@ -26,6 +26,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -74,6 +75,7 @@ func main() {
 	maxSessions := flag.Int("text-max-sessions", 0, "text protocol session budget (0 = share -max-conns with the RESP frontend)")
 	maxConns := flag.Int("max-conns", 0, "stream connection budget across RESP + text frontends (0 = default 1024, negative = unlimited)")
 	respInflight := flag.Int("resp-conn-inflight", 0, "per-RESP-connection in-flight command-batch cap before shedding with -BUSY (0 = default)")
+	netQueues := flag.Int("net-queues", 1, "SO_REUSEPORT ingestion queues per frontend (UDP sockets / RESP listeners; clamped to 1 without kernel support, sized down by -adapt when extra readers cannot pay)")
 
 	pipelineMode := flag.String("pipeline", "off", "serving path: off = goroutine per frame, on = batched task-granular pipeline")
 	batchInterval := flag.Duration("batch-interval", 500*time.Microsecond, "pipeline: max wait before a partial batch executes")
@@ -116,6 +118,7 @@ func main() {
 		ReplyCacheSize:   *replyCache,
 		MaxConns:         *maxConns,
 		RESPConnInFlight: *respInflight,
+		NetQueues:        *netQueues,
 	}
 	streamFaults := faults.StreamConfig{
 		Seed:        *faultSeed,
@@ -188,11 +191,18 @@ func main() {
 		Corrupt: *faultCorrupt,
 		Delay:   *faultDelay,
 	}
-	var injector *faults.Conn
+	// With -net-queues > 1 the WrapConn hook fires once per REUSEPORT
+	// socket, so the injectors accumulate into a slice and the stats line
+	// sums them.
+	var injectorMu sync.Mutex
+	var injectors []*faults.Conn
 	if profile != (faults.Profile{}) {
 		opts.WrapConn = func(pc net.PacketConn) net.PacketConn {
-			injector = faults.Wrap(pc, faults.Symmetric(*faultSeed, profile))
-			return injector
+			injectorMu.Lock()
+			defer injectorMu.Unlock()
+			inj := faults.Wrap(pc, faults.Symmetric(*faultSeed+int64(len(injectors)), profile))
+			injectors = append(injectors, inj)
+			return inj
 		}
 		log.Printf("fault injection armed: drop=%.2f dup=%.2f reorder=%.2f corrupt=%.2f delay=%v seed=%d",
 			*faultDrop, *faultDup, *faultReorder, *faultCorrupt, *faultDelay, *faultSeed)
@@ -220,6 +230,10 @@ func main() {
 	// Wait for bind so the printed address is real.
 	log.Printf("dido-server listening on %s (arena %d MB, max-inflight %d, pipeline=%s adapt=%v)",
 		waitForBind("udp", srv.Addr, udpServed), *mem>>20, *maxInflight, *pipelineMode, *adapt)
+	if *netQueues > 1 {
+		log.Printf("ingestion queues: requested %d, effective %d (SO_REUSEPORT sharded readers)",
+			*netQueues, srv.NetQueues())
+	}
 
 	if *respAddr != "" {
 		respServed := make(chan struct{})
@@ -284,8 +298,19 @@ func main() {
 				if *hotKeys > 0 {
 					line += fmt.Sprintf(" hot=%d", s.HotHits)
 				}
-				if injector != nil {
-					fs := injector.Stats()
+				injectorMu.Lock()
+				var fs faults.Stats
+				for _, inj := range injectors {
+					is := inj.Stats()
+					fs.Dropped += is.Dropped
+					fs.Duplicated += is.Duplicated
+					fs.Reordered += is.Reordered
+					fs.Corrupted += is.Corrupted
+					fs.Delayed += is.Delayed
+				}
+				armed := len(injectors) > 0
+				injectorMu.Unlock()
+				if armed {
 					line += fmt.Sprintf(" faults[drop=%d dup=%d reorder=%d corrupt=%d]",
 						fs.Dropped, fs.Duplicated, fs.Reordered, fs.Corrupted)
 				}

@@ -47,6 +47,14 @@ type Planner struct {
 	// planners for the simulator's scalar executor are unchanged. The live
 	// server sets DefaultINSearchMLP when the wide path is enabled.
 	INSearchMLP float64
+	// RVReaders, when ≥ 1, models the live ingestion tier: RV and PP run on
+	// one reader goroutine per SO_REUSEPORT queue rather than on their
+	// stage's worker group, so their time divides by the reader count
+	// (capped by physical cores) regardless of the stage's core
+	// assignment — 1 prices the single-socket frontend honestly, N > 1 the
+	// sharded tier. 0 (the default) keeps stage-group pricing, which is
+	// what the simulator's executor actually does with RV/PP.
+	RVReaders int
 
 	// phpCache memoizes CacheHitPortion per workload shape: the Zipf
 	// harmonic sums are the single most expensive part of evaluating the
@@ -170,6 +178,9 @@ func (pl *Planner) taskTime(id task.ID, prof task.Profile, cfg pipeline.Config, 
 		if cores < 1 {
 			cores = 1
 		}
+		if id == task.RV {
+			cores = pl.readerCores(cores)
+		}
 		unit := p.RVUnitNanos
 		switch id {
 		case task.SD:
@@ -188,6 +199,10 @@ func (pl *Planner) taskTime(id task.ID, prof task.Profile, cfg pipeline.Config, 
 		cores := cfg.CoresFor(stage, spec.Cores)
 		if cores < 1 {
 			cores = 1
+		}
+		if id == task.PP {
+			// Parse runs on the ingestion readers (one per queue), like RV.
+			cores = pl.readerCores(cores)
 		}
 		// Sequential lines are served at the prefetcher's measured hit mix
 		// (a calibrated constant, like the paper's microbenchmarked unit
@@ -229,6 +244,20 @@ func (pl *Planner) taskTime(id task.ID, prof task.Profile, cfg pipeline.Config, 
 	// CAS/divergence serialization of update kernels (Fig 6's mechanism).
 	serial := d.GPUSerialFrac * d.MemAccesses * float64(d.Queries) * spec.MemLatency.Seconds()
 	return time.Duration((float64(wavesPerCU)*perWave + serial + spec.KernelLaunch.Seconds()) * float64(time.Second))
+}
+
+// readerCores is the parallelism RV and PP actually run at: the ingestion
+// reader count when the tier is sharded (each REUSEPORT queue drives its own
+// RV+PP goroutine), capped by physical cores; otherwise the stage's core
+// assignment, unchanged.
+func (pl *Planner) readerCores(stageCores int) int {
+	if pl.RVReaders < 1 {
+		return stageCores
+	}
+	if pl.RVReaders > pl.Platform.CPU.Cores {
+		return pl.Platform.CPU.Cores
+	}
+	return pl.RVReaders
 }
 
 // bytesTouched estimates the memory traffic of one task for bandwidth

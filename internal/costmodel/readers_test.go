@@ -1,0 +1,83 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/apu"
+	"repro/internal/task"
+)
+
+func sizerPlanner() *Planner {
+	return NewPlanner(apu.KaveriPlatform(), 200*time.Microsecond)
+}
+
+// A 1-CPU host must gate every extra reader off: a second reader would just
+// time-slice against the pipeline it feeds.
+func TestSizeReadersSingleCoreGatesOff(t *testing.T) {
+	pl := sizerPlanner()
+	if got := pl.SizeReaders(DefaultIngestProfile(), 1, 8); got != 1 {
+		t.Fatalf("SizeReaders(hostCores=1) = %d, want 1", got)
+	}
+	if got := pl.SizeReaders(DefaultIngestProfile(), 2, 8); got != 1 {
+		t.Fatalf("SizeReaders(hostCores=2) = %d, want 1 (cap hostCores-1)", got)
+	}
+}
+
+// The request is an upper bound: sizing never opens more queues than asked,
+// and never more than hostCores-1.
+func TestSizeReadersRespectsBounds(t *testing.T) {
+	pl := sizerPlanner()
+	prof := DefaultIngestProfile()
+	for _, req := range []int{1, 2, 4, 8} {
+		got := pl.SizeReaders(prof, 16, req)
+		if got < 1 || got > req {
+			t.Fatalf("SizeReaders(req=%d) = %d, out of [1,%d]", req, got, req)
+		}
+	}
+	if got := pl.SizeReaders(prof, 4, 8); got > 3 {
+		t.Fatalf("SizeReaders(hostCores=4, req=8) = %d, want ≤ 3", got)
+	}
+	if got := pl.SizeReaders(prof, 16, 0); got != 1 {
+		t.Fatalf("SizeReaders(req=0) = %d, want 1", got)
+	}
+}
+
+// Under the ingest-saturated profile on a multi-core host the model must
+// actually want more than one reader — otherwise -adapt would silently turn
+// -net-queues into a no-op everywhere and the sharded tier would be dead
+// code under adaptation.
+func TestSizeReadersScalesUpWhenIngestBound(t *testing.T) {
+	pl := sizerPlanner()
+	got := pl.SizeReaders(DefaultIngestProfile(), 16, 4)
+	if got < 2 {
+		t.Fatalf("SizeReaders(ingest-bound, hostCores=16, req=4) = %d, want ≥ 2", got)
+	}
+	// And it must leave the planner's RVReaders untouched (pure search).
+	if pl.RVReaders != 0 {
+		t.Fatalf("SizeReaders left RVReaders = %d, want 0", pl.RVReaders)
+	}
+}
+
+// The pricing term itself: with RVReaders set, predicted RV time shrinks and
+// whole-pipeline predicted throughput does not get worse.
+func TestRVReadersReducesPredictedRVTime(t *testing.T) {
+	pl := sizerPlanner()
+	prof := DefaultIngestProfile()
+	base, _ := pl.Best(prof)
+	pl.RVReaders = 4
+	sharded, _ := pl.Best(prof)
+	if sharded.ThroughputOPS < base.ThroughputOPS {
+		t.Fatalf("RVReaders=4 predicted %.0f ops, worse than single-reader %.0f",
+			sharded.ThroughputOPS, base.ThroughputOPS)
+	}
+	// Direct task check: price RV at batch 4096 in both modes.
+	cfg := base.Config
+	pl.RVReaders = 1
+	t1 := pl.taskTime(task.RV, prof, cfg, 4096)
+	pl.RVReaders = 4
+	t4 := pl.taskTime(task.RV, prof, cfg, 4096)
+	if t4 >= t1 {
+		t.Fatalf("RV time with 4 readers (%v) not below single reader (%v)", t4, t1)
+	}
+}

@@ -163,6 +163,33 @@ type Stats struct {
 	// All zero for datagram transports.
 	ConnsAccepted, ConnsShed uint64
 	ConnsActive              int
+	// SendErrs counts failed reply writes (datagram sends that errored,
+	// stream flushes that tore their connection down). The affected frames
+	// were dropped; datagram clients recover by retrying.
+	SendErrs uint64
+}
+
+// QueueStats is one ingestion queue's counter snapshot: a REUSEPORT socket
+// for the UDP frontend, an accept listener for stream frontends. The A/B
+// benches and the multi-queue tests read these to prove the kernel actually
+// spread flows across queues.
+type QueueStats struct {
+	// Frames counts frames submitted to the core from this queue.
+	Frames uint64
+	// BytesIn and BytesOut count transport payload bytes through this
+	// queue's socket(s).
+	BytesIn, BytesOut uint64
+	// SendErrs counts failed reply writes on this queue.
+	SendErrs uint64
+	// Conns counts connections accepted on this queue (stream frontends;
+	// zero for datagram queues).
+	Conns uint64
+}
+
+// QueueStatsSource is implemented by frontends that shard ingestion across
+// multiple REUSEPORT queues. A single-queue frontend reports one entry.
+type QueueStatsSource interface {
+	QueueStats() []QueueStats
 }
 
 // StatsSource is implemented by every frontend (and the text server) so the

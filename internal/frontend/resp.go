@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/proto"
 	"repro/internal/stats"
+	"repro/internal/udpbatch"
 )
 
 // RESP frontend: RESP2 over TCP. Reads are readiness-driven — one kernel read
@@ -59,9 +60,16 @@ type RESPOptions struct {
 	MeasureParse bool
 	// StampStart records the admission time per frame (slow-query log).
 	StampStart bool
+	// Listeners is how many SO_REUSEPORT accept sockets to open on the one
+	// address: the kernel shards connection readiness across them, and each
+	// runs its own accept loop feeding the shared Gate, so a busy accept
+	// queue on one listener does not serialize the others. ≤ 1 — and any
+	// value on a platform without SO_REUSEPORT — keeps one listener.
+	Listeners int
 }
 
-// RESP is the TCP/RESP2 frontend.
+// RESP is the TCP/RESP2 frontend, served from one or more REUSEPORT
+// listeners bound to one address.
 type RESP struct {
 	opts            RESPOptions
 	maxConnInFlight int
@@ -69,7 +77,7 @@ type RESP struct {
 	writeTimeout    time.Duration
 
 	mu    sync.Mutex
-	ln    net.Listener
+	lns   []*respListener // set by Listen, sockets closed (slice kept) by Shutdown
 	conns map[*respConn]struct{}
 
 	started  atomic.Bool
@@ -80,13 +88,21 @@ type RESP struct {
 	frames sync.Pool // *respFrame
 	rbufs  sync.Pool // *rbuf of respReadBufSize
 
-	nframes   stats.Counter
-	malformed stats.Counter
-	bytesIn   stats.Counter
-	bytesOut  stats.Counter
-	accepted  stats.Counter
-	shed      stats.Counter
-	active    stats.Gauge
+	malformed stats.Counter // shared: the reject path is rare enough not to shard
+	active    stats.Gauge   // shared: the Gate already owns the scale decision
+}
+
+// respListener is one accept queue: a REUSEPORT listener plus the counters
+// for the connections the kernel hashed to it.
+type respListener struct {
+	ln net.Listener
+
+	accepted stats.Counter
+	shed     stats.Counter
+	frames   stats.Counter
+	bytesIn  stats.Counter
+	bytesOut stats.Counter
+	sendErrs stats.Counter
 }
 
 // NewRESP returns an unbound RESP frontend.
@@ -120,14 +136,18 @@ func NewRESP(opts RESPOptions) *RESP {
 
 func (r *RESP) Name() string { return "resp" }
 
-// Listen binds the TCP listener.
+// Listen binds the accept socket(s).
 func (r *RESP) Listen(addr string) error {
-	ln, err := net.Listen("tcp", addr)
+	lns, err := udpbatch.ListenTCPQueues(addr, r.opts.Listeners)
 	if err != nil {
 		return err
 	}
+	qs := make([]*respListener, len(lns))
+	for i, ln := range lns {
+		qs[i] = &respListener{ln: ln}
+	}
 	r.mu.Lock()
-	r.ln = ln
+	r.lns = qs
 	r.mu.Unlock()
 	return nil
 }
@@ -136,19 +156,52 @@ func (r *RESP) Listen(addr string) error {
 func (r *RESP) Addr() net.Addr {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.ln == nil {
+	if len(r.lns) == 0 {
 		return nil
 	}
-	return r.ln.Addr()
+	return r.lns[0].ln.Addr()
 }
 
-// Run accepts connections until Interrupt. Each accepted connection gets a
-// reader goroutine; over-budget connections are told why and closed.
+// listeners returns the listener slice (immutable once Listen set it).
+func (r *RESP) listeners() []*respListener {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lns
+}
+
+// Run accepts connections on every listener until Interrupt — listener 0 on
+// the calling goroutine, keeping the blocking contract. Each accepted
+// connection gets a reader goroutine; over-budget connections are told why
+// and closed. All listeners share the one Gate, so the connection budget
+// stays global. A hard accept error on one listener closes the others so
+// Run can report it.
 func (r *RESP) Run(core Core) error {
+	qs := r.listeners()
 	r.started.Store(true)
 	defer close(r.runDone)
+	errs := make([]error, len(qs))
+	var wg sync.WaitGroup
+	for i := 1; i < len(qs); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = r.acceptLoop(core, qs[i])
+		}(i)
+	}
+	errs[0] = r.acceptLoop(core, qs[0])
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// acceptLoop is one listener's accept loop.
+func (r *RESP) acceptLoop(core Core, q *respListener) error {
 	for {
-		nc, err := r.ln.Accept()
+		nc, err := q.ln.Accept()
 		if err != nil {
 			if core.Draining() || r.stopping.Load() {
 				return nil
@@ -157,21 +210,24 @@ func (r *RESP) Run(core Core) error {
 			if errors.As(err, &ne) && ne.Timeout() {
 				continue
 			}
+			// Hard accept error: stop the sibling loops so Run returns it.
+			r.stopping.Store(true)
+			r.closeListeners()
 			return err
 		}
 		if g := r.opts.Gate; g != nil && !g.Acquire() {
-			r.shed.Inc()
+			q.shed.Inc()
 			nc.SetWriteDeadline(time.Now().Add(r.writeTimeout)) //nolint:errcheck
 			nc.Write([]byte("-ERR max number of clients reached\r\n"))
 			nc.Close()
 			continue
 		}
-		r.accepted.Inc()
+		q.accepted.Inc()
 		r.active.Add(1)
 		if r.opts.WrapConn != nil {
 			nc = r.opts.WrapConn(nc)
 		}
-		c := &respConn{fe: r, nc: nc, core: core, rb: r.getRbuf(respReadBufSize), closeSeq: ^uint64(0)}
+		c := &respConn{fe: r, q: q, nc: nc, core: core, rb: r.getRbuf(respReadBufSize), closeSeq: ^uint64(0)}
 		r.mu.Lock()
 		r.conns[c] = struct{}{}
 		r.mu.Unlock()
@@ -184,17 +240,20 @@ func (r *RESP) Run(core Core) error {
 	}
 }
 
-// Interrupt stops the accept loop and every connection reader, returning once
-// no further frame can reach the core. Connections stay open so in-flight
-// replies still flush.
+// closeListeners closes every accept socket (idempotent: double Close on a
+// net.Listener just returns an error).
+func (r *RESP) closeListeners() {
+	for _, q := range r.listeners() {
+		q.ln.Close()
+	}
+}
+
+// Interrupt stops the accept loops and every connection reader, returning
+// once no further frame can reach the core. Connections stay open so
+// in-flight replies still flush.
 func (r *RESP) Interrupt() {
 	r.stopping.Store(true)
-	r.mu.Lock()
-	ln := r.ln
-	r.mu.Unlock()
-	if ln != nil {
-		ln.Close()
-	}
+	r.closeListeners()
 	if r.started.Load() {
 		<-r.runDone
 	}
@@ -206,19 +265,16 @@ func (r *RESP) Interrupt() {
 	r.readers.Wait()
 }
 
-// Shutdown tears down every remaining connection.
+// Shutdown tears down every remaining connection. The listener slice
+// survives so stats remain readable.
 func (r *RESP) Shutdown() {
+	r.closeListeners()
 	r.mu.Lock()
-	ln := r.ln
-	r.ln = nil
 	conns := make([]*respConn, 0, len(r.conns))
 	for c := range r.conns {
 		conns = append(conns, c)
 	}
 	r.mu.Unlock()
-	if ln != nil {
-		ln.Close()
-	}
 	for _, c := range conns {
 		c.teardown()
 	}
@@ -237,17 +293,38 @@ func (r *RESP) removeConn(c *respConn) {
 	}
 }
 
-// FrontendStats snapshots the frontend's counters.
+// FrontendStats snapshots the frontend's counters, summed over its
+// listeners.
 func (r *RESP) FrontendStats() Stats {
-	return Stats{
-		Frames:        r.nframes.Load(),
-		Malformed:     r.malformed.Load(),
-		BytesIn:       r.bytesIn.Load(),
-		BytesOut:      r.bytesOut.Load(),
-		ConnsAccepted: r.accepted.Load(),
-		ConnsShed:     r.shed.Load(),
-		ConnsActive:   int(r.active.Load()),
+	st := Stats{
+		Malformed:   r.malformed.Load(),
+		ConnsActive: int(r.active.Load()),
 	}
+	for _, q := range r.listeners() {
+		st.Frames += q.frames.Load()
+		st.BytesIn += q.bytesIn.Load()
+		st.BytesOut += q.bytesOut.Load()
+		st.ConnsAccepted += q.accepted.Load()
+		st.ConnsShed += q.shed.Load()
+		st.SendErrs += q.sendErrs.Load()
+	}
+	return st
+}
+
+// QueueStats snapshots each accept queue's counters.
+func (r *RESP) QueueStats() []QueueStats {
+	qs := r.listeners()
+	out := make([]QueueStats, len(qs))
+	for i, q := range qs {
+		out[i] = QueueStats{
+			Frames:   q.frames.Load(),
+			BytesIn:  q.bytesIn.Load(),
+			BytesOut: q.bytesOut.Load(),
+			SendErrs: q.sendErrs.Load(),
+			Conns:    q.accepted.Load(),
+		}
+	}
+	return out
 }
 
 // --- read buffers ---
@@ -502,12 +579,13 @@ func (r *RESP) flushConn(c *respConn) bool {
 
 		c.nc.SetWriteDeadline(time.Now().Add(r.writeTimeout)) //nolint:errcheck
 		n, err := c.nc.Write(buf)
-		r.bytesOut.Add(uint64(n))
+		c.q.bytesOut.Add(uint64(n))
 
 		c.mu.Lock()
 		c.writing = false
 		if err != nil {
 			c.mu.Unlock()
+			c.q.sendErrs.Inc()
 			c.teardown()
 			return false
 		}
@@ -524,6 +602,7 @@ func (r *RESP) flushConn(c *respConn) bool {
 // mu-guarded reply-ordering state shared with deliveries.
 type respConn struct {
 	fe *RESP
+	q  *respListener // the accept queue that produced this connection
 	nc net.Conn
 
 	// Reader-only.
@@ -603,7 +682,7 @@ func (c *respConn) readLoop(core Core) {
 		n, err := c.nc.Read(c.rb.b[c.fill:])
 		if n > 0 {
 			c.fill += n
-			fe.bytesIn.Add(uint64(n))
+			c.q.bytesIn.Add(uint64(n))
 			if !c.consume(core) {
 				return
 			}
@@ -754,7 +833,7 @@ func (c *respConn) submitFrame(rf *respFrame) {
 	if fe.opts.StampStart {
 		f.Start = time.Now()
 	}
-	fe.nframes.Inc()
+	c.q.frames.Inc()
 
 	c.mu.Lock()
 	over := fe.maxConnInFlight > 0 && c.inflight >= fe.maxConnInFlight

@@ -15,8 +15,8 @@ import (
 
 // UDPOptions configures the binary-protocol UDP frontend.
 type UDPOptions struct {
-	// WrapConn wraps the listening socket before serving — the fault
-	// injector's hook.
+	// WrapConn wraps each listening socket before serving — the fault
+	// injector's hook. With multiple queues it runs once per queue socket.
 	WrapConn func(net.PacketConn) net.PacketConn
 	// Batched drains bursts of datagrams per kernel crossing (recvmmsg where
 	// available); set when the core serves the pipelined path, mirroring the
@@ -29,37 +29,62 @@ type UDPOptions struct {
 	MeasureParse bool
 	// StampStart records the admission time per frame (slow-query log).
 	StampStart bool
+	// Queues is how many SO_REUSEPORT sockets to shard ingestion across:
+	// each queue gets its own socket, reader goroutine (RV+PP), batched
+	// sender and address cache, so neither the receive loop, the reply
+	// sends nor the addr-key memoization serialize across queues. The
+	// kernel hashes client 4-tuples over the sockets, so same-source
+	// retries stay on one queue while distinct clients spread. ≤ 1 — and
+	// any value on a platform without SO_REUSEPORT — keeps the
+	// single-socket layout.
+	Queues int
 }
 
-// UDP is the batched binary protocol over a UDP socket: one datagram per
-// request frame, one or more per response. This is the serve loop that used
-// to live inside dido.Server, behind the Frontend interface.
+// UDP is the batched binary protocol over one or more UDP sockets bound to
+// one address: one datagram per request frame, one or more per response.
+// With Queues > 1 the kernel (SO_REUSEPORT) shards incoming flows across
+// per-queue sockets, each drained by its own reader — the RV/PP tier
+// partitioned the way the paper partitions every other pipeline task.
 type UDP struct {
 	opts UDPOptions
 
-	mu sync.Mutex
-	pc net.PacketConn
+	mu     sync.Mutex
+	queues []*udpQueue // set by Listen, sockets closed (slice kept) by Shutdown
 
 	started atomic.Bool
+	failed  atomic.Bool // a reader hit a hard socket error; peers drain out
 	runDone chan struct{}
 
 	bufs   sync.Pool // []byte of proto.MaxFrameBytes
 	frames sync.Pool // *udpFrame
-	addrs  addrCache
-	sender *udpbatch.Sender
 
-	nframes   stats.Counter
-	malformed stats.Counter
-	bytesIn   stats.Counter
-	bytesOut  stats.Counter
+	malformed stats.Counter // shared: the reject path is rare enough not to shard
+}
+
+// udpQueue is one ingestion queue: a REUSEPORT socket, the state its single
+// reader owns, and its own batched sender so replies leave through the
+// socket their request arrived on without crossing a shared lock.
+type udpQueue struct {
+	pc     net.PacketConn
+	sender *udpbatch.Sender
+	// addrs is touched only by this queue's reader goroutine (keyFor runs
+	// on the datagram path, before Admit), so it needs no lock.
+	addrs addrCache
+
+	nframes  stats.Counter
+	bytesIn  stats.Counter
+	bytesOut stats.Counter
+	sendErrs stats.Counter
 }
 
 // udpFrame is the UDP-private context of one frame: the receive buffer the
-// queries alias, the peer address, and the v2 framing bits the encoder needs.
+// queries alias, the peer address, the arrival queue (replies go back out
+// through it), and the v2 framing bits the encoder needs.
 type udpFrame struct {
 	f       Frame
 	buf     []byte
 	raddr   net.Addr
+	q       *udpQueue
 	v2      bool
 	count   int
 	queries []proto.Query
@@ -80,23 +105,25 @@ func NewUDP(opts UDPOptions) *UDP {
 
 func (u *UDP) Name() string { return "udp" }
 
-// Listen binds the socket (wrapped when configured). Addr is valid after.
+// Listen binds the queue sockets (each wrapped when configured). Addr is
+// valid after. The effective queue count is fixed here: the kernel keeps
+// hashing datagrams to every REUSEPORT socket whether or not anyone reads
+// it, so queues cannot be parked later without stranding their flows.
 func (u *UDP) Listen(addr string) error {
-	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	conns, err := udpbatch.ListenUDPQueues(addr, u.opts.Queues)
 	if err != nil {
 		return err
 	}
-	conn, err := net.ListenUDP("udp", udpAddr)
-	if err != nil {
-		return err
-	}
-	var pc net.PacketConn = conn
-	if u.opts.WrapConn != nil {
-		pc = u.opts.WrapConn(pc)
+	qs := make([]*udpQueue, len(conns))
+	for i, c := range conns {
+		var pc net.PacketConn = c
+		if u.opts.WrapConn != nil {
+			pc = u.opts.WrapConn(pc)
+		}
+		qs[i] = &udpQueue{pc: pc, sender: udpbatch.NewSender(pc)}
 	}
 	u.mu.Lock()
-	u.pc = pc
-	u.sender = udpbatch.NewSender(pc)
+	u.queues = qs
 	u.mu.Unlock()
 	return nil
 }
@@ -105,24 +132,67 @@ func (u *UDP) Listen(addr string) error {
 func (u *UDP) Addr() net.Addr {
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	if u.pc == nil {
+	if len(u.queues) == 0 {
 		return nil
 	}
-	return u.pc.LocalAddr()
+	return u.queues[0].pc.LocalAddr()
 }
 
-// Run is the read/admit/dispatch loop. It exits nil once core.Draining and
-// the socket read unblocks (Interrupt sets a read deadline); the socket stays
-// up so draining frames still answer, until Shutdown.
+// snapshot returns the queue slice (immutable once Listen set it).
+func (u *UDP) snapshot() []*udpQueue {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.queues
+}
+
+// Run starts one reader per queue — queue 0 on the calling goroutine,
+// keeping the blocking contract — and returns once all of them exited. Each
+// reader exits nil once core.Draining and its socket read unblocks
+// (Interrupt sets read deadlines); the sockets stay up so draining frames
+// still answer, until Shutdown. A hard socket error on one queue flags the
+// others out of their loops so Run can report it.
 func (u *UDP) Run(core Core) error {
+	qs := u.snapshot()
 	u.started.Store(true)
 	defer close(u.runDone)
-	if u.opts.Batched {
-		return u.runBatched(core)
+	errs := make([]error, len(qs))
+	var wg sync.WaitGroup
+	for i := 1; i < len(qs); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = u.runQueue(core, qs[i])
+		}(i)
 	}
+	errs[0] = u.runQueue(core, qs[0])
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runQueue is one queue's read/admit/dispatch loop.
+func (u *UDP) runQueue(core Core, q *udpQueue) error {
+	var err error
+	if u.opts.Batched {
+		err = u.runQueueBatched(core, q)
+	} else {
+		err = u.runQueueLoop(core, q)
+	}
+	if err != nil {
+		u.failed.Store(true)
+		u.kick() // unblock sibling readers so Run can return the error
+	}
+	return err
+}
+
+func (u *UDP) runQueueLoop(core Core, q *udpQueue) error {
 	for {
 		buf := u.bufs.Get().([]byte)
-		n, raddr, err := u.pc.ReadFrom(buf)
+		n, raddr, err := q.pc.ReadFrom(buf)
 		if err != nil {
 			u.bufs.Put(buf) //nolint:staticcheck // fixed-size buffer
 			if done, serr := u.readErr(core, err); done {
@@ -130,15 +200,15 @@ func (u *UDP) Run(core Core) error {
 			}
 			continue
 		}
-		u.handleDatagram(core, buf, n, raddr)
+		u.handleDatagram(core, q, buf, n, raddr)
 	}
 }
 
-// runBatched is the pipelined-path variant of Run: it drains bursts of
-// datagrams per kernel crossing (recvmmsg where available) before running the
-// same per-datagram admission.
-func (u *UDP) runBatched(core Core) error {
-	rcv := udpbatch.NewReceiver(u.pc)
+// runQueueBatched is the pipelined-path variant: it drains bursts of
+// datagrams per kernel crossing (recvmmsg where available) before running
+// the same per-datagram admission — per-reader frame batching.
+func (u *UDP) runQueueBatched(core Core, q *udpQueue) error {
+	rcv := udpbatch.NewReceiver(q.pc)
 	const burst = 16
 	bufs := make([][]byte, burst)
 	addrs := make([]net.Addr, burst)
@@ -164,15 +234,16 @@ func (u *UDP) runBatched(core Core) error {
 		for i := 0; i < got; i++ {
 			buf := bufs[i]
 			bufs[i] = nil // ownership moves to the frame
-			u.handleDatagram(core, buf, sizes[i], addrs[i])
+			u.handleDatagram(core, q, buf, sizes[i], addrs[i])
 		}
 	}
 }
 
-// readErr classifies a receive error: exit cleanly when draining, ride out
-// transient timeouts, fail on anything else.
+// readErr classifies a receive error: exit cleanly when draining (or when a
+// sibling reader already failed the frontend), ride out transient timeouts,
+// fail on anything else.
 func (u *UDP) readErr(core Core, err error) (done bool, _ error) {
-	if core.Draining() {
+	if core.Draining() || u.failed.Load() {
 		return true, nil
 	}
 	var ne net.Error
@@ -183,9 +254,10 @@ func (u *UDP) readErr(core Core, err error) (done bool, _ error) {
 }
 
 // handleDatagram runs one datagram through header check, core admission,
-// parse, and submission. It takes ownership of buf.
-func (u *UDP) handleDatagram(core Core, buf []byte, n int, raddr net.Addr) {
-	u.bytesIn.Add(uint64(n))
+// parse, and submission. It takes ownership of buf. Only q's reader
+// goroutine calls it for a given q.
+func (u *UDP) handleDatagram(core Core, q *udpQueue, buf []byte, n int, raddr net.Addr) {
+	q.bytesIn.Add(uint64(n))
 	count, reqID, v2, herr := proto.FrameHeader(buf[:n])
 	if herr != nil {
 		// Malformed or corrupted frame: drop, as a UDP service must.
@@ -195,11 +267,14 @@ func (u *UDP) handleDatagram(core Core, buf []byte, n int, raddr net.Addr) {
 		return
 	}
 	uf := u.frames.Get().(*udpFrame)
-	uf.buf, uf.raddr, uf.v2, uf.count = buf, raddr, v2, count
+	uf.buf, uf.raddr, uf.q, uf.v2, uf.count = buf, raddr, q, v2, count
 	f := &uf.f
 	f.ReqID = reqID
 	if u.opts.Dedupe && v2 && reqID != 0 {
-		f.AKey = u.addrs.keyFor(raddr)
+		// Address keys are plain strings, equal across queues for one peer,
+		// so the reply cache dedupes retries even when the kernel hashes a
+		// retry (new source port after a client reconnect) to another queue.
+		f.AKey = q.addrs.keyFor(raddr)
 	}
 	if u.opts.StampStart {
 		f.Start = time.Now()
@@ -222,33 +297,32 @@ func (u *UDP) handleDatagram(core Core, buf []byte, n int, raddr net.Addr) {
 	}
 	uf.queries = queries
 	f.Queries = queries
-	u.nframes.Inc()
+	q.nframes.Inc()
 	core.Submit(f)
 }
 
-// Interrupt unblocks the read loop via a read deadline and waits for it to
+// kick unblocks every queue's read with an expired deadline.
+func (u *UDP) kick() {
+	for _, q := range u.snapshot() {
+		q.pc.SetReadDeadline(time.Now()) //nolint:errcheck
+	}
+}
+
+// Interrupt unblocks all read loops via read deadlines and waits for them to
 // exit, so no further frame can reach the core.
 func (u *UDP) Interrupt() {
-	u.mu.Lock()
-	pc := u.pc
-	u.mu.Unlock()
-	if pc != nil {
-		pc.SetReadDeadline(time.Now()) //nolint:errcheck
-	}
+	u.kick()
 	if u.started.Load() {
 		<-u.runDone
 	}
 }
 
-// Shutdown closes the socket. Called after the core drained so every
-// in-flight frame got its response first.
+// Shutdown closes the queue sockets. Called after the core drained so every
+// in-flight frame got its response first. The queue slice survives so stats
+// remain readable.
 func (u *UDP) Shutdown() {
-	u.mu.Lock()
-	pc := u.pc
-	u.pc = nil
-	u.mu.Unlock()
-	if pc != nil {
-		pc.Close()
+	for _, q := range u.snapshot() {
+		q.pc.Close()
 	}
 }
 
@@ -290,34 +364,50 @@ func (u *UDP) Encode(f *Frame, resps []proto.Response) [][]byte {
 	return AppendResponseFrames(nil, f.ReqID, uf.v2, resps)
 }
 
-// Deliver writes each unit to the frame's peer; ok is false on the first
-// write error (oversized single value or transient failure: rest dropped).
+// Deliver writes each unit to the frame's peer through its arrival queue;
+// ok is false on the first write error (oversized single value or transient
+// failure: rest dropped, error counted on the queue).
 func (u *UDP) Deliver(f *Frame, units [][]byte) bool {
 	uf := f.Ctx.(*udpFrame)
+	q := uf.q
 	for _, out := range units {
-		if _, err := u.pc.WriteTo(out, uf.raddr); err != nil {
+		if _, err := q.pc.WriteTo(out, uf.raddr); err != nil {
+			q.sendErrs.Inc()
 			return false
 		}
-		u.bytesOut.Add(uint64(len(out)))
+		q.bytesOut.Add(uint64(len(out)))
 	}
 	return true
 }
 
-// DeliverBatch transmits one completed batch's datagrams in one batched send
-// (Linux sendmmsg — the WR/SD counterpart of batching queries into frames).
+// DeliverBatch transmits one completed batch's datagrams in as few batched
+// sends as the frames' arrival queues allow (Linux sendmmsg — the WR/SD
+// counterpart of batching queries into frames). Each reply leaves through
+// its own queue's sender: per-queue sendmmsg, no cross-queue lock. Frames
+// from one queue keep their order.
 func (u *UDP) DeliverBatch(fs []*Frame) {
-	msgs := make([]udpbatch.Message, 0, len(fs))
-	total := 0
-	for _, f := range fs {
-		uf := f.Ctx.(*udpFrame)
-		for _, out := range f.Units {
-			msgs = append(msgs, udpbatch.Message{Buf: out, Addr: uf.raddr})
-			total += len(out)
+	rem := fs
+	for len(rem) > 0 {
+		q := rem[0].Ctx.(*udpFrame).q
+		msgs := make([]udpbatch.Message, 0, len(rem))
+		total := 0
+		rest := rem[:0]
+		for _, f := range rem {
+			uf := f.Ctx.(*udpFrame)
+			if uf.q != q {
+				rest = append(rest, f)
+				continue
+			}
+			for _, out := range f.Units {
+				msgs = append(msgs, udpbatch.Message{Buf: out, Addr: uf.raddr})
+				total += len(out)
+			}
 		}
-	}
-	if len(msgs) > 0 {
-		u.sender.Send(msgs)
-		u.bytesOut.Add(uint64(total))
+		if len(msgs) > 0 {
+			q.sender.Send(msgs)
+			q.bytesOut.Add(uint64(total))
+		}
+		rem = rest
 	}
 }
 
@@ -342,6 +432,7 @@ func (u *UDP) Release(f *Frame) {
 	u.bufs.Put(uf.buf) //nolint:staticcheck // fixed-size buffer
 	uf.buf = nil
 	uf.raddr = nil
+	uf.q = nil
 	uf.v2 = false
 	uf.count = 0
 	if len(uf.queries) > 0 {
@@ -351,23 +442,41 @@ func (u *UDP) Release(f *Frame) {
 	u.frames.Put(uf)
 }
 
-// FrontendStats snapshots the frontend's counters.
+// FrontendStats snapshots the frontend's counters, summed over its queues.
 func (u *UDP) FrontendStats() Stats {
-	return Stats{
-		Frames:    u.nframes.Load(),
-		Malformed: u.malformed.Load(),
-		BytesIn:   u.bytesIn.Load(),
-		BytesOut:  u.bytesOut.Load(),
+	st := Stats{Malformed: u.malformed.Load()}
+	for _, q := range u.snapshot() {
+		st.Frames += q.nframes.Load()
+		st.BytesIn += q.bytesIn.Load()
+		st.BytesOut += q.bytesOut.Load()
+		st.SendErrs += q.sendErrs.Load()
 	}
+	return st
+}
+
+// QueueStats snapshots each ingestion queue's counters.
+func (u *UDP) QueueStats() []QueueStats {
+	qs := u.snapshot()
+	out := make([]QueueStats, len(qs))
+	for i, q := range qs {
+		out[i] = QueueStats{
+			Frames:   q.nframes.Load(),
+			BytesIn:  q.bytesIn.Load(),
+			BytesOut: q.bytesOut.Load(),
+			SendErrs: q.sendErrs.Load(),
+		}
+	}
+	return out
 }
 
 // addrCache memoizes net.Addr → string conversions so the reply-cache path
 // does not allocate a fresh address string per datagram. UDP addresses are
 // keyed by their comparable netip.AddrPort form; other address types fall
-// back to String().
+// back to String(). Each ingestion queue owns one, touched only by that
+// queue's single reader goroutine, so it is unlocked — the per-queue split
+// exists exactly so this memoization stops serializing readers.
 type addrCache struct {
-	mu sync.Mutex
-	m  map[netip.AddrPort]string
+	m map[netip.AddrPort]string
 }
 
 // addrCacheMax bounds the memoized address set; beyond it the map is reset
@@ -380,18 +489,13 @@ func (ac *addrCache) keyFor(a net.Addr) string {
 		return a.String()
 	}
 	ap := ua.AddrPort()
-	ac.mu.Lock()
 	if s, ok := ac.m[ap]; ok {
-		ac.mu.Unlock()
 		return s
 	}
-	ac.mu.Unlock()
 	s := a.String()
-	ac.mu.Lock()
 	if ac.m == nil || len(ac.m) >= addrCacheMax {
 		ac.m = make(map[netip.AddrPort]string, 64)
 	}
 	ac.m[ap] = s
-	ac.mu.Unlock()
 	return s
 }

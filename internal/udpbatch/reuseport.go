@@ -1,0 +1,96 @@
+// REUSEPORT listen helpers: the multi-queue ingestion tier opens N sockets
+// bound to one address and lets the kernel hash flows (4-tuples) across
+// them, one socket per reader goroutine. They live here with the rest of
+// the kernel-socket plumbing; the TCP variant serves the stream frontends'
+// sharded accept loops.
+
+package udpbatch
+
+import (
+	"context"
+	"net"
+)
+
+// MaxQueues clamps a requested ingestion queue count to what the platform
+// can shard one address across: n where SO_REUSEPORT exists (Linux), 1
+// elsewhere. Values below 1 mean "unsharded" and also yield 1.
+func MaxQueues(n int) int {
+	if n < 1 || !reusePortOK {
+		return 1
+	}
+	return n
+}
+
+// ListenUDPQueues opens queues UDP sockets bound to the same addr with
+// SO_REUSEPORT so the kernel spreads incoming flows across them — one
+// socket per ingestion queue, each safe for its own single reader (the
+// Receiver contract). queues ≤ 1, or any value on a platform without
+// SO_REUSEPORT, falls back to the plain single-socket listen. With a ":0"
+// addr the first socket picks the port and the rest bind to it.
+//
+// Note the queue count is fixed here, at socket-open time: the kernel keeps
+// hashing datagrams to every REUSEPORT socket whether or not anyone reads
+// it, so a queue without a live reader would strand its share of traffic.
+func ListenUDPQueues(addr string, queues int) ([]*net.UDPConn, error) {
+	queues = MaxQueues(queues)
+	if queues == 1 {
+		ua, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, err
+		}
+		c, err := net.ListenUDP("udp", ua)
+		if err != nil {
+			return nil, err
+		}
+		return []*net.UDPConn{c}, nil
+	}
+	lc := net.ListenConfig{Control: reusePortControl}
+	conns := make([]*net.UDPConn, 0, queues)
+	bind := addr
+	for i := 0; i < queues; i++ {
+		pc, err := lc.ListenPacket(context.Background(), "udp", bind)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, err
+		}
+		uc := pc.(*net.UDPConn)
+		conns = append(conns, uc)
+		if i == 0 {
+			bind = uc.LocalAddr().String()
+		}
+	}
+	return conns, nil
+}
+
+// ListenTCPQueues is ListenUDPQueues for stream listeners: queues accept
+// sockets on one address, each handed its own share of incoming connections
+// by the kernel, so accept readiness is sharded like datagram flows.
+func ListenTCPQueues(addr string, queues int) ([]net.Listener, error) {
+	queues = MaxQueues(queues)
+	if queues == 1 {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return []net.Listener{ln}, nil
+	}
+	lc := net.ListenConfig{Control: reusePortControl}
+	lns := make([]net.Listener, 0, queues)
+	bind := addr
+	for i := 0; i < queues; i++ {
+		ln, err := lc.Listen(context.Background(), "tcp", bind)
+		if err != nil {
+			for _, l := range lns {
+				l.Close()
+			}
+			return nil, err
+		}
+		lns = append(lns, ln)
+		if i == 0 {
+			bind = ln.Addr().String()
+		}
+	}
+	return lns, nil
+}

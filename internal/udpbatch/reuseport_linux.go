@@ -1,0 +1,22 @@
+//go:build linux
+
+package udpbatch
+
+import "syscall"
+
+const reusePortOK = true
+
+// soReusePort is SO_REUSEPORT (Linux ≥ 3.9); the syscall package does not
+// export it on every linux arch, so spell out the value.
+const soReusePort = 0xf
+
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	var serr error
+	err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	})
+	if err != nil {
+		return err
+	}
+	return serr
+}

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package udpbatch
+
+import "syscall"
+
+const reusePortOK = false
+
+// reusePortControl is never installed on platforms without SO_REUSEPORT
+// (MaxQueues clamps to 1 first); it exists so reuseport.go compiles.
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	return nil
+}

@@ -1,0 +1,146 @@
+package udpbatch
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestMaxQueuesClamp(t *testing.T) {
+	if got := MaxQueues(0); got != 1 {
+		t.Fatalf("MaxQueues(0) = %d, want 1", got)
+	}
+	if got := MaxQueues(-3); got != 1 {
+		t.Fatalf("MaxQueues(-3) = %d, want 1", got)
+	}
+	want := 1
+	if reusePortOK {
+		want = 8
+	}
+	if got := MaxQueues(8); got != want {
+		t.Fatalf("MaxQueues(8) = %d, want %d", got, want)
+	}
+}
+
+func TestListenUDPQueuesSamePort(t *testing.T) {
+	conns, err := ListenUDPQueues("127.0.0.1:0", 4)
+	if err != nil {
+		t.Fatalf("ListenUDPQueues: %v", err)
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	if want := MaxQueues(4); len(conns) != want {
+		t.Fatalf("got %d conns, want %d", len(conns), want)
+	}
+	addr := conns[0].LocalAddr().String()
+	for i, c := range conns {
+		if got := c.LocalAddr().String(); got != addr {
+			t.Fatalf("conn %d bound to %s, want %s", i, got, addr)
+		}
+	}
+}
+
+// TestListenUDPQueuesSpread proves the kernel actually hashes distinct
+// source 4-tuples across the REUSEPORT sockets: many source sockets send
+// one datagram each, and at least two queues must receive something.
+func TestListenUDPQueuesSpread(t *testing.T) {
+	conns, err := ListenUDPQueues("127.0.0.1:0", 4)
+	if err != nil {
+		t.Fatalf("ListenUDPQueues: %v", err)
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	if len(conns) == 1 {
+		t.Skip("no SO_REUSEPORT on this platform")
+	}
+	dst := conns[0].LocalAddr().String()
+	for i := 0; i < 64; i++ {
+		src, err := net.Dial("udp", dst)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		if _, err := src.Write([]byte{byte(i)}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		src.Close()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	buf := make([]byte, 16)
+	got := make([]int, len(conns))
+	total := 0
+	for qi, c := range conns {
+		c.SetReadDeadline(deadline)
+		for {
+			if _, _, err := c.ReadFrom(buf); err != nil {
+				break
+			}
+			got[qi]++
+			total++
+			if total == 64 {
+				break
+			}
+			// Drain what is already queued without waiting long for more.
+			c.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		}
+	}
+	active := 0
+	for _, n := range got {
+		if n > 0 {
+			active++
+		}
+	}
+	if active < 2 {
+		t.Fatalf("kernel did not spread flows: per-queue counts %v", got)
+	}
+}
+
+func TestListenTCPQueuesSamePort(t *testing.T) {
+	lns, err := ListenTCPQueues("127.0.0.1:0", 3)
+	if err != nil {
+		t.Fatalf("ListenTCPQueues: %v", err)
+	}
+	defer func() {
+		for _, l := range lns {
+			l.Close()
+		}
+	}()
+	if want := MaxQueues(3); len(lns) != want {
+		t.Fatalf("got %d listeners, want %d", len(lns), want)
+	}
+	addr := lns[0].Addr().String()
+	for i, l := range lns {
+		if got := l.Addr().String(); got != addr {
+			t.Fatalf("listener %d bound to %s, want %s", i, got, addr)
+		}
+	}
+	// A connect must land on exactly one listener and be acceptable there.
+	done := make(chan struct{})
+	go func() {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			c.Close()
+		}
+		close(done)
+	}()
+	accepted := make(chan net.Conn, len(lns))
+	for _, l := range lns {
+		go func(l net.Listener) {
+			if c, err := l.Accept(); err == nil {
+				accepted <- c
+			}
+		}(l)
+	}
+	select {
+	case c := <-accepted:
+		c.Close()
+	case <-time.After(2 * time.Second):
+		t.Fatal("no listener accepted the connection")
+	}
+	<-done
+}

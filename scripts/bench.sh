@@ -1,44 +1,56 @@
 #!/usr/bin/env bash
-# bench.sh — the serving-path A/B behind the front-end PR: the binary UDP
-# protocol vs the TCP/RESP2 front end, each on the per-frame and batched
-# pipeline paths, same store / key space / 5%-SET mix. Echoes the raw
-# `go test -bench` output and distills it into a machine-readable
-# BENCH_8.json (CI uploads it as a non-blocking artifact — shared runners
-# are far too noisy for benchmark numbers to gate merges).
+# bench.sh — the serving-path A/Bs: the binary UDP protocol vs the TCP/RESP2
+# front end, each on the per-frame and batched pipeline paths, and (this PR)
+# single-queue vs 4-way SO_REUSEPORT-sharded ingestion at saturation on both
+# protocols, same store / key space / 5%-SET mix. The Q4 rows carry
+# queues_effective plus per-queue receive counters (kframes_qmin/qmax) proving
+# the kernel actually spread the flows; the AdaptQ4 row shows the cost model
+# sizing the effective reader count (a 1-CPU host gates extra readers off).
+# Echoes the raw `go test -bench` output and distills it into a
+# machine-readable BENCH_9.json (CI uploads it as a non-blocking artifact —
+# shared runners are far too noisy for benchmark numbers to gate merges).
 #
 # Usage: scripts/bench.sh [out.json]
 #   BENCHTIME=3s scripts/bench.sh    # per-benchmark duration (default 3s)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_8.json}"
+OUT="${1:-BENCH_9.json}"
 BENCHTIME="${BENCHTIME:-3s}"
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench 'BenchmarkServe(PerFrame|Pipelined|RESPPerFrame|RESPPipelined)$' \
-    -benchtime "$BENCHTIME" -count 1 -timeout 1200s . | tee "$RAW"
+# Anchored: `PerFrame` alone must not match `PerFrameQ4` — the point of the
+# A/B is that the single-queue and Q4 rows are distinct.
+go test -run '^$' \
+    -bench '^BenchmarkServe(PerFrame|Pipelined|RESPPerFrame|RESPPipelined)(Q4)?$|^BenchmarkServePipelinedAdaptQ4$' \
+    -benchtime "$BENCHTIME" -count 1 -timeout 1800s . | tee "$RAW"
 
 awk -v host_cpus="$(nproc)" \
     -v go_version="$(go version | awk '{print $3}')" \
     -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     -v benchtime="$BENCHTIME" '
 # Result lines carry the metrics (kqops = served queries/s across all client
-# goroutines; q/batch = mean pipeline batch fill on the batched paths).
+# goroutines; q/batch = mean pipeline batch fill on the batched paths;
+# queues_effective + kframes_qmin/qmax = ingestion shard count and per-queue
+# receive spread on the Q4 rows).
 /^BenchmarkServe/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     order[++n] = name
     ns[name] = $3
     for (i = 4; i < NF; i++) {
-        if ($(i+1) == "kqops")   kqops[name] = $i
-        if ($(i+1) == "q/batch") qbatch[name] = $i
+        if ($(i+1) == "kqops")            kqops[name] = $i
+        if ($(i+1) == "q/batch")          qbatch[name] = $i
+        if ($(i+1) == "queues_effective") qeff[name] = $i
+        if ($(i+1) == "kframes_qmin")     qmin[name] = $i
+        if ($(i+1) == "kframes_qmax")     qmax[name] = $i
     }
 }
 END {
     printf "{\n"
-    printf "  \"issue\": 8,\n"
-    printf "  \"bench\": \"serving A/B: UDP binary protocol vs TCP/RESP2 front end, per-frame vs pipelined\",\n"
+    printf "  \"issue\": 9,\n"
+    printf "  \"bench\": \"ingestion A/B: single-queue vs SO_REUSEPORT-sharded (-net-queues 4) on UDP per-frame, UDP pipelined and RESP pipelined, plus adapt-sized readers\",\n"
     printf "  \"go\": \"%s\",\n  \"commit\": \"%s\",\n", go_version, commit
     printf "  \"host_cpus\": %s,\n  \"benchtime\": \"%s\",\n", host_cpus, benchtime
     printf "  \"benchmarks\": [\n"
@@ -47,6 +59,9 @@ END {
         printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns[name]
         if (kqops[name]  != "") printf ", \"kqops\": %s", kqops[name]
         if (qbatch[name] != "") printf ", \"q_per_batch\": %s", qbatch[name]
+        if (qeff[name]   != "") printf ", \"queues_effective\": %s", qeff[name]
+        if (qmin[name]   != "") printf ", \"kframes_qmin\": %s", qmin[name]
+        if (qmax[name]   != "") printf ", \"kframes_qmax\": %s", qmax[name]
         printf "}%s\n", (i < n ? "," : "")
     }
     printf "  ]\n}\n"

@@ -12,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/stats"
+	"repro/internal/udpbatch"
 )
 
 // Backend is the store surface the server serves. *Store implements it;
@@ -73,6 +74,15 @@ type ServerOptions struct {
 	// truncate the log (see server_durability.go). Opening it can fail (disk
 	// errors, corrupt snapshot) — use NewServerDurable to observe the error.
 	Durability *DurabilityOptions
+	// NetQueues is how many SO_REUSEPORT ingestion queues the UDP and RESP
+	// frontends shard across: per-queue sockets, reader goroutines and
+	// reply senders. The kernel hashes client 4-tuples over the queues, so
+	// clients must spread source sockets for the sharding to engage (see
+	// dido-loadgen's -src-conns). 0/1 means one queue; platforms without
+	// SO_REUSEPORT clamp to 1. Under Pipeline.Adapt the cost model sizes
+	// the effective count at startup — readers are placed like any other
+	// task, and a 1-CPU host gates extra readers off entirely.
+	NetQueues int
 }
 
 // Defaults for ServerOptions zero fields.
@@ -108,6 +118,11 @@ type Server struct {
 	closed    atomic.Bool
 
 	gate *frontend.Gate // connection-scale admission, shared across streams
+
+	// netQueues is the effective ingestion queue count: the request after
+	// platform clamping and (under -adapt) cost-model sizing. Fixed before
+	// any frontend listens.
+	netQueues int
 
 	pipe *serverPipeline // non-nil when opts.Pipeline is set
 	dur  *durability     // non-nil when opts.Durability is set
@@ -181,6 +196,9 @@ func newServer(b Backend, opts ServerOptions) (*Server, error) {
 	if cacheSize > 0 {
 		s.replies = newReplyCache(cacheSize)
 	}
+	// Clamp the queue request to the platform before initPipeline: the
+	// adaptive path re-sizes it with the cost model from there.
+	s.netQueues = udpbatch.MaxQueues(opts.NetQueues)
 	s.scratch.New = func() any { return &frameScratch{} }
 	// Durability opens before the pipeline: recovery must finish before any
 	// frame can execute, and initPipeline arms its LG hook only when s.dur
@@ -224,6 +242,7 @@ func (s *Server) Serve(addr string) error {
 		Dedupe:       s.replies != nil,
 		MeasureParse: s.pipe != nil && s.pipe.measureParse,
 		StampStart:   s.opts.SlowLog != nil,
+		Queues:       s.netQueues,
 	})
 	if err := fe.Listen(addr); err != nil {
 		return err
@@ -248,6 +267,7 @@ func (s *Server) ServeRESP(addr string) error {
 		WrapConn:        s.opts.WrapStreamConn,
 		MeasureParse:    s.pipe != nil && s.pipe.measureParse,
 		StampStart:      s.opts.SlowLog != nil,
+		Listeners:       s.netQueues,
 	})
 	if err := fe.Listen(addr); err != nil {
 		return err
@@ -484,6 +504,31 @@ func (s *Server) AttachFrontendStats(src frontend.StatsSource) {
 	s.mu.Lock()
 	s.statsSrcs = append(s.statsSrcs, src)
 	s.mu.Unlock()
+}
+
+// NetQueues reports the effective ingestion queue count the frontends shard
+// across: the configured request after platform clamping and, under
+// adaptive pipelining, cost-model sizing.
+func (s *Server) NetQueues() int { return s.netQueues }
+
+// FrontendQueueStats returns the named frontend's per-ingestion-queue
+// counters, or nil when that frontend is not serving or does not shard.
+// The multi-queue tests and benches use it to verify the kernel actually
+// spread flows across queues.
+func (s *Server) FrontendQueueStats(name string) []frontend.QueueStats {
+	s.mu.Lock()
+	srcs := make([]frontend.StatsSource, len(s.statsSrcs))
+	copy(srcs, s.statsSrcs)
+	s.mu.Unlock()
+	for _, src := range srcs {
+		if src.Name() != name {
+			continue
+		}
+		if qs, ok := src.(frontend.QueueStatsSource); ok {
+			return qs.QueueStats()
+		}
+	}
+	return nil
 }
 
 // Served returns the number of queries processed.

@@ -1,6 +1,7 @@
 package dido
 
 import (
+	"runtime"
 	"sync"
 	"time"
 
@@ -125,6 +126,18 @@ func (s *Server) initPipeline(po *PipelineOptions) {
 				// stages at large batch sizes.
 				pl.INSearchMLP = costmodel.DefaultINSearchMLP
 			}
+			if s.netQueues > 1 {
+				// Reader parallelism is a socket-open-time decision (a parked
+				// REUSEPORT socket would strand its kernel-hashed flows), so
+				// size it once here, like any other task placement, against
+				// the real host's schedulable cores; every later replan then
+				// prices RV/PP at the effective reader count.
+				s.netQueues = pl.SizeReaders(costmodel.DefaultIngestProfile(),
+					runtime.GOMAXPROCS(0), s.netQueues)
+			}
+			// ≥ 1 always: the live frontends run RV/PP on their reader
+			// goroutines, not on the stage worker group the simulator models.
+			pl.RVReaders = s.netQueues
 			sizer := &pipeline.BatchSizer{Interval: interval, Min: pl.MinBatch, Max: maxBatch}
 			sizer.Set(pipeline.DefaultInitialBatch)
 			pipe.ctrl = costmodel.NewController(pl, profiler.New(inner), pipeline.DefaultLiveConfig(), sizer)

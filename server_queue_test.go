@@ -1,0 +1,319 @@
+package dido
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// queueInjectors collects one fault injector per REUSEPORT queue socket —
+// with NetQueues > 1 the WrapConn hook fires once per socket, so the single
+// *faults.Conn idiom of the older chaos tests does not apply.
+type queueInjectors struct {
+	mu   sync.Mutex
+	conn []*faults.Conn
+}
+
+func (qi *queueInjectors) wrap(profile faults.Profile) func(net.PacketConn) net.PacketConn {
+	return func(pc net.PacketConn) net.PacketConn {
+		qi.mu.Lock()
+		defer qi.mu.Unlock()
+		inj := faults.Wrap(pc, faults.Symmetric(int64(1000+len(qi.conn)), profile))
+		qi.conn = append(qi.conn, inj)
+		return inj
+	}
+}
+
+func (qi *queueInjectors) stats() faults.Stats {
+	qi.mu.Lock()
+	defer qi.mu.Unlock()
+	var sum faults.Stats
+	for _, inj := range qi.conn {
+		s := inj.Stats()
+		sum.Dropped += s.Dropped
+		sum.Duplicated += s.Duplicated
+		sum.Reordered += s.Reordered
+		sum.Corrupted += s.Corrupted
+		sum.Delayed += s.Delayed
+	}
+	return sum
+}
+
+func (qi *queueInjectors) count() int {
+	qi.mu.Lock()
+	defer qi.mu.Unlock()
+	return len(qi.conn)
+}
+
+// activeQueues counts ingestion queues that received at least one frame.
+func activeQueues(srv *Server) (active, total int) {
+	qs := srv.FrontendQueueStats("udp")
+	for _, q := range qs {
+		if q.Frames > 0 {
+			active++
+		}
+	}
+	return active, len(qs)
+}
+
+// TestMultiQueueChaosEquivalence is the multi-queue acceptance test: a
+// 4-queue server behind per-queue fault injectors (drop + duplicate +
+// reorder on every socket) must behave exactly like the single-queue one
+// under the same chaos — zero client-visible errors, every value correct,
+// and every acked SET executed at most once even though duplicates and
+// retries may enter through any queue. Runs on both execution paths.
+func TestMultiQueueChaosEquivalence(t *testing.T) {
+	for _, pipelined := range []bool{false, true} {
+		name := "per-frame"
+		if pipelined {
+			name = "pipelined"
+		}
+		t.Run(name, func(t *testing.T) {
+			st := NewStore(StoreConfig{MemoryBytes: 16 << 20})
+			cb := &countingBackend{inner: st}
+			qi := &queueInjectors{}
+			opts := ServerOptions{
+				NetQueues: 4,
+				WrapConn: qi.wrap(faults.Profile{
+					Drop:    0.10,
+					Dup:     0.05,
+					Reorder: 0.10,
+				}),
+			}
+			if pipelined {
+				opts.Pipeline = &PipelineOptions{BatchInterval: 200 * time.Microsecond}
+			}
+			srv := NewServerOpts(cb, opts)
+			addr, errc := startServer(t, srv)
+			defer srv.Close()
+
+			if want := srv.NetQueues(); qi.count() != want {
+				t.Fatalf("injector wrapped %d sockets, server reports %d queues", qi.count(), want)
+			}
+
+			// Each client is its own source socket, so the kernel hashes the
+			// clients across the REUSEPORT queues.
+			const clients = 6
+			const rounds = 12
+			const batch = 4
+			var wg sync.WaitGroup
+			var totalSets atomic.Int64
+			for ci := 0; ci < clients; ci++ {
+				wg.Add(1)
+				go func(ci int) {
+					defer wg.Done()
+					c, err := DialOpts(addr, ClientOptions{
+						Timeout:    50 * time.Millisecond,
+						Retries:    30,
+						Backoff:    2 * time.Millisecond,
+						MaxBackoff: 20 * time.Millisecond,
+						Seed:       int64(ci + 1),
+					})
+					if err != nil {
+						t.Errorf("client %d dial: %v", ci, err)
+						return
+					}
+					defer c.Close()
+					for r := 0; r < rounds; r++ {
+						var sets []Query
+						for i := 0; i < batch; i++ {
+							sets = append(sets, Query{
+								Op:    OpSet,
+								Key:   []byte(fmt.Sprintf("c%d:r%02d:k%d", ci, r, i)),
+								Value: []byte(fmt.Sprintf("val-%d-%d-%d", ci, r, i)),
+							})
+						}
+						resps, err := c.Do(sets)
+						if err != nil {
+							t.Errorf("client %d round %d SET: %v", ci, r, err)
+							return
+						}
+						totalSets.Add(int64(len(sets)))
+						for i, resp := range resps {
+							if resp.Status != StatusOK {
+								t.Errorf("client %d round %d SET %d status %d", ci, r, i, resp.Status)
+								return
+							}
+						}
+						var gets []Query
+						for i := 0; i < batch; i++ {
+							gets = append(gets, Query{Op: OpGet, Key: sets[i].Key})
+						}
+						resps, err = c.Do(gets)
+						if err != nil {
+							t.Errorf("client %d round %d GET: %v", ci, r, err)
+							return
+						}
+						for i, resp := range resps {
+							want := fmt.Sprintf("val-%d-%d-%d", ci, r, i)
+							if resp.Status != StatusOK || string(resp.Value) != want {
+								t.Errorf("client %d round %d GET %d = %d %q, want OK %q",
+									ci, r, i, resp.Status, resp.Value, want)
+								return
+							}
+						}
+					}
+				}(ci)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+
+			// At-most-once across queues: duplicated datagrams and retried
+			// frames may arrive on any queue, yet each unique SET executed
+			// exactly once against the backend.
+			if got, want := int64(cb.setCount()), totalSets.Load(); got != want {
+				t.Fatalf("backend executed %d SETs for %d unique requests — dedupe broke across queues", got, want)
+			}
+
+			fs := qi.stats()
+			if fs.Dropped == 0 || fs.Duplicated == 0 || fs.Reordered == 0 {
+				t.Fatalf("injectors idle: %+v", fs)
+			}
+			if active, total := activeQueues(srv); total > 1 && active < 2 {
+				t.Fatalf("kernel did not spread %d clients across %d queues", clients, total)
+			} else {
+				t.Logf("chaos over %d/%d active queues: faults=%+v server=%+v", active, total, fs, srv.Stats())
+			}
+			srv.Close()
+			waitServe(t, errc)
+		})
+	}
+}
+
+// TestMultiQueueDurableRecovery pins commit-before-ack on the sharded
+// ingestion tier: SETs acked through a 4-queue durable server must all
+// survive an abrupt Close and reopen, regardless of which queue carried
+// them.
+func TestMultiQueueDurableRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st := NewStore(StoreConfig{MemoryBytes: 8 << 20})
+	srv := NewServerOpts(st, ServerOptions{
+		NetQueues:  4,
+		Durability: &DurabilityOptions{Dir: dir},
+		Pipeline:   &PipelineOptions{BatchInterval: 200 * time.Microsecond},
+	})
+	addr, errc := startServer(t, srv)
+
+	const clients = 4
+	const perClient = 16
+	var wg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := DialOpts(addr, ClientOptions{Seed: int64(ci + 1)})
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < perClient; i++ {
+				key := []byte(fmt.Sprintf("d%d:%d", ci, i))
+				if err := c.Set(key, []byte(fmt.Sprintf("v%d-%d", ci, i))); err != nil {
+					t.Errorf("set %s: %v", key, err)
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if active, total := activeQueues(srv); total > 1 && active < 2 {
+		t.Fatalf("durable writes all landed on one of %d queues", total)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	waitServe(t, errc)
+
+	// Recover into a fresh store; every acked SET must be present.
+	st2 := NewStore(StoreConfig{MemoryBytes: 8 << 20})
+	srv2 := NewServerOpts(st2, ServerOptions{Durability: &DurabilityOptions{Dir: dir}})
+	defer srv2.Close()
+	for ci := 0; ci < clients; ci++ {
+		for i := 0; i < perClient; i++ {
+			key := []byte(fmt.Sprintf("d%d:%d", ci, i))
+			want := fmt.Sprintf("v%d-%d", ci, i)
+			v, ok := st2.Get(key)
+			if !ok || string(v) != want {
+				t.Fatalf("after recovery %s = %q %v, want %q", key, v, ok, want)
+			}
+		}
+	}
+}
+
+// TestMultiQueueCloseDrains pins the graceful-drain contract with sharded
+// readers: Close during live multi-client traffic must interrupt every
+// queue's reader, wait for in-flight frames, and return cleanly — no hang,
+// no panic, and Serve returns nil.
+func TestMultiQueueCloseDrains(t *testing.T) {
+	for _, pipelined := range []bool{false, true} {
+		name := "per-frame"
+		if pipelined {
+			name = "pipelined"
+		}
+		t.Run(name, func(t *testing.T) {
+			st := NewStore(StoreConfig{MemoryBytes: 8 << 20})
+			opts := ServerOptions{NetQueues: 4}
+			if pipelined {
+				opts.Pipeline = &PipelineOptions{BatchInterval: 200 * time.Microsecond}
+			}
+			srv := NewServerOpts(st, opts)
+			addr, errc := startServer(t, srv)
+
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for ci := 0; ci < 6; ci++ {
+				wg.Add(1)
+				go func(ci int) {
+					defer wg.Done()
+					c, err := DialOpts(addr, ClientOptions{
+						Timeout: 20 * time.Millisecond,
+						Retries: 0,
+						Seed:    int64(ci + 1),
+					})
+					if err != nil {
+						return
+					}
+					defer c.Close()
+					for i := 0; !stop.Load(); i++ {
+						// Errors are expected once Close lands; the point is
+						// the server side must drain without hanging.
+						c.Set([]byte(fmt.Sprintf("dr%d:%d", ci, i)), []byte("v")) //nolint:errcheck
+					}
+				}(ci)
+			}
+
+			// Let traffic flow, then close mid-stream.
+			deadline := time.Now().Add(2 * time.Second)
+			for srv.Served() == 0 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			if srv.Served() == 0 {
+				t.Fatal("no traffic before Close")
+			}
+			closed := make(chan error, 1)
+			go func() { closed <- srv.Close() }()
+			select {
+			case err := <-closed:
+				if err != nil {
+					t.Fatalf("close: %v", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("Close hung draining multi-queue readers")
+			}
+			waitServe(t, errc)
+			stop.Store(true)
+			wg.Wait()
+		})
+	}
+}

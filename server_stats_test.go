@@ -233,6 +233,8 @@ func TestCollectMetricsNames(t *testing.T) {
 		`dido_frontend_conns_accepted_total{frontend="udp"}`,
 		`dido_frontend_conns_shed_total{frontend="udp"}`,
 		`dido_frontend_conns_active{frontend="udp"}`,
+		`dido_frontend_send_errors_total{frontend="udp"}`,
+		`dido_frontend_queues{frontend="udp"}`,
 		"dido_pipeline_batches_total", "dido_pipeline_queries_total",
 		"dido_pipeline_wide_batches_total", "dido_pipeline_reconfigs_total",
 		"dido_pipeline_submit_shed_total", "dido_pipeline_panics_total",
