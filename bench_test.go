@@ -22,6 +22,7 @@ import (
 	"repro/internal/frontend"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/proto"
 	"repro/internal/wal"
 	"repro/internal/zipf"
 )
@@ -465,6 +466,108 @@ func BenchmarkServePipelinedQ4(b *testing.B) {
 func BenchmarkServePipelinedAdaptQ4(b *testing.B) {
 	benchmarkServe(b, serveBenchConfig{pipelined: true, netQueues: 4, adapt: true})
 }
+
+// benchmarkServeScan prices the range-scan path at saturation: the same
+// loopback harness as the point-op A/B, but against an ordered store with a
+// zipf-skewed point-read/scan mix — 1 in 8 queries is a bounded 16-entry
+// SCAN starting at a zipf-sampled key, the rest are zipf GETs with the usual
+// 5% SETs (which now also pay the ordered-index upsert). The per-frame vs
+// pipelined pair shows what batched range merges (one MVCC snapshot set per
+// batch, task.SC) buy over per-frame scanning; entries/scan confirms scans
+// did real merge work rather than degenerating to point reads.
+func benchmarkServeScan(b *testing.B, pipelined bool) {
+	const (
+		keys       = 8 << 10
+		frameQs    = 64
+		valueBytes = 64
+		scanLimit  = 16
+	)
+	st := dido.NewStore(dido.StoreConfig{MemoryBytes: 64 << 20, Ordered: true})
+	val := make([]byte, valueBytes)
+	keyName := make([][]byte, keys)
+	for i := 0; i < keys; i++ {
+		keyName[i] = []byte(fmt.Sprintf("bench-key-%06d", i))
+		if err := st.Set(keyName[i], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	opts := dido.ServerOptions{}
+	if pipelined {
+		opts.Pipeline = &dido.PipelineOptions{
+			BatchInterval: 100 * time.Microsecond,
+			Provider: &pipeline.StaticProvider{
+				Config:   pipeline.Config{GPUDepth: 0},
+				Interval: 100 * time.Microsecond,
+				MinBatch: pipeline.DefaultLiveMinBatch,
+				MaxBatch: pipeline.DefaultLiveMaxBatch,
+			},
+		}
+	}
+	srv := dido.NewServerOpts(st, opts)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve("127.0.0.1:0") }()
+	for srv.Addr() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	addr := srv.Addr().String()
+	defer func() {
+		srv.Close()
+		if err := <-errc; err != nil {
+			b.Fatal(err)
+		}
+	}()
+
+	b.SetParallelism(32)
+	var cursor atomic.Int64
+	var failed atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c, err := dido.Dial(addr)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer c.Close()
+		zg := zipf.NewGenerator(keys, 0.99, 7919*cursor.Add(1))
+		qs := make([]dido.Query, frameQs)
+		for pb.Next() {
+			for i := range qs {
+				k := keyName[zg.Next()%keys]
+				switch {
+				case i%8 == 7: // 12.5% SCAN
+					qs[i] = proto.ScanQuery(k, nil, scanLimit)
+				case i%20 == 19: // 5% SET
+					qs[i] = dido.Query{Op: dido.OpSet, Key: k, Value: val}
+				default:
+					qs[i] = dido.Query{Op: dido.OpGet, Key: k}
+				}
+			}
+			if _, err := c.Do(qs); err != nil {
+				if errors.Is(err, dido.ErrBusy) || errors.Is(err, dido.ErrTimeout) {
+					failed.Add(1)
+					continue
+				}
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	served := float64(b.N) - float64(failed.Load())
+	b.ReportMetric(served*frameQs/b.Elapsed().Seconds()/1000, "kqops")
+	if ss := st.Stats(); ss.Scans > 0 {
+		b.ReportMetric(float64(ss.ScanEntries)/float64(ss.Scans), "entries/scan")
+	}
+	if ps, ok := srv.PipelineStats(); ok && ps.Batches > 0 {
+		b.ReportMetric(float64(ps.Queries)/float64(ps.Batches), "q/batch")
+	}
+	if n := failed.Load(); n > 0 {
+		b.Logf("%d of %d frames failed their retry budget (busy/timeout)", n, b.N)
+	}
+}
+
+func BenchmarkServeScanPerFrame(b *testing.B)  { benchmarkServeScan(b, false) }
+func BenchmarkServeScanPipelined(b *testing.B) { benchmarkServeScan(b, true) }
 
 // benchmarkServeRESP is the UDP A/B's TCP/RESP counterpart: the same store,
 // key space, value size and 5%-SET mix driven through the RESP front end with

@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -40,6 +41,7 @@ import (
 	"repro"
 	"repro/internal/faults"
 	"repro/internal/frontend"
+	"repro/internal/proto"
 	"repro/internal/workload"
 )
 
@@ -84,6 +86,8 @@ func main() {
 	pop := flag.Uint64("population", 100000, "key population")
 	warm := flag.Bool("warm", true, "pre-load the population before measuring")
 	seed := flag.Int64("seed", 1, "generator seed")
+	scanRatio := flag.Float64("scan-ratio", 0, "fraction of queries replaced with SCAN range reads starting at a random population key (needs a server with an ordered index)")
+	scanLimit := flag.Int("scan-limit", 64, "entries per SCAN (with -scan-ratio)")
 
 	report := flag.Duration("report", 0, "progress report interval (0 disables)")
 
@@ -179,6 +183,12 @@ func main() {
 		before = m
 	}
 
+	if *scanRatio < 0 || *scanRatio > 1 {
+		fmt.Fprintln(os.Stderr, "-scan-ratio must be in [0,1]")
+		os.Exit(2)
+	}
+	scanRng := rand.New(rand.NewSource(*seed + 7919))
+
 	gen := workload.NewGenerator(spec, *pop, *seed)
 	if *warm {
 		fmt.Printf("warming %d keys...\n", *pop)
@@ -204,6 +214,7 @@ func main() {
 	fmt.Printf("running %s for %v (batch %d, %d source conns)...\n", spec.Name, *dur, *batch, *srcConns)
 	deadline := time.Now().Add(*dur)
 	var sent, hits, misses, failedBusy, failedTimeout uint64
+	var scansSent, scanEntriesGot, scanErrs uint64
 	start := time.Now()
 	lastReport, lastSent := start, uint64(0)
 	for time.Now().Before(deadline) {
@@ -219,6 +230,14 @@ func main() {
 			}
 		}
 		qs := gen.Batch(*batch)
+		if *scanRatio > 0 {
+			for i := range qs {
+				if scanRng.Float64() < *scanRatio {
+					start := gen.KeyAt(uint64(scanRng.Int63n(int64(*pop)))+1, nil)
+					qs[i] = proto.ScanQuery(start, nil, *scanLimit)
+				}
+			}
+		}
 		resps, err := c.Do(qs)
 		if err != nil {
 			// Under overload or heavy loss a request can exhaust its retry
@@ -242,6 +261,20 @@ func main() {
 			// inside Do and never reach here).
 			if r.Status == dido.StatusBusy {
 				failedBusy++
+				continue
+			}
+			if qs[i].Op == dido.OpScan {
+				scansSent++
+				if r.Status == dido.StatusOK {
+					n, err := proto.DecodeScanResult(r.Value, func(_, _ []byte) bool { return true })
+					if err != nil {
+						scanErrs++
+					} else {
+						scanEntriesGot += uint64(n)
+					}
+				} else {
+					scanErrs++
+				}
 				continue
 			}
 			if qs[i].Op != dido.OpGet {
@@ -272,6 +305,13 @@ func main() {
 	} else {
 		fmt.Printf("resilience: failed[busy=%d timeout=%d]\n", failedBusy, failedTimeout)
 	}
+	if *scanRatio > 0 {
+		fmt.Printf("scans: sent=%d entries=%d errors=%d\n", scansSent, scanEntriesGot, scanErrs)
+		if scansSent > 0 && scanErrs == scansSent {
+			fmt.Fprintln(os.Stderr, "every SCAN failed — is the server running with -ordered?")
+			os.Exit(1)
+		}
+	}
 	if *assertHitRate > 0 && hitRate < *assertHitRate {
 		fmt.Fprintf(os.Stderr, "GET hit rate %.3f below required %.3f\n", hitRate, *assertHitRate)
 		os.Exit(1)
@@ -294,7 +334,7 @@ func main() {
 		// A run that warmed or carries SETs must have advanced the WAL
 		// counters on a durable server; GET-only unwarmed runs commit nothing.
 		expectWrites := *warm || spec.GetRatio < 1
-		if err := checkScrape(*scrape, before, expectWrites); err != nil {
+		if err := checkScrape(*scrape, before, expectWrites, scansSent, scanEntriesGot); err != nil {
 			fmt.Fprintln(os.Stderr, "scrape:", err)
 			if *scrapeAssert {
 				os.Exit(1)
@@ -334,7 +374,7 @@ func scrapeMetrics(base string) (map[string]float64, error) {
 // server must have served something, a durable server's WAL counters must
 // have advanced when the run carried writes, and /config and /trace must
 // answer with valid JSON. The first violation is returned as an error.
-func checkScrape(base string, before map[string]float64, expectWrites bool) error {
+func checkScrape(base string, before map[string]float64, expectWrites bool, scansSent, scanEntries uint64) error {
 	after, err := scrapeMetrics(base)
 	if err != nil {
 		return err
@@ -369,6 +409,18 @@ func checkScrape(base string, before map[string]float64, expectWrites bool) erro
 		}
 		if after["dido_wal_bytes_total"] == 0 {
 			return fmt.Errorf("dido_wal_bytes_total is 0 with %v records committed", after["dido_wal_records_total"])
+		}
+	}
+	// Scan audit: a run that sent SCANs against a scannable server must have
+	// advanced the dido_scan_* counters (requests always; entries whenever the
+	// client actually decoded some back).
+	if scansSent > 0 {
+		if after["dido_scan_requests_total"] <= before["dido_scan_requests_total"] {
+			return fmt.Errorf("sent %d SCANs but dido_scan_requests_total did not advance (%v -> %v)",
+				scansSent, before["dido_scan_requests_total"], after["dido_scan_requests_total"])
+		}
+		if scanEntries > 0 && after["dido_scan_entries_total"] <= before["dido_scan_entries_total"] {
+			return fmt.Errorf("decoded %d scan entries but dido_scan_entries_total did not advance", scanEntries)
 		}
 	}
 	fmt.Printf("scrape: %d samples, %d *_total counters monotonic, served=%.0f frames=%.0f wal-records=%.0f\n",

@@ -738,7 +738,7 @@ func (c *respConn) ensureSpace() {
 // sequential (redis) semantics hold only for frames of a single class.
 func respCmdClass(name []byte) int {
 	switch {
-	case upperEq(name, "GET"), upperEq(name, "MGET"):
+	case upperEq(name, "GET"), upperEq(name, "MGET"), upperEq(name, "SCAN"):
 		return 1
 	case upperEq(name, "SET"), upperEq(name, "DEL"):
 		return 2

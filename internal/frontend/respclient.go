@@ -56,6 +56,13 @@ func (c *RESPClient) Do(queries []proto.Query) ([]proto.Response, error) {
 			c.wbuf = appendRESPCommand(c.wbuf, [][]byte{[]byte("SET"), q.Key, q.Value})
 		case proto.OpDelete:
 			c.wbuf = appendRESPCommand(c.wbuf, [][]byte{[]byte("DEL"), q.Key})
+		case proto.OpScan:
+			limit, end, err := proto.ParseScanArg(q.Value)
+			if err != nil {
+				return nil, fmt.Errorf("resp client: bad scan arg: %w", err)
+			}
+			c.wbuf = appendRESPCommand(c.wbuf, [][]byte{
+				[]byte("SCAN"), q.Key, end, appendRESPIntBytes(nil, int64(limit))})
 		default:
 			return nil, fmt.Errorf("resp client: unsupported op %v", q.Op)
 		}
@@ -70,9 +77,29 @@ func (c *RESPClient) Do(queries []proto.Query) ([]proto.Response, error) {
 		if err != nil {
 			return nil, err
 		}
-		resps[i] = v.toResponse()
+		if queries[i].Op == proto.OpScan {
+			resps[i] = v.toScanResponse()
+		} else {
+			resps[i] = v.toResponse()
+		}
 	}
 	return resps, nil
+}
+
+// Scan issues one SCAN start end limit and decodes the array reply.
+func (c *RESPClient) Scan(start, end []byte, limit int) ([]proto.ScanEntry, error) {
+	if limit < 0 {
+		limit = 0
+	}
+	v, err := c.Cmd([]byte("SCAN"), start, end, appendRESPIntBytes(nil, int64(limit)))
+	if err != nil {
+		return nil, err
+	}
+	r := v.toScanResponse()
+	if r.Status != proto.StatusOK {
+		return nil, fmt.Errorf("resp client: SCAN error: %s", v.str)
+	}
+	return proto.ParseScanResult(r.Value)
 }
 
 // MGet issues one MGET for keys and maps the array reply ($-1 → NotFound).
@@ -172,6 +199,30 @@ func (v respValue) toResponse() proto.Response {
 	default:
 		return proto.Response{Status: proto.StatusError}
 	}
+}
+
+// toScanResponse maps a SCAN array reply onto the binary protocol's response
+// space, re-encoding the alternating key/value bulks as a DKV2 scan result
+// block — both front ends then hand callers byte-identical SCAN responses,
+// which the cross-path equivalence tests lean on.
+func (v respValue) toScanResponse() proto.Response {
+	if v.typ == '-' {
+		if bytes.HasPrefix(v.str, []byte("BUSY")) {
+			return proto.Response{Status: proto.StatusBusy}
+		}
+		return proto.Response{Status: proto.StatusError, Value: v.str}
+	}
+	if v.typ != '*' || len(v.arr)%2 != 0 {
+		return proto.Response{Status: proto.StatusError}
+	}
+	dst, mark := proto.BeginScanResult(nil)
+	n := 0
+	for i := 0; i+1 < len(v.arr); i += 2 {
+		dst = proto.AppendScanEntry(dst, v.arr[i].str, v.arr[i+1].str)
+		n++
+	}
+	proto.FinishScanResult(dst, mark, n)
+	return proto.Response{Status: proto.StatusOK, Value: dst}
 }
 
 func (c *RESPClient) readReply() (respValue, error) {

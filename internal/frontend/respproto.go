@@ -196,6 +196,7 @@ const (
 	rcSet
 	rcDel
 	rcMGet
+	rcScan
 	rcPing
 	rcEcho
 	rcQuit
@@ -268,6 +269,25 @@ func buildRESPCommand(args [][]byte, queries []proto.Query) (respCmd, []proto.Qu
 			queries = append(queries, proto.Query{Op: proto.OpGet, Key: k})
 		}
 		return respCmd{kind: rcMGet, nq: len(args) - 1}, queries
+	case upperEq(name, "SCAN"):
+		// SCAN start end [limit]: range scan over [start, end) — not redis's
+		// cursor SCAN. Empty start means the smallest key; empty end means
+		// unbounded; limit 0/omitted means the server default. Paginate by
+		// re-issuing with start = last key + "\x00".
+		if len(args) != 3 && len(args) != 4 {
+			return respArityErr("scan"), queries
+		}
+		limit := int64(0)
+		if len(args) == 4 {
+			var ok bool
+			limit, ok = respInt(args[3])
+			if !ok || limit < 0 {
+				return respCmd{kind: rcErr,
+					errMsg: "ERR value is not an integer or out of range"}, queries
+			}
+		}
+		queries = append(queries, proto.ScanQuery(args[1], args[2], int(limit)))
+		return respCmd{kind: rcScan, nq: 1}, queries
 	case upperEq(name, "PING"):
 		if len(args) > 2 {
 			return respArityErr("ping"), queries
@@ -398,6 +418,27 @@ func appendRESPReplies(dst []byte, cmds []respCmd, resps []proto.Response) []byt
 					dst = append(dst, respNilBulk...)
 				}
 			}
+		case rcScan:
+			r := resps[qi]
+			if r.Status != proto.StatusOK {
+				dst = appendRESPStatusErr(dst, r.Status)
+				break
+			}
+			// Flat array of alternating key/value bulks. First pass counts
+			// (and validates) the block; second renders it.
+			n, err := proto.DecodeScanResult(r.Value, func(_, _ []byte) bool { return true })
+			if err != nil {
+				dst = append(dst, "-ERR internal error\r\n"...)
+				break
+			}
+			dst = append(dst, '*')
+			dst = appendRESPIntBytes(dst, int64(2*n))
+			dst = append(dst, '\r', '\n')
+			proto.DecodeScanResult(r.Value, func(k, v []byte) bool {
+				dst = appendRESPBulk(dst, k)
+				dst = appendRESPBulk(dst, v)
+				return true
+			})
 		case rcPing:
 			if c.arg == nil {
 				dst = append(dst, "+PONG\r\n"...)

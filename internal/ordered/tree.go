@@ -1,0 +1,422 @@
+// Package ordered is the store's MVCC ordered index: a left-leaning
+// red-black tree (Sedgewick's 2-3 variant) mapping binary keys to uint64
+// payloads, written through path-copying so that every mutation publishes a
+// brand-new immutable root. Readers take a Snapshot — one atomic pointer
+// load — and iterate it without locks, without retries, and without ever
+// blocking a writer; writers serialize among themselves on a mutex and
+// never touch a node reachable from a published root.
+//
+// The tree deliberately stores only a fixed-size payload (the store keeps a
+// slab location there, see internal/store), so a snapshot pins O(live keys)
+// node memory but zero value bytes: value reads go through the seqlock slab
+// at scan time and stay current, while the *key set* a scan walks is one
+// frozen version.
+package ordered
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+)
+
+// node is one immutable tree node. Once a node is reachable from a root
+// published by Tree.state it is never mutated again: writers clone every
+// node on the root-to-leaf path they change (and any node a rotation or
+// color flip touches) before writing to it.
+type node struct {
+	key         []byte
+	val         uint64
+	red         bool
+	left, right *node
+}
+
+func clone(n *node) *node {
+	c := *n
+	return &c
+}
+
+func isRed(n *node) bool { return n != nil && n.red }
+
+// treeState is one published version: root, size and a monotonically
+// increasing version number, swapped in as a unit so a Snapshot's three
+// facts are always mutually consistent.
+type treeState struct {
+	root *node
+	len  int
+	ver  uint64
+}
+
+var emptyState = &treeState{}
+
+// Tree is the concurrent MVCC ordered index. The zero value is NOT ready;
+// use New.
+type Tree struct {
+	mu    sync.Mutex // serializes writers
+	state atomic.Pointer[treeState]
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	t := &Tree{}
+	t.state.Store(emptyState)
+	return t
+}
+
+// Len returns the current number of keys.
+func (t *Tree) Len() int { return t.state.Load().len }
+
+// Version returns the current version number; it increments on every
+// successful mutation (an overwriting Set increments it too).
+func (t *Tree) Version() uint64 { return t.state.Load().ver }
+
+// Get returns the payload stored under key in the current version.
+func (t *Tree) Get(key []byte) (uint64, bool) {
+	return Snapshot{t.state.Load()}.Get(key)
+}
+
+// Set inserts or overwrites key's payload. The key bytes are copied on
+// first insert; the caller may reuse its buffer.
+func (t *Tree) Set(key []byte, val uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.setLocked(key, val)
+}
+
+// Delete removes key; it reports whether the key was present.
+func (t *Tree) Delete(key []byte) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.deleteLocked(key)
+}
+
+// DeleteIf removes key only if its current payload equals val, atomically
+// with respect to other writers. It reports whether a removal happened. This
+// is the tool for retiring a stale binding (e.g. an eviction victim's
+// location) without erasing a newer one a concurrent overwrite installed.
+func (t *Tree) DeleteIf(key []byte, val uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur, ok := (Snapshot{t.state.Load()}).Get(key); !ok || cur != val {
+		return false
+	}
+	return t.deleteLocked(key)
+}
+
+// Update reconciles key's binding against an authoritative source: resolve is
+// called UNDER the writer lock and must return the key's current payload
+// (ok=true) or report the key gone (ok=false); the tree then upserts or
+// removes accordingly. Because resolve reads its source inside the lock,
+// concurrent Updates of one key serialize and the last one to run wins with
+// the freshest source state — callers that invoke Update after every source
+// mutation get eventual exact agreement, with no lost-update window that
+// separate read-then-Set/Delete calls would leave. resolve must not call back
+// into the tree's write API.
+func (t *Tree) Update(key []byte, resolve func() (uint64, bool)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if val, ok := resolve(); ok {
+		t.setLocked(key, val)
+	} else {
+		t.deleteLocked(key)
+	}
+}
+
+// setLocked is Set's body; the caller holds t.mu.
+func (t *Tree) setLocked(key []byte, val uint64) {
+	st := t.state.Load()
+	root, added := insert(st.root, key, val)
+	root.red = false
+	n := st.len
+	if added {
+		n++
+	}
+	t.state.Store(&treeState{root: root, len: n, ver: st.ver + 1})
+}
+
+// deleteLocked is Delete's body; the caller holds t.mu.
+func (t *Tree) deleteLocked(key []byte) bool {
+	st := t.state.Load()
+	if _, ok := (Snapshot{st}).Get(key); !ok {
+		return false
+	}
+	h := clone(st.root)
+	if !isRed(h.left) && !isRed(h.right) {
+		h.red = true
+	}
+	h = del(h, key)
+	if h != nil {
+		h.red = false
+	}
+	t.state.Store(&treeState{root: h, len: st.len - 1, ver: st.ver + 1})
+	return true
+}
+
+// Snapshot returns an immutable view of the tree's current version. Taking
+// one is a single atomic load; holding one pins that version's nodes (not
+// any value bytes) until the last reference is dropped.
+func (t *Tree) Snapshot() Snapshot { return Snapshot{t.state.Load()} }
+
+// Snapshot is one frozen tree version. The zero value behaves as an empty
+// tree.
+type Snapshot struct{ st *treeState }
+
+// Len returns the snapshot's key count.
+func (s Snapshot) Len() int {
+	if s.st == nil {
+		return 0
+	}
+	return s.st.len
+}
+
+// Version returns the snapshot's version number.
+func (s Snapshot) Version() uint64 {
+	if s.st == nil {
+		return 0
+	}
+	return s.st.ver
+}
+
+// Get returns the payload stored under key in this version.
+func (s Snapshot) Get(key []byte) (uint64, bool) {
+	if s.st == nil {
+		return 0, false
+	}
+	n := s.st.root
+	for n != nil {
+		switch cmp := bytes.Compare(key, n.key); {
+		case cmp < 0:
+			n = n.left
+		case cmp > 0:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	return 0, false
+}
+
+// Ascend calls fn for every key in [start, end) in ascending order, stopping
+// early when fn returns false. A nil/empty start means the smallest key; a
+// nil/empty end means no upper bound. The key slice passed to fn aliases the
+// node's own copy and must not be mutated.
+func (s Snapshot) Ascend(start, end []byte, fn func(key []byte, val uint64) bool) {
+	if s.st == nil {
+		return
+	}
+	if len(start) == 0 {
+		start = nil
+	}
+	if len(end) == 0 {
+		end = nil
+	}
+	ascend(s.st.root, start, end, fn)
+}
+
+func ascend(n *node, start, end []byte, fn func([]byte, uint64) bool) bool {
+	if n == nil {
+		return true
+	}
+	if start != nil && bytes.Compare(n.key, start) < 0 {
+		// n and its whole left subtree sort below start.
+		return ascend(n.right, start, end, fn)
+	}
+	if end != nil && bytes.Compare(n.key, end) >= 0 {
+		// n and its whole right subtree sort at or above end.
+		return ascend(n.left, start, end, fn)
+	}
+	if !ascend(n.left, start, end, fn) {
+		return false
+	}
+	if !fn(n.key, n.val) {
+		return false
+	}
+	return ascend(n.right, start, end, fn)
+}
+
+// Iter is an explicit-stack in-order iterator over one snapshot, used by the
+// store's N-way shard merge (a callback can't be paused; this can). Not safe
+// for concurrent use; cheap to create per scan.
+type Iter struct {
+	stack []*node
+	end   []byte
+}
+
+// Iter returns an iterator positioned at the smallest key ≥ start,
+// yielding keys strictly below end (empty end = unbounded).
+func (s Snapshot) Iter(start, end []byte) Iter {
+	it := Iter{}
+	if len(end) > 0 {
+		it.end = end
+	}
+	if s.st == nil {
+		return it
+	}
+	if len(start) == 0 {
+		start = nil
+	}
+	n := s.st.root
+	for n != nil {
+		if start != nil && bytes.Compare(n.key, start) < 0 {
+			n = n.right
+		} else {
+			it.stack = append(it.stack, n)
+			n = n.left
+		}
+	}
+	return it
+}
+
+// Next returns the next key and payload, or ok=false when the range is
+// exhausted. The key slice aliases the snapshot's node and must not be
+// mutated.
+func (it *Iter) Next() (key []byte, val uint64, ok bool) {
+	if len(it.stack) == 0 {
+		return nil, 0, false
+	}
+	n := it.stack[len(it.stack)-1]
+	it.stack = it.stack[:len(it.stack)-1]
+	if it.end != nil && bytes.Compare(n.key, it.end) >= 0 {
+		// Everything still stacked is an in-order successor of n, hence
+		// also ≥ end: the iteration is over.
+		it.stack = it.stack[:0]
+		return nil, 0, false
+	}
+	for c := n.right; c != nil; c = c.left {
+		it.stack = append(it.stack, c)
+	}
+	return n.key, n.val, true
+}
+
+// ---- path-copying LLRB internals ----
+//
+// Ownership convention: every function below that mutates a node receives it
+// already cloned ("owned" by the in-progress write) — insert/del clone on
+// the way down, and rotations/color flips clone the children they touch.
+// Over-cloning an already-owned node is harmless, so helpers err on the side
+// of cloning.
+
+// insert returns the owned root of the subtree with key set, and whether the
+// key was newly added.
+func insert(h *node, key []byte, val uint64) (*node, bool) {
+	if h == nil {
+		return &node{key: append([]byte(nil), key...), val: val, red: true}, true
+	}
+	h = clone(h)
+	var added bool
+	switch cmp := bytes.Compare(key, h.key); {
+	case cmp < 0:
+		h.left, added = insert(h.left, key, val)
+	case cmp > 0:
+		h.right, added = insert(h.right, key, val)
+	default:
+		h.val = val
+	}
+	return fixUp(h), added
+}
+
+// del removes key from the subtree rooted at owned node h. The caller has
+// verified the key is present.
+func del(h *node, key []byte) *node {
+	if bytes.Compare(key, h.key) < 0 {
+		if !isRed(h.left) && !isRed(h.left.left) {
+			h = moveRedLeft(h)
+		}
+		h.left = del(clone(h.left), key)
+	} else {
+		if isRed(h.left) {
+			h = rotateRight(h)
+		}
+		if bytes.Equal(key, h.key) && h.right == nil {
+			return nil
+		}
+		if !isRed(h.right) && !isRed(h.right.left) {
+			h = moveRedRight(h)
+		}
+		if bytes.Equal(key, h.key) {
+			m := h.right
+			for m.left != nil {
+				m = m.left
+			}
+			// The successor's key slice is immutable and may be shared.
+			h.key, h.val = m.key, m.val
+			h.right = deleteMin(clone(h.right))
+		} else {
+			h.right = del(clone(h.right), key)
+		}
+	}
+	return fixUp(h)
+}
+
+// deleteMin removes the smallest key of the subtree rooted at owned node h.
+func deleteMin(h *node) *node {
+	if h.left == nil {
+		return nil
+	}
+	if !isRed(h.left) && !isRed(h.left.left) {
+		h = moveRedLeft(h)
+	}
+	h.left = deleteMin(clone(h.left))
+	return fixUp(h)
+}
+
+func rotateLeft(h *node) *node {
+	x := clone(h.right)
+	h.right = x.left
+	x.left = h
+	x.red = h.red
+	h.red = true
+	return x
+}
+
+func rotateRight(h *node) *node {
+	x := clone(h.left)
+	h.left = x.right
+	x.right = h
+	x.red = h.red
+	h.red = true
+	return x
+}
+
+func flipColors(h *node) {
+	h.red = !h.red
+	if h.left != nil {
+		h.left = clone(h.left)
+		h.left.red = !h.left.red
+	}
+	if h.right != nil {
+		h.right = clone(h.right)
+		h.right.red = !h.right.red
+	}
+}
+
+func moveRedLeft(h *node) *node {
+	flipColors(h)
+	if h.right != nil && isRed(h.right.left) {
+		h.right = rotateRight(clone(h.right))
+		h = rotateLeft(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func moveRedRight(h *node) *node {
+	flipColors(h)
+	if h.left != nil && isRed(h.left.left) {
+		h = rotateRight(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func fixUp(h *node) *node {
+	if isRed(h.right) && !isRed(h.left) {
+		h = rotateLeft(h)
+	}
+	if isRed(h.left) && isRed(h.left.left) {
+		h = rotateRight(h)
+	}
+	if isRed(h.left) && isRed(h.right) {
+		flipColors(h)
+	}
+	return h
+}

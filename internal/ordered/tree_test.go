@@ -1,0 +1,398 @@
+package ordered
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// checkInvariants verifies the LLRB shape: BST order, no red right links, no
+// two consecutive red left links, uniform black height, black root.
+func checkInvariants(t *testing.T, s Snapshot) {
+	t.Helper()
+	if s.st == nil || s.st.root == nil {
+		return
+	}
+	if s.st.root.red {
+		t.Fatalf("root is red")
+	}
+	var prev []byte
+	first := true
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		if n == nil {
+			return 1
+		}
+		if isRed(n.right) {
+			t.Fatalf("red right link at %q", n.key)
+		}
+		if isRed(n) && isRed(n.left) {
+			t.Fatalf("two consecutive red links at %q", n.key)
+		}
+		lh := walk(n.left)
+		if !first && bytes.Compare(prev, n.key) >= 0 {
+			t.Fatalf("BST order violated: %q then %q", prev, n.key)
+		}
+		prev, first = n.key, false
+		rh := walk(n.right)
+		if lh != rh {
+			t.Fatalf("black height mismatch at %q: %d vs %d", n.key, lh, rh)
+		}
+		if n.red {
+			return lh
+		}
+		return lh + 1
+	}
+	walk(s.st.root)
+}
+
+func collect(s Snapshot, start, end []byte) (keys []string, vals []uint64) {
+	s.Ascend(start, end, func(k []byte, v uint64) bool {
+		keys = append(keys, string(k))
+		vals = append(vals, v)
+		return true
+	})
+	return
+}
+
+func TestTreeBasic(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 || tr.Version() != 0 {
+		t.Fatalf("fresh tree: len=%d ver=%d", tr.Len(), tr.Version())
+	}
+	tr.Set([]byte("b"), 2)
+	tr.Set([]byte("a"), 1)
+	tr.Set([]byte("c"), 3)
+	if tr.Len() != 3 {
+		t.Fatalf("len=%d want 3", tr.Len())
+	}
+	if v, ok := tr.Get([]byte("b")); !ok || v != 2 {
+		t.Fatalf("Get(b)=%d,%v", v, ok)
+	}
+	tr.Set([]byte("b"), 22) // overwrite: len stable, version bumps
+	if tr.Len() != 3 {
+		t.Fatalf("len after overwrite=%d", tr.Len())
+	}
+	if v, _ := tr.Get([]byte("b")); v != 22 {
+		t.Fatalf("overwrite lost: %d", v)
+	}
+	if !tr.Delete([]byte("a")) {
+		t.Fatalf("Delete(a) reported absent")
+	}
+	if tr.Delete([]byte("zzz")) {
+		t.Fatalf("Delete of absent key reported present")
+	}
+	if _, ok := tr.Get([]byte("a")); ok {
+		t.Fatalf("deleted key still present")
+	}
+	keys, vals := collect(tr.Snapshot(), nil, nil)
+	if fmt.Sprint(keys) != "[b c]" || fmt.Sprint(vals) != "[22 3]" {
+		t.Fatalf("iteration got %v / %v", keys, vals)
+	}
+	checkInvariants(t, tr.Snapshot())
+}
+
+func TestTreeDeleteIf(t *testing.T) {
+	tr := New()
+	tr.Set([]byte("k"), 7)
+	if tr.DeleteIf([]byte("k"), 8) {
+		t.Fatal("DeleteIf removed a key whose payload differs")
+	}
+	if v, ok := tr.Get([]byte("k")); !ok || v != 7 {
+		t.Fatalf("mismatched DeleteIf mutated the tree: %d,%v", v, ok)
+	}
+	if tr.DeleteIf([]byte("absent"), 7) {
+		t.Fatal("DeleteIf removed an absent key")
+	}
+	if !tr.DeleteIf([]byte("k"), 7) {
+		t.Fatal("matching DeleteIf failed")
+	}
+	if _, ok := tr.Get([]byte("k")); ok || tr.Len() != 0 {
+		t.Fatal("matching DeleteIf left the key behind")
+	}
+	checkInvariants(t, tr.Snapshot())
+}
+
+func TestTreeKeyBufferReuse(t *testing.T) {
+	// Set must copy the key: the caller reuses its buffer.
+	tr := New()
+	buf := make([]byte, 4)
+	for i := 0; i < 10; i++ {
+		copy(buf, fmt.Sprintf("k%03d", i))
+		tr.Set(buf, uint64(i))
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("len=%d want 10", tr.Len())
+	}
+	keys, _ := collect(tr.Snapshot(), nil, nil)
+	for i, k := range keys {
+		if want := fmt.Sprintf("k%03d", i); k != want {
+			t.Fatalf("key %d = %q want %q (aliased caller buffer?)", i, k, want)
+		}
+	}
+}
+
+func TestTreeRandomOpsVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New()
+	oracle := map[string]uint64{}
+	for op := 0; op < 20000; op++ {
+		k := []byte(fmt.Sprintf("key-%04d", rng.Intn(3000)))
+		if rng.Intn(3) == 0 {
+			delete(oracle, string(k))
+			tr.Delete(k)
+		} else {
+			v := rng.Uint64()
+			oracle[string(k)] = v
+			tr.Set(k, v)
+		}
+		if op%997 == 0 {
+			checkInvariants(t, tr.Snapshot())
+		}
+	}
+	checkInvariants(t, tr.Snapshot())
+	if tr.Len() != len(oracle) {
+		t.Fatalf("len=%d oracle=%d", tr.Len(), len(oracle))
+	}
+	want := make([]string, 0, len(oracle))
+	for k := range oracle {
+		want = append(want, k)
+	}
+	sort.Strings(want)
+	keys, vals := collect(tr.Snapshot(), nil, nil)
+	if len(keys) != len(want) {
+		t.Fatalf("iterated %d keys, oracle has %d", len(keys), len(want))
+	}
+	for i, k := range keys {
+		if k != want[i] {
+			t.Fatalf("key %d = %q want %q", i, k, want[i])
+		}
+		if vals[i] != oracle[k] {
+			t.Fatalf("val[%q] = %d want %d", k, vals[i], oracle[k])
+		}
+	}
+}
+
+func TestAscendBounds(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Set([]byte(fmt.Sprintf("k%02d", i)), uint64(i))
+	}
+	s := tr.Snapshot()
+	keys, _ := collect(s, []byte("k10"), []byte("k20"))
+	if len(keys) != 10 || keys[0] != "k10" || keys[9] != "k19" {
+		t.Fatalf("bounded scan got %v", keys)
+	}
+	// start inclusive, end exclusive, empty bounds unbounded
+	if keys, _ := collect(s, nil, []byte("k03")); fmt.Sprint(keys) != "[k00 k01 k02]" {
+		t.Fatalf("end-bounded scan got %v", keys)
+	}
+	if keys, _ := collect(s, []byte("k97"), nil); fmt.Sprint(keys) != "[k97 k98 k99]" {
+		t.Fatalf("start-bounded scan got %v", keys)
+	}
+	// start between keys: begins at the next key up
+	if keys, _ := collect(s, []byte("k10a"), []byte("k13")); fmt.Sprint(keys) != "[k11 k12]" {
+		t.Fatalf("between-keys start got %v", keys)
+	}
+	// early stop via callback
+	n := 0
+	s.Ascend(nil, nil, func(k []byte, v uint64) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	// empty range
+	if keys, _ := collect(s, []byte("k50"), []byte("k50")); len(keys) != 0 {
+		t.Fatalf("empty range got %v", keys)
+	}
+}
+
+func TestIterMatchesAscend(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := New()
+	for i := 0; i < 500; i++ {
+		tr.Set([]byte(fmt.Sprintf("%05d", rng.Intn(2000))), uint64(i))
+	}
+	s := tr.Snapshot()
+	bounds := [][2][]byte{
+		{nil, nil},
+		{[]byte("00500"), []byte("01500")},
+		{[]byte("01999"), nil},
+		{nil, []byte("00001")},
+		{[]byte("abc"), nil}, // past every key
+	}
+	for _, b := range bounds {
+		wantK, wantV := collect(s, b[0], b[1])
+		it := s.Iter(b[0], b[1])
+		var gotK []string
+		var gotV []uint64
+		for {
+			k, v, ok := it.Next()
+			if !ok {
+				break
+			}
+			gotK = append(gotK, string(k))
+			gotV = append(gotV, v)
+		}
+		if fmt.Sprint(gotK) != fmt.Sprint(wantK) || fmt.Sprint(gotV) != fmt.Sprint(wantV) {
+			t.Fatalf("Iter(%q,%q) = %v, Ascend = %v", b[0], b[1], gotK, wantK)
+		}
+	}
+}
+
+// TestSnapshotIsolation pins the MVCC contract this package exists for: a
+// snapshot is ONE frozen version. Iterating it during and after heavy
+// concurrent churn — including deleting every key it contains — must yield
+// byte-identical results every pass. An in-place (non-COW) tree fails this
+// immediately: concurrent rotations tear the in-order walk.
+func TestSnapshotIsolation(t *testing.T) {
+	tr := New()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		tr.Set([]byte(fmt.Sprintf("k%05d", i)), uint64(i))
+	}
+	snap := tr.Snapshot()
+	wantVer := snap.Version()
+	k0, v0 := collect(snap, nil, nil)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // churn: overwrite, insert, and delete every original key
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < n; i++ {
+			// Overwrite only keys not yet deleted (index ≥ i), so the final
+			// live state is exactly the "new" keys.
+			tr.Set([]byte(fmt.Sprintf("k%05d", i+rng.Intn(n-i))), rng.Uint64())
+			tr.Set([]byte(fmt.Sprintf("new%05d", i)), uint64(i))
+			tr.Delete([]byte(fmt.Sprintf("k%05d", i)))
+		}
+		close(stop)
+	}()
+
+	for pass := 0; ; pass++ {
+		k, v := collect(snap, nil, nil)
+		if len(k) != n {
+			t.Errorf("pass %d: snapshot shrank to %d keys", pass, len(k))
+			break
+		}
+		for i := range k {
+			if k[i] != k0[i] || v[i] != v0[i] {
+				t.Errorf("pass %d: entry %d changed: %q/%d vs %q/%d",
+					pass, i, k[i], v[i], k0[i], v0[i])
+				break
+			}
+		}
+		if snap.Version() != wantVer {
+			t.Errorf("snapshot version moved: %d -> %d", wantVer, snap.Version())
+		}
+		select {
+		case <-stop:
+			wg.Wait()
+			// One final pass after all churn: every original key still there.
+			k, _ := collect(snap, nil, nil)
+			if len(k) != n {
+				t.Fatalf("final pass: %d keys, want %d", len(k), n)
+			}
+			// And the live tree moved on: the original keys are gone.
+			if tr.Len() != n {
+				t.Fatalf("live len=%d want %d (new keys only)", tr.Len(), n)
+			}
+			if _, ok := tr.Get([]byte("k00000")); ok {
+				t.Fatalf("live tree still has deleted key")
+			}
+			checkInvariants(t, tr.Snapshot())
+			return
+		default:
+		}
+	}
+	wg.Wait()
+}
+
+// TestConcurrentReadersWriters hammers the tree from several writers and
+// snapshot readers at once (run under -race): readers must always observe a
+// sorted, duplicate-free key sequence whose payloads obey the per-key
+// monotonic write protocol.
+func TestConcurrentReadersWriters(t *testing.T) {
+	tr := New()
+	const keys = 512
+	var stop atomic.Bool
+	var writers, readers sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		writers.Add(1)
+		go func(seed int64) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var gen uint64
+			for !stop.Load() {
+				k := []byte(fmt.Sprintf("k%04d", rng.Intn(keys)))
+				switch rng.Intn(4) {
+				case 0:
+					tr.Delete(k)
+				default:
+					gen++
+					tr.Set(k, gen)
+				}
+			}
+		}(int64(w + 1))
+	}
+	for rdr := 0; rdr < 3; rdr++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 300; i++ {
+				s := tr.Snapshot()
+				var prev []byte
+				cnt := 0
+				s.Ascend(nil, nil, func(k []byte, v uint64) bool {
+					if prev != nil && bytes.Compare(prev, k) >= 0 {
+						t.Errorf("unsorted/dup key under churn: %q after %q", k, prev)
+						return false
+					}
+					prev = append(prev[:0], k...)
+					cnt++
+					return true
+				})
+				if cnt != s.Len() {
+					t.Errorf("snapshot len %d but iterated %d", s.Len(), cnt)
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	stop.Store(true)
+	writers.Wait()
+	checkInvariants(t, tr.Snapshot())
+}
+
+func BenchmarkTreeSet(b *testing.B) {
+	tr := New()
+	keys := make([][]byte, 4096)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%08d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Set(keys[i%len(keys)], uint64(i))
+	}
+}
+
+func BenchmarkSnapshotAscend(b *testing.B) {
+	tr := New()
+	for i := 0; i < 65536; i++ {
+		tr.Set([]byte(fmt.Sprintf("key-%08d", i)), uint64(i))
+	}
+	s := tr.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		s.Ascend([]byte("key-00030000"), nil, func(k []byte, v uint64) bool {
+			n++
+			return n < 100
+		})
+	}
+}

@@ -7,8 +7,10 @@
 // A configuration has up to three stages, mirroring every scheme the paper
 // discusses:
 //
-//	stage 1 (CPU): RV, PP, MM  (+ Insert/Delete index ops when CPU-assigned)
-//	stage 2 (GPU): IN.Search, then optionally KC, RD, WR ("GPU depth")
+//	stage 1 (CPU): RV, PP, MM  (+ Insert/Delete index ops and SC range
+//	               scans when CPU-assigned)
+//	stage 2 (GPU): IN.Search, then optionally KC, RD, WR ("GPU depth"),
+//	               plus SC when GPU-assigned
 //	stage 3 (CPU): the rest of KC, RD, WR, then SD
 //
 // GPU depth 0 collapses everything onto a single CPU stage. The batch is the
@@ -74,6 +76,12 @@ type Config struct {
 	// InsertOn / DeleteOn assign the index update operations (§III-B2).
 	// With GPUDepth 0 both are forced to the CPU.
 	InsertOn, DeleteOn apu.Kind
+	// ScanOn assigns the ordered-index range-scan task (SC). Scans are
+	// sequential-bandwidth-bound (the opposite profile of the random-access
+	// point probes), so the planner places them independently: on the CPU
+	// they join stage 1, on the GPU the batch-parallel stage 2. With
+	// GPUDepth 0 scans are forced to the CPU like the index ops.
+	ScanOn apu.Kind
 	// WorkStealing enables CPU↔GPU stealing on the bottleneck stage
 	// (§III-B3).
 	WorkStealing bool
@@ -90,6 +98,9 @@ func (c Config) Validate(nCores int) error {
 	if c.GPUDepth == 0 {
 		if c.InsertOn == apu.GPU || c.DeleteOn == apu.GPU {
 			return fmt.Errorf("pipeline: index ops on GPU require a GPU stage")
+		}
+		if c.ScanOn == apu.GPU {
+			return fmt.Errorf("pipeline: scans on GPU require a GPU stage")
 		}
 		return nil
 	}
@@ -114,6 +125,11 @@ func (c Config) StageOf(id task.ID) Stage {
 		return StageCPUPre
 	case task.INDelete:
 		if c.DeleteOn == apu.GPU {
+			return StageGPU
+		}
+		return StageCPUPre
+	case task.SC:
+		if c.ScanOn == apu.GPU {
 			return StageGPU
 		}
 		return StageCPUPre
@@ -231,15 +247,21 @@ func Enumerate(nCores int) []Config {
 	for depth := 1; depth <= MaxGPUDepth; depth++ {
 		for _, ins := range kinds {
 			for _, del := range kinds {
-				for _, ws := range []bool{false, true} {
-					for split := 1; split < nCores; split++ {
-						out = append(out, Config{
-							GPUDepth:     depth,
-							InsertOn:     ins,
-							DeleteOn:     del,
-							WorkStealing: ws,
-							CPUCoresPre:  split,
-						})
+				// CPU first: at ScanRatio 0 the scan placement prices
+				// identically, and Best keeps the earlier-enumerated config,
+				// so scan-free workloads keep their pre-SCAN winners.
+				for _, scan := range kinds {
+					for _, ws := range []bool{false, true} {
+						for split := 1; split < nCores; split++ {
+							out = append(out, Config{
+								GPUDepth:     depth,
+								InsertOn:     ins,
+								DeleteOn:     del,
+								ScanOn:       scan,
+								WorkStealing: ws,
+								CPUCoresPre:  split,
+							})
+						}
 					}
 				}
 			}

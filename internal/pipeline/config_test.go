@@ -74,6 +74,7 @@ func TestConfigValidate(t *testing.T) {
 		{GPUDepth: 5},
 		{GPUDepth: 0, InsertOn: apu.GPU},
 		{GPUDepth: 0, DeleteOn: apu.GPU},
+		{GPUDepth: 0, ScanOn: apu.GPU},
 		{GPUDepth: 1, CPUCoresPre: 0},
 		{GPUDepth: 1, CPUCoresPre: 4},
 	}
@@ -148,8 +149,8 @@ func TestTasksPartition(t *testing.T) {
 
 func TestEnumerate(t *testing.T) {
 	configs := Enumerate(4)
-	// 1 pure CPU + depth(4) × insert(2) × delete(2) × ws(2) × split(3).
-	want := 1 + 4*2*2*2*3
+	// 1 pure CPU + depth(4) × insert(2) × delete(2) × scan(2) × ws(2) × split(3).
+	want := 1 + 4*2*2*2*2*3
 	if len(configs) != want {
 		t.Fatalf("enumerated %d configs, want %d", len(configs), want)
 	}
@@ -178,6 +179,42 @@ func TestEnumerate(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("Mega-KV config missing from enumeration")
+	}
+}
+
+func TestScanPlacement(t *testing.T) {
+	// CPU scans join stage 1; GPU scans the batch-parallel stage 2. The zero
+	// value (apu.CPU) keeps every pre-SCAN config literal valid.
+	cpu := Config{GPUDepth: 2, InsertOn: apu.CPU, DeleteOn: apu.CPU, CPUCoresPre: 2}
+	if cpu.StageOf(task.SC) != StageCPUPre {
+		t.Fatalf("CPU scan stage = %v", cpu.StageOf(task.SC))
+	}
+	gpu := cpu
+	gpu.ScanOn = apu.GPU
+	if gpu.StageOf(task.SC) != StageGPU {
+		t.Fatalf("GPU scan stage = %v", gpu.StageOf(task.SC))
+	}
+	if (Config{GPUDepth: 0}).StageOf(task.SC) != StageCPUPre {
+		t.Fatal("pure-CPU config must run SC on its single stage")
+	}
+	// The enumeration explores both placements, CPU first within each
+	// otherwise-identical pair (scan-free ties keep pre-SCAN winners).
+	var sawCPU, sawGPU bool
+	for _, c := range Enumerate(4) {
+		if c.GPUDepth == 0 {
+			continue
+		}
+		if c.ScanOn == apu.GPU {
+			sawGPU = true
+			if !sawCPU {
+				t.Fatal("GPU scan variant enumerated before any CPU variant")
+			}
+		} else {
+			sawCPU = true
+		}
+	}
+	if !sawCPU || !sawGPU {
+		t.Fatal("enumeration must cover both scan placements")
 	}
 }
 

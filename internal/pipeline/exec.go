@@ -118,6 +118,7 @@ func (e *Executor) runSemantics(b *Batch) {
 	e.CPUCache.ResetStats()
 
 	var gets, sets, inserts, deletes, evictions int
+	var scans, scanEntries, scanEntryBytes int
 	var keyBytes, valBytes, wireBytes int
 	before := e.Store.Index().StatsSnapshot()
 
@@ -165,6 +166,22 @@ func (e *Executor) runSemantics(b *Batch) {
 		case proto.OpDelete:
 			deletes++
 			e.Store.Delete(q.Key)
+		case proto.OpScan:
+			// SC: a batched range merge over the ordered index's MVCC
+			// snapshot. Scans stream sequentially, so they bypass the
+			// object-cache accounting the random-access point reads feed.
+			scans++
+			limit, end, err := proto.ParseScanArg(q.Value)
+			if err != nil {
+				continue
+			}
+			read := 0
+			e.Store.Scan(q.Key, end, limit, func(k, v []byte) bool {
+				scanEntries++
+				read += len(k) + len(v)
+				return read < proto.MaxScanResultBytes
+			})
+			scanEntryBytes += read
 		}
 	}
 
@@ -190,8 +207,15 @@ func (e *Executor) runSemantics(b *Batch) {
 	}
 	if n > 0 {
 		p.GetRatio = float64(gets) / float64(n)
+		p.ScanRatio = float64(scans) / float64(n)
 		p.KeySize = float64(keyBytes) / float64(n)
 		p.WireQueryBytes = float64(wireBytes) / float64(n)
+	}
+	if scans > 0 {
+		p.ScanEntries = float64(scanEntries) / float64(scans)
+	}
+	if scanEntries > 0 {
+		p.ScanEntryBytes = float64(scanEntryBytes) / float64(scanEntries)
 	}
 	if b.Hits+sets > 0 {
 		// Misses carry no object; average over value-bearing queries.

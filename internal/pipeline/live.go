@@ -37,6 +37,23 @@ type LiveStore interface {
 	Delete(key []byte) bool
 }
 
+// LiveScanner serves one batch's SCAN queries from a single MVCC snapshot
+// capture: every scan in the batch merges over the same per-shard tree
+// versions (the batched range merge). The slices passed to fn are reused
+// between entries; the callback must copy what it keeps.
+type LiveScanner interface {
+	Scan(start, end []byte, limit int, fn func(key, value []byte) bool) int
+}
+
+// RangeScanner is an optional LiveStore extension: stores with an ordered
+// index (store.Config.Ordered) expose MVCC range scans and the SC pipeline
+// task executes against them. NewScanner must return nil when the ordered
+// index is disabled — SCAN queries then answer StatusError, exactly like the
+// per-frame path.
+type RangeScanner interface {
+	NewScanner() LiveScanner
+}
+
 // LiveStoreMetrics is an optional LiveStore extension supplying the workload
 // counters the adaptation profile cannot measure per batch.
 type LiveStoreMetrics interface {
@@ -78,9 +95,9 @@ type BatchReadStore interface {
 // submitter fills Queries, ParseNanos and Ctx; the WR stage fills Resps; the
 // Done callback receives the frame after its batch's last stage.
 type LiveFrame struct {
-	// Queries must hold only valid ops (GET/SET/DELETE — what the server's
-	// parser admits): the response arena is recycled without clearing on the
-	// strength of every valid op's response being written by its stage.
+	// Queries must hold only valid ops (GET/SET/DELETE/SCAN — what the
+	// server's parser admits): the response arena is recycled without clearing
+	// on the strength of every valid op's response being written by its stage.
 	Queries []proto.Query
 	// Resps holds one response per query after the WR stage. Values alias
 	// the batch's value arena and are only valid inside the Done callback.
@@ -238,6 +255,10 @@ type liveBatch struct {
 	wireBytes          int
 	parseNanos         int64
 	lgBytes            int64
+	// SCAN accounting: query count, entries returned, and result-block bytes.
+	// Kept apart from valBytes so the profile's ValueSize (a point-op average)
+	// is not skewed by streaming range reads.
+	scans, scanEntries, scanBytes int
 }
 
 func (b *liveBatch) reset() {
@@ -269,6 +290,7 @@ func (b *liveBatch) reset() {
 	b.keyBytes, b.valBytes, b.wireBytes = 0, 0, 0
 	b.parseNanos = 0
 	b.lgBytes = 0
+	b.scans, b.scanEntries, b.scanBytes = 0, 0, 0
 }
 
 // prepare sizes the response arena once the batch is sealed (run by the
@@ -687,6 +709,14 @@ func (r *LiveRunner) runStage(b *liveBatch, s Stage) {
 	if cfg.StageOf(task.KC) == s {
 		r.runReadsMaybeChunked(b)
 	}
+	// SC runs after the batch's point reads on its assigned stage (CPU-pre or
+	// GPU — never CPU-post, so lastLiveStage needs no SC case). It is never
+	// chunked: all of a batch's scans share one snapshot capture, and the
+	// N-way merge is sequential-bandwidth work with nothing for a helper to
+	// claim mid-merge.
+	if cfg.StageOf(task.SC) == s {
+		r.runScans(b)
+	}
 	if cfg.StageOf(task.WR) == s {
 		r.runRespond(b)
 	}
@@ -1027,6 +1057,65 @@ func (r *LiveRunner) runReads(b *liveBatch) {
 	b.taskDone(task.KC, start, units)
 }
 
+// runScans performs SC for every SCAN in the batch as one batched range
+// merge: the first scan captures a Scanner (one MVCC snapshot of every
+// shard's ordered index) and every scan in the batch runs against it, so a
+// batch observes a single key-set version. Result blocks are built directly
+// in the value arena (same lifetime contract as the KC+RD values). Without a
+// RangeScanner store — or with the ordered index disabled — every SCAN
+// answers StatusError, keeping the never-cleared response arena sound.
+func (r *LiveRunner) runScans(b *liveBatch) {
+	start := r.taskStart()
+	var sc LiveScanner
+	scannerTried := false
+	units := 0
+	r.eachFrame(b, func(fi int, f *LiveFrame) {
+		lo := int(b.frameOff[fi])
+		for i := range f.Queries {
+			q := &f.Queries[i]
+			if q.Op != proto.OpScan {
+				continue
+			}
+			units++
+			b.keyBytes += len(q.Key)
+			if r.wantProfile {
+				b.wireBytes += proto.EncodedQueryLen(*q)
+			}
+			limit, end, err := proto.ParseScanArg(q.Value)
+			if err != nil {
+				b.resps[lo+i] = proto.Response{Status: proto.StatusError}
+				continue
+			}
+			if !scannerTried {
+				scannerTried = true
+				if rs, ok := r.store.(RangeScanner); ok {
+					sc = rs.NewScanner()
+				}
+			}
+			if sc == nil {
+				b.resps[lo+i] = proto.Response{Status: proto.StatusError}
+				continue
+			}
+			blockStart := len(b.vals)
+			dst, mark := proto.BeginScanResult(b.vals)
+			entries := 0
+			sc.Scan(q.Key, end, limit, func(k, v []byte) bool {
+				dst = proto.AppendScanEntry(dst, k, v)
+				entries++
+				return len(dst)-blockStart < proto.MaxScanResultBytes
+			})
+			proto.FinishScanResult(dst, mark, entries)
+			b.vals = dst
+			block := b.vals[blockStart:len(b.vals):len(b.vals)]
+			b.resps[lo+i] = proto.Response{Status: proto.StatusOK, Value: block}
+			b.scanEntries += entries
+			b.scanBytes += len(block)
+		}
+	})
+	b.scans += units
+	b.taskDone(task.SC, start, units)
+}
+
 // runRespond is WR: partition the response arena back to the frames.
 func (r *LiveRunner) runRespond(b *liveBatch) {
 	start := r.taskStart()
@@ -1119,8 +1208,15 @@ func (r *LiveRunner) buildProfile(b *liveBatch) {
 	p := task.Profile{N: n, SearchProbes: cuckoo.SearchProbesTheoretical(2)}
 	if n > 0 {
 		p.GetRatio = float64(b.gets) / float64(n)
+		p.ScanRatio = float64(b.scans) / float64(n)
 	}
-	if ops := b.gets + b.sets + b.dels; ops > 0 {
+	if b.scans > 0 {
+		p.ScanEntries = float64(b.scanEntries) / float64(b.scans)
+	}
+	if b.scanEntries > 0 {
+		p.ScanEntryBytes = float64(b.scanBytes) / float64(b.scanEntries)
+	}
+	if ops := b.gets + b.sets + b.dels + b.scans; ops > 0 {
 		p.KeySize = float64(b.keyBytes) / float64(ops)
 	}
 	if reads := b.b.Hits + b.sets; reads > 0 {
@@ -1130,7 +1226,7 @@ func (r *LiveRunner) buildProfile(b *liveBatch) {
 	// already recycled by the SD delivery above, so it cannot be recomputed
 	// here); it covers only ops the stages visited, which is every query of
 	// every healthy frame.
-	if ops := b.gets + b.sets + b.dels; ops > 0 {
+	if ops := b.gets + b.sets + b.dels + b.scans; ops > 0 {
 		p.WireQueryBytes = float64(b.wireBytes) / float64(ops)
 	}
 	if b.taskUnits[task.RV] > 0 {

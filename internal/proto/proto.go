@@ -50,12 +50,16 @@ import (
 // Op identifies a query type.
 type Op byte
 
-// Query operations. The three types are the full client interface of an IMKV
-// (paper §II-B).
+// Query operations. GET/SET/DELETE are the full client interface of an IMKV
+// (paper §II-B); SCAN is the ordered-index range read (see scan.go for its
+// argument and result encodings). Servers without an ordered index answer
+// SCAN with StatusError; pre-SCAN servers reject the whole frame (ErrBadOp),
+// which the v2 retry machinery surfaces as a timeout rather than corruption.
 const (
 	OpGet Op = iota + 1
 	OpSet
 	OpDelete
+	OpScan
 )
 
 // String implements fmt.Stringer.
@@ -67,6 +71,8 @@ func (o Op) String() string {
 		return "SET"
 	case OpDelete:
 		return "DELETE"
+	case OpScan:
+		return "SCAN"
 	default:
 		return fmt.Sprintf("Op(%d)", byte(o))
 	}
@@ -247,7 +253,7 @@ func parseQueries(frame []byte, off, count int, dst []Query) ([]Query, error) {
 			return dst, ErrTruncated
 		}
 		op := Op(frame[off])
-		if op != OpGet && op != OpSet && op != OpDelete {
+		if op != OpGet && op != OpSet && op != OpDelete && op != OpScan {
 			return dst, ErrBadOp
 		}
 		keyLen := int(binary.LittleEndian.Uint16(frame[off+1 : off+3]))

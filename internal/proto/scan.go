@@ -1,0 +1,152 @@
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// SCAN wire encoding. A SCAN query reuses the ordinary query record: Key
+// carries the range start (inclusive; empty = smallest key), and Value
+// carries the scan argument block:
+//
+//	[0:4) limit (little endian uint32; 0 = server default)
+//	[4:)  range end key bytes (exclusive; empty = unbounded)
+//
+// A successful SCAN response's Value is a result block:
+//
+//	[0:4) entry count (little endian uint32)
+//	then per entry: [2B key length] [4B value length] [key bytes] [value bytes]
+//
+// Servers clamp the limit to MaxScanLimit and additionally stop a scan when
+// the result block reaches MaxScanResultBytes, so one SCAN response always
+// fits a frame; clients paginate by re-issuing with start = last returned
+// key + one zero byte (the smallest strictly-greater key).
+
+const (
+	// scanArgHeaderLen is the fixed prefix of a SCAN query's Value.
+	scanArgHeaderLen = 4
+	// ScanResultHeaderLen is the fixed prefix of a SCAN response's Value.
+	ScanResultHeaderLen = 4
+	// scanEntryHeaderLen is keyLen + valLen.
+	scanEntryHeaderLen = 6
+
+	// DefaultScanLimit is applied when a SCAN carries limit 0.
+	DefaultScanLimit = 64
+	// MaxScanLimit caps the per-SCAN entry count regardless of the request.
+	MaxScanLimit = 1024
+	// MaxScanResultBytes caps one SCAN's result block so the response frame
+	// stays well inside MaxFrameBytes even with headers around it.
+	MaxScanResultBytes = 32 << 10
+)
+
+// Errors returned by the scan decoders.
+var (
+	ErrBadScanArg    = errors.New("proto: truncated scan argument")
+	ErrBadScanResult = errors.New("proto: malformed scan result")
+)
+
+// AppendScanArg encodes a SCAN argument block (the query's Value) onto dst.
+func AppendScanArg(dst []byte, limit uint32, end []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, limit)
+	return append(dst, end...)
+}
+
+// ScanQuery builds the full SCAN query for [start, end) with the given
+// limit. The returned query's Value is freshly allocated.
+func ScanQuery(start, end []byte, limit int) Query {
+	if limit < 0 {
+		limit = 0
+	}
+	return Query{
+		Op:    OpScan,
+		Key:   start,
+		Value: AppendScanArg(make([]byte, 0, scanArgHeaderLen+len(end)), uint32(limit), end),
+	}
+}
+
+// ParseScanArg decodes a SCAN query's Value. The returned end slice aliases
+// v; an empty end means unbounded. The limit is clamped into
+// [1, MaxScanLimit] (0 becomes DefaultScanLimit).
+func ParseScanArg(v []byte) (limit int, end []byte, err error) {
+	if len(v) < scanArgHeaderLen {
+		return 0, nil, ErrBadScanArg
+	}
+	limit = int(binary.LittleEndian.Uint32(v[:4]))
+	if limit == 0 {
+		limit = DefaultScanLimit
+	}
+	if limit > MaxScanLimit {
+		limit = MaxScanLimit
+	}
+	return limit, v[scanArgHeaderLen:], nil
+}
+
+// BeginScanResult appends a result-block header with a zero entry count and
+// returns the extended slice plus the header's offset, for patching by
+// FinishScanResult once the entries are appended.
+func BeginScanResult(dst []byte) ([]byte, int) {
+	mark := len(dst)
+	return append(dst, 0, 0, 0, 0), mark
+}
+
+// AppendScanEntry appends one key/value entry to a result block under
+// construction.
+func AppendScanEntry(dst, key, val []byte) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(key)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(val)))
+	dst = append(dst, key...)
+	return append(dst, val...)
+}
+
+// FinishScanResult patches the entry count written by BeginScanResult.
+func FinishScanResult(dst []byte, mark, count int) {
+	binary.LittleEndian.PutUint32(dst[mark:mark+4], uint32(count))
+}
+
+// DecodeScanResult walks a SCAN response's result block, calling fn for each
+// entry (slices alias v) until fn returns false. It returns the block's
+// entry count and an error if the block is truncated or over-counts.
+func DecodeScanResult(v []byte, fn func(key, val []byte) bool) (int, error) {
+	if len(v) < ScanResultHeaderLen {
+		return 0, ErrBadScanResult
+	}
+	count := int(binary.LittleEndian.Uint32(v[:4]))
+	off := ScanResultHeaderLen
+	for i := 0; i < count; i++ {
+		if len(v)-off < scanEntryHeaderLen {
+			return 0, ErrBadScanResult
+		}
+		keyLen := int(binary.LittleEndian.Uint16(v[off : off+2]))
+		valLen := int(binary.LittleEndian.Uint32(v[off+2 : off+6]))
+		off += scanEntryHeaderLen
+		if len(v)-off < keyLen+valLen {
+			return 0, ErrBadScanResult
+		}
+		key := v[off : off+keyLen]
+		val := v[off+keyLen : off+keyLen+valLen]
+		off += keyLen + valLen
+		if fn != nil && !fn(key, val) {
+			return count, nil
+		}
+	}
+	return count, nil
+}
+
+// ScanEntry is one decoded SCAN result entry.
+type ScanEntry struct {
+	Key, Value []byte
+}
+
+// ParseScanResult decodes a full result block into a slice (copies nothing:
+// entries alias v).
+func ParseScanResult(v []byte) ([]ScanEntry, error) {
+	var out []ScanEntry
+	_, err := DecodeScanResult(v, func(k, val []byte) bool {
+		out = append(out, ScanEntry{Key: k, Value: val})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

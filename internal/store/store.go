@@ -30,7 +30,10 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"bytes"
+
 	"repro/internal/cuckoo"
+	"repro/internal/ordered"
 	"repro/internal/slab"
 	"repro/internal/stats"
 )
@@ -84,12 +87,18 @@ type Config struct {
 	// probe (see hotkeys.go). 0 disables the table entirely — the read paths
 	// then run exactly as before.
 	HotKeys int
+	// Ordered maintains a per-shard copy-on-write ordered index (an LLRB over
+	// key → location) beside the cuckoo table, enabling MVCC range scans (see
+	// scan.go). Writes pay one tree upsert/delete; point reads are unaffected.
+	Ordered bool
 }
 
-// shard is one independent index+arena pair.
+// shard is one independent index+arena pair, plus the optional ordered index
+// the scan path merges over (nil unless Config.Ordered).
 type shard struct {
 	idx   *cuckoo.Table
 	alloc *slab.Allocator
+	tree  *ordered.Tree
 }
 
 // Store is a concurrent in-memory key-value store. All methods are safe for
@@ -107,6 +116,11 @@ type Store struct {
 	hits      stats.Counter
 	misses    stats.Counter
 	evictions stats.Counter
+
+	scans         stats.Counter // range scans started
+	scanEntries   stats.Counter // entries returned across all scans
+	scanBytes     stats.Counter // key+value bytes returned across all scans
+	scanFallbacks stats.Counter // snapshot locations resolved via point lookup
 }
 
 // normalizeShards rounds n up to a power of two in [1, MaxShards].
@@ -174,6 +188,9 @@ func New(cfg Config) *Store {
 		s.shards[i] = &shard{
 			idx:   cuckoo.NewForCapacity(perShardEntries, 0.85, cfg.Seed),
 			alloc: slab.NewAllocator(scfg),
+		}
+		if cfg.Ordered {
+			s.shards[i].tree = ordered.New()
 		}
 	}
 	if n := s.shards[0].alloc.Classes(); n > slab.MaxClasses {
@@ -288,6 +305,14 @@ func (s *Store) Set(key, value []byte) (inserts, deletes int, err error) {
 		if sh.idx.Delete(ev.Key, evLoc) {
 			deletes++
 		}
+		// Reconcile the victim's ordered-index binding — unless the victim is
+		// this very key's old object, in which case the sync at the end of the
+		// SET repoints it and the key never vanishes from concurrent
+		// snapshots. (A racing overwrite of the victim key is safe either
+		// way: syncOrdered re-reads the cuckoo state under the tree lock.)
+		if sh.tree != nil && !bytes.Equal(ev.Key, key) {
+			s.syncOrdered(sh, cuckoo.Hash(ev.Key, s.seed), ev.Key)
+		}
 		// The victim's chunk was reused for the new object, so a hot-table
 		// entry for it is stale the moment Alloc returned; clear it now that
 		// the index mutation is applied (writer-side ordering, hotkeys.go).
@@ -312,11 +337,34 @@ func (s *Store) Set(key, value []byte) (inserts, deletes int, err error) {
 			deletes++
 		}
 	}
+	// Reconcile the ordered index after every cuckoo mutation of this key is
+	// applied. A snapshot taken mid-SET holds the old location and self-heals
+	// through the seqlock verify + point-lookup fallback on the scan read
+	// path (scan.go); the key itself is never absent from either index
+	// (insert-before-delete above).
+	s.syncOrdered(sh, hv, key)
 	// Hot-table invalidation is the LAST step: it must follow every index
 	// mutation of this key so a racing promotion either lands before it (and
 	// is cleared here) or rechecks against the fully-applied new state.
 	s.hotInvalidate(hv, key)
 	return inserts, deletes, nil
+}
+
+// syncOrdered reconciles key's ordered-index binding with the shard's cuckoo
+// index: under the tree's writer lock it re-resolves the key's live location
+// and upserts or removes the binding. Re-reading inside the lock (rather than
+// pushing a value observed earlier) means racing writers can interleave in
+// any order and the tree still converges to the cuckoo state — including the
+// nasty cases where racing overwrites leave short-lived duplicate index
+// entries. No-op on stores without Config.Ordered.
+func (s *Store) syncOrdered(sh *shard, hv uint64, key []byte) {
+	if sh.tree == nil {
+		return
+	}
+	sh.tree.Update(key, func() (uint64, bool) {
+		loc, ok := sh.lookupLoc(hv, key)
+		return uint64(loc), ok
+	})
 }
 
 // Delete removes key. It reports whether an object was removed.
@@ -331,6 +379,7 @@ func (s *Store) Delete(key []byte) bool {
 		return false
 	}
 	sh.alloc.Free(handleOf(loc))
+	s.syncOrdered(sh, hv, key)
 	s.hotInvalidate(hv, key)
 	return true
 }
@@ -442,6 +491,7 @@ func (s *Store) IndexInsert(key []byte, h slab.Handle) bool {
 	_, sh, hv := s.shardFor(key)
 	ok := sh.idx.Insert(key, cuckoo.Location(h))
 	if ok {
+		s.syncOrdered(sh, hv, key)
 		// A new binding supersedes any cached value (writer-side ordering:
 		// invalidate after the index mutation, hotkeys.go).
 		s.hotInvalidate(hv, key)
@@ -460,8 +510,10 @@ func (s *Store) IndexDelete(key []byte, loc cuckoo.Location) bool {
 		return false
 	}
 	sh.alloc.Free(handleOf(loc))
+	hv := cuckoo.Hash(key, s.seed)
+	s.syncOrdered(sh, hv, key)
 	if s.hot != nil {
-		s.hot.invalidate(cuckoo.Hash(key, s.seed), key)
+		s.hot.invalidate(hv, key)
 	}
 	return true
 }
@@ -512,6 +564,11 @@ type Stats struct {
 	Hits, Misses           uint64
 	Evictions              uint64
 	HotHits                uint64 // GETs served by the hot-key fast path
+	Scans                  uint64 // range scans started
+	ScanEntries            uint64 // entries returned across all scans
+	ScanBytes              uint64 // key+value bytes returned across all scans
+	ScanFallbacks          uint64 // stale snapshot locations re-resolved live
+	OrderedKeys            int    // live keys in the ordered index (0 if disabled)
 	LiveObjects            int
 	IndexLoadFactor        float64
 	AvgInsertBucketsProbed float64
@@ -533,12 +590,16 @@ func (s *Store) Range(fn func(key, value []byte) bool) {
 // StatsSnapshot returns current counters, aggregated across shards.
 func (s *Store) StatsSnapshot() Stats {
 	st := Stats{
-		Gets:      s.gets.Load(),
-		Sets:      s.sets.Load(),
-		Deletes:   s.dels.Load(),
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Evictions: s.evictions.Load(),
+		Gets:          s.gets.Load(),
+		Sets:          s.sets.Load(),
+		Deletes:       s.dels.Load(),
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		Evictions:     s.evictions.Load(),
+		Scans:         s.scans.Load(),
+		ScanEntries:   s.scanEntries.Load(),
+		ScanBytes:     s.scanBytes.Load(),
+		ScanFallbacks: s.scanFallbacks.Load(),
 	}
 	if s.hot != nil {
 		st.HotHits = s.hot.hits.Load()
@@ -549,6 +610,9 @@ func (s *Store) StatsSnapshot() Stats {
 		is := sh.idx.StatsSnapshot()
 		as := sh.alloc.StatsSnapshot()
 		st.LiveObjects += as.LiveObjects
+		if sh.tree != nil {
+			st.OrderedKeys += sh.tree.Len()
+		}
 		loadSum += sh.idx.LoadFactor()
 		inserts += float64(is.Inserts)
 		insertBuckets += is.AvgInsertBuckets * float64(is.Inserts)

@@ -1,7 +1,10 @@
 // Package task defines the fine-grained task decomposition of key-value
 // query processing (paper §III-A): the eight tasks RV, PP, MM, IN, KC, RD,
 // WR, SD, with IN further split into independently placeable Search, Insert
-// and Delete operations (§III-B2).
+// and Delete operations (§III-B2). This codebase adds two tasks beyond the
+// paper's set: LG (write-ahead logging, durability tier) and SC (ordered-
+// index range scans, a sequential-bandwidth-bound profile the planner can
+// place independently of the random-access point probes).
 //
 // For each task the package computes its per-batch resource demands
 // (instructions, random memory accesses, cache accesses, sequential bytes)
@@ -26,6 +29,7 @@ const (
 	INDelete
 	KC           // key comparison
 	RD           // read key-value object
+	SC           // ordered-index range scan: snapshot + merge + value copies
 	WR           // write response packet
 	LG           // append write-ahead log records (durability tier)
 	SD           // send responses
@@ -51,6 +55,8 @@ func (id ID) String() string {
 		return "KC"
 	case RD:
 		return "RD"
+	case SC:
+		return "SC"
 	case WR:
 		return "WR"
 	case LG:
@@ -64,7 +70,7 @@ func (id ID) String() string {
 
 // All returns every task in pipeline order.
 func All() []ID {
-	return []ID{RV, PP, MM, INSearch, INInsert, INDelete, KC, RD, WR, LG, SD}
+	return []ID{RV, PP, MM, INSearch, INInsert, INDelete, KC, RD, SC, WR, LG, SD}
 }
 
 // AffinityPartner returns the upstream task whose co-location in the same
@@ -131,13 +137,24 @@ type Profile struct {
 	// model cannot derive it: it depends on the table size, sampling and
 	// invalidation churn, not just skew). 0 when the table is disabled.
 	HotHitPortion float64
+	// ScanRatio is the fraction of queries that are ordered-index range
+	// scans (SC); GetRatio counts point GETs only, so writes are
+	// 1 − GetRatio − ScanRatio. ScanEntries is the average entry count one
+	// scan returns and ScanEntryBytes the average encoded bytes per
+	// returned entry — together they make SC's demand dominated by a
+	// sequential-bandwidth term (ScanEntries × ScanEntryBytes streamed per
+	// scan), the opposite shape of a cuckoo point probe's random accesses.
+	ScanRatio, ScanEntries, ScanEntryBytes float64
 }
 
 // Coverage returns the fraction of the batch a task applies to: index
 // updates apply to SETs (and their evictions), object reads to GETs, the
 // packet path to everything.
 func Coverage(id ID, p Profile) float64 {
-	set := 1 - p.GetRatio
+	set := 1 - p.GetRatio - p.ScanRatio
+	if set < 0 {
+		set = 0
+	}
 	switch id {
 	case RV, PP, SD:
 		return 1
@@ -151,6 +168,8 @@ func Coverage(id ID, p Profile) float64 {
 		return set * p.EvictionRate
 	case KC, RD:
 		return p.GetRatio
+	case SC:
+		return p.ScanRatio
 	case WR:
 		return 1 // every query gets a response; value-bearing only for GETs
 	case LG:
@@ -257,17 +276,40 @@ func ForTask(id ID, p Profile, pl Placement) Demand {
 			d.MemAccesses = 1
 			d.CacheAccesses = objectLines(objBytes) - 1
 		}
+	case SC:
+		// Ordered range scan: one snapshot load, a root-to-leaf descent per
+		// shard tree (random accesses ∝ log₂ population), then a sequential
+		// merge that touches one tree node per returned entry and streams the
+		// entry's key+value bytes through the seqlock read into the result
+		// block. The stream term dominates for any realistic entry count —
+		// scans are bandwidth-bound where probes are latency-bound, which is
+		// exactly the regime split the planner exploits when placing SC.
+		scanBytes := p.ScanEntries * p.ScanEntryBytes
+		d.Instr = 200 + 25*p.ScanEntries + scanBytes/16
+		depth := 1.0
+		for n := p.Population; n > 1; n >>= 1 {
+			depth++
+		}
+		d.MemAccesses = depth + p.ScanEntries // descent + one node hop per entry
+		d.CacheAccesses = 2 * p.ScanEntries   // iterator stack + entry header writes
+		d.SeqBytes = 2 * scanBytes            // slab value read + result-block write
+		// The N-way merge advances one entry at a time: a GPU wave's lanes
+		// serialize on the shared cursor (same mechanism as Fig 6's CAS).
+		d.GPUSerialFrac = 0.35
 	case WR:
 		// Build the response. GETs carry the value: read it (from cache if
 		// RD co-located, else from the staging buffer sequentially) and
-		// stream it into the response frame.
+		// stream it into the response frame. Scan result blocks (already
+		// assembled by SC in the response arena) are streamed once more into
+		// the frame.
 		valueShare := p.GetRatio * p.ValueSize
-		d.Instr = 120 + valueShare/16
+		scanShare := p.ScanRatio * p.ScanEntries * p.ScanEntryBytes
+		d.Instr = 120 + (valueShare+scanShare)/16
 		if pl.WithAffinityPartner {
 			d.CacheAccesses = objectLines(valueShare)
-			d.SeqBytes = valueShare // response write only
+			d.SeqBytes = valueShare + scanShare // response write only
 		} else {
-			d.SeqBytes = 2 * valueShare // staging read + response write
+			d.SeqBytes = 2*valueShare + scanShare // staging read + response write
 		}
 	case LG:
 		// Encode + CRC one WAL record and stream it into the commit buffer.
@@ -277,7 +319,7 @@ func ForTask(id ID, p Profile, pl Placement) Demand {
 		d.SeqBytes = p.LGSeqBytes
 	case SD:
 		d.Instr = p.SDInstr
-		d.SeqBytes = p.GetRatio*p.ValueSize + 16
+		d.SeqBytes = p.GetRatio*p.ValueSize + p.ScanRatio*p.ScanEntries*p.ScanEntryBytes + 16
 	}
 	// Key-popularity: on the CPU a portion P of random object accesses hit
 	// the cache (§IV-B). Applies to object-touching tasks only.

@@ -25,7 +25,7 @@ func TestTaskStrings(t *testing.T) {
 	want := map[ID]string{
 		RV: "RV", PP: "PP", MM: "MM",
 		INSearch: "IN.S", INInsert: "IN.I", INDelete: "IN.D",
-		KC: "KC", RD: "RD", WR: "WR", LG: "LG", SD: "SD",
+		KC: "KC", RD: "RD", SC: "SC", WR: "WR", LG: "LG", SD: "SD",
 	}
 	for id, s := range want {
 		if id.String() != s {
@@ -39,7 +39,7 @@ func TestTaskStrings(t *testing.T) {
 
 func TestAllOrderAndCount(t *testing.T) {
 	all := All()
-	if len(all) != NumTasks || NumTasks != 11 {
+	if len(all) != NumTasks || NumTasks != 12 {
 		t.Fatalf("NumTasks = %d, tasks = %d", NumTasks, len(all))
 	}
 	if all[0] != RV || all[len(all)-1] != SD {
@@ -59,7 +59,7 @@ func TestAffinityPartners(t *testing.T) {
 	if p, ok := AffinityPartner(WR); !ok || p != RD {
 		t.Fatal("WR's partner should be RD")
 	}
-	for _, id := range []ID{RV, PP, MM, INSearch, INInsert, INDelete, KC, SD} {
+	for _, id := range []ID{RV, PP, MM, INSearch, INInsert, INDelete, KC, SC, SD} {
 		if _, ok := AffinityPartner(id); ok {
 			t.Fatalf("%v should have no affinity partner", id)
 		}
@@ -212,6 +212,75 @@ func TestObjectLines(t *testing.T) {
 	}
 	if objectLines(128) <= objectLines(64) {
 		t.Fatal("lines must grow with size")
+	}
+}
+
+func TestScanCoverage(t *testing.T) {
+	p := testProfile()
+	// No scans: SC covers nothing and the write split is untouched — the
+	// pre-SCAN planner behavior is bit-identical at ScanRatio 0.
+	if got := Coverage(SC, p); got != 0 {
+		t.Fatalf("SC coverage without scans = %v", got)
+	}
+	base := Coverage(INInsert, p)
+	p.ScanRatio = 0.10
+	p.GetRatio = 0.85
+	if got := Coverage(SC, p); got != 0.10 {
+		t.Fatalf("SC coverage = %v, want 0.10", got)
+	}
+	// Writes are 1 − gets − scans: same 5% as before the scan mix shifted.
+	if got := Coverage(INInsert, p); math.Abs(got-base) > 1e-9 {
+		t.Fatalf("Insert coverage = %v, want %v", got, base)
+	}
+	// Degenerate profiles must not go negative.
+	p.GetRatio, p.ScanRatio = 0.9, 0.2
+	if got := Coverage(MM, p); got != 0 {
+		t.Fatalf("MM coverage clamped = %v", got)
+	}
+}
+
+func TestScanDemandIsBandwidthBound(t *testing.T) {
+	p := testProfile()
+	p.GetRatio, p.ScanRatio = 0.80, 0.15
+	p.ScanEntries, p.ScanEntryBytes = 64, 86
+	sc := ForTask(SC, p, Placement{OnCPU: true})
+	if sc.Queries != 1500 {
+		t.Fatalf("SC queries = %d, want 1500", sc.Queries)
+	}
+	// The defining property of the new regime: SC streams far more bytes
+	// than any point task — its cost is a sequential-bandwidth term, not a
+	// random-probe term.
+	get := ForTask(RD, p, Placement{OnCPU: true})
+	if sc.SeqBytes <= 10*get.SeqBytes {
+		t.Fatalf("scan SeqBytes = %v, not bandwidth-dominated vs RD's %v", sc.SeqBytes, get.SeqBytes)
+	}
+	if sc.SeqBytes < 2*p.ScanEntries*p.ScanEntryBytes {
+		t.Fatalf("scan SeqBytes = %v, want ≥ %v", sc.SeqBytes, 2*p.ScanEntries*p.ScanEntryBytes)
+	}
+	// Random accesses stay logarithmic-plus-linear in entries, far below the
+	// stream term's line count: the opposite shape of a cuckoo probe.
+	if sc.MemAccesses >= sc.SeqBytes/lineBytes {
+		t.Fatalf("scan random accesses %v should sit below streamed lines %v",
+			sc.MemAccesses, sc.SeqBytes/lineBytes)
+	}
+	// Bigger ranges stream more.
+	p2 := p
+	p2.ScanEntries = 256
+	if sc2 := ForTask(SC, p2, Placement{OnCPU: true}); sc2.SeqBytes <= sc.SeqBytes {
+		t.Fatal("more entries must stream more bytes")
+	}
+	// The merge serializes on a GPU wave.
+	if sc.GPUSerialFrac <= 0 {
+		t.Fatal("SC must carry a GPU serialization penalty")
+	}
+	// Scan result bytes ride the response path too: WR and SD both grow.
+	noScan := p
+	noScan.ScanRatio, noScan.ScanEntries, noScan.ScanEntryBytes = 0, 0, 0
+	if ForTask(WR, p, Placement{}).SeqBytes <= ForTask(WR, noScan, Placement{}).SeqBytes {
+		t.Fatal("WR must stream the scan result share")
+	}
+	if ForTask(SD, p, Placement{}).SeqBytes <= ForTask(SD, noScan, Placement{}).SeqBytes {
+		t.Fatal("SD must stream the scan result share")
 	}
 }
 

@@ -1,30 +1,36 @@
 #!/usr/bin/env bash
 # bench.sh — the serving-path A/Bs: the binary UDP protocol vs the TCP/RESP2
-# front end, each on the per-frame and batched pipeline paths, and (this PR)
-# single-queue vs 4-way SO_REUSEPORT-sharded ingestion at saturation on both
-# protocols, same store / key space / 5%-SET mix. The Q4 rows carry
-# queues_effective plus per-queue receive counters (kframes_qmin/qmax) proving
-# the kernel actually spread the flows; the AdaptQ4 row shows the cost model
-# sizing the effective reader count (a 1-CPU host gates extra readers off).
-# Echoes the raw `go test -bench` output and distills it into a
-# machine-readable BENCH_9.json (CI uploads it as a non-blocking artifact —
-# shared runners are far too noisy for benchmark numbers to gate merges).
+# front end, each on the per-frame and batched pipeline paths, single-queue vs
+# 4-way SO_REUSEPORT-sharded ingestion at saturation on both protocols, and
+# (this PR) the zipf point-read/scan mix on the per-frame vs pipelined paths
+# (batched MVCC range merges, task.SC), same store / key space / 5%-SET mix.
+# The Q4 rows carry queues_effective plus per-queue receive counters
+# (kframes_qmin/qmax) proving the kernel actually spread the flows; the
+# AdaptQ4 row shows the cost model sizing the effective reader count (a 1-CPU
+# host gates extra readers off); the Scan rows carry entries/scan proving the
+# scans did real merge work. Echoes the raw `go test -bench` output and
+# distills it into a machine-readable BENCH_10.json (CI uploads it as a
+# non-blocking artifact — shared runners are far too noisy for benchmark
+# numbers to gate merges).
 #
 # Usage: scripts/bench.sh [out.json]
 #   BENCHTIME=3s scripts/bench.sh    # per-benchmark duration (default 3s)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_9.json}"
+OUT="${1:-BENCH_10.json}"
 BENCHTIME="${BENCHTIME:-3s}"
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 # Anchored: `PerFrame` alone must not match `PerFrameQ4` — the point of the
-# A/B is that the single-queue and Q4 rows are distinct.
+# A/B is that the single-queue and Q4 rows are distinct. The fully-anchored
+# alternation also silently drops any benchmark added later, so every new
+# row family must be spliced in here explicitly (the Scan arm below is PR
+# 10's).
 go test -run '^$' \
-    -bench '^BenchmarkServe(PerFrame|Pipelined|RESPPerFrame|RESPPipelined)(Q4)?$|^BenchmarkServePipelinedAdaptQ4$' \
+    -bench '^BenchmarkServe(Scan)?(PerFrame|Pipelined|RESPPerFrame|RESPPipelined)(Q4)?$|^BenchmarkServePipelinedAdaptQ4$' \
     -benchtime "$BENCHTIME" -count 1 -timeout 1800s . | tee "$RAW"
 
 awk -v host_cpus="$(nproc)" \
@@ -45,12 +51,13 @@ awk -v host_cpus="$(nproc)" \
         if ($(i+1) == "queues_effective") qeff[name] = $i
         if ($(i+1) == "kframes_qmin")     qmin[name] = $i
         if ($(i+1) == "kframes_qmax")     qmax[name] = $i
+        if ($(i+1) == "entries/scan")     escan[name] = $i
     }
 }
 END {
     printf "{\n"
-    printf "  \"issue\": 9,\n"
-    printf "  \"bench\": \"ingestion A/B: single-queue vs SO_REUSEPORT-sharded (-net-queues 4) on UDP per-frame, UDP pipelined and RESP pipelined, plus adapt-sized readers\",\n"
+    printf "  \"issue\": 10,\n"
+    printf "  \"bench\": \"serving A/Bs: single-queue vs SO_REUSEPORT-sharded ingestion on UDP/RESP, adapt-sized readers, and the zipf point-read/scan mix (per-frame vs pipelined batched range merges)\",\n"
     printf "  \"go\": \"%s\",\n  \"commit\": \"%s\",\n", go_version, commit
     printf "  \"host_cpus\": %s,\n  \"benchtime\": \"%s\",\n", host_cpus, benchtime
     printf "  \"benchmarks\": [\n"
@@ -62,6 +69,7 @@ END {
         if (qeff[name]   != "") printf ", \"queues_effective\": %s", qeff[name]
         if (qmin[name]   != "") printf ", \"kframes_qmin\": %s", qmin[name]
         if (qmax[name]   != "") printf ", \"kframes_qmax\": %s", qmax[name]
+        if (escan[name]  != "") printf ", \"entries_per_scan\": %s", escan[name]
         printf "}%s\n", (i < n ? "," : "")
     }
     printf "  ]\n}\n"

@@ -71,6 +71,19 @@ echo "== durability (-race, -count=1) =="
 go test -count=1 -race -timeout 900s ./internal/wal ./internal/snapshot ./internal/faults
 go test -count=1 -race -timeout 900s -run 'TestDurable|TestCrash' .
 
+# The MVCC ordered index + range-scan path: the COW LLRB's snapshot/writer
+# concurrency, the store's write-path tree reconciliation (resolve-under-lock
+# against the cuckoo index, incl. eviction-victim retirement), the
+# scan-vs-model equivalence and torn/reclaimed-value suites over the seqlock
+# slab, and the root-package scan e2e + chaos pins — snapshot isolation is
+# exactly the kind of guarantee only the race detector keeps honest, so
+# un-cached and race-enabled every pass.
+echo "== ordered index + scan path (-race, -count=1) =="
+go test -count=1 -race -timeout 900s ./internal/ordered
+go test -count=1 -race -timeout 900s \
+    -run 'Scan|Ordered|SnapshotIsolation' \
+    ./internal/store ./internal/pipeline ./internal/task .
+
 # The transport front ends: RESP parser/framer unit + fuzz corpus, command-run
 # sealing, per-connection ordered dispatch, reply sequencing, and the
 # root-package RESP e2e (faulty conns, per-conn caps, the shared stream gate
@@ -120,7 +133,7 @@ SMOKE_ADMIN="127.0.0.1:13390"
 SERVER_PID=$!
 sleep 0.3
 "$SMOKE_DIR/dido-loadgen" -addr "$SMOKE_ADDR" -workload K16-G95-S -duration 2s -population 10000 \
-    -src-conns 4 -scrape "http://$SMOKE_ADMIN" -scrape-assert
+    -src-conns 4 -scan-ratio 0.05 -scrape "http://$SMOKE_ADMIN" -scrape-assert
 kill "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true
 
@@ -177,6 +190,8 @@ if [ "$FUZZTIME" != "0" ]; then
     echo "== fuzz smoke ($FUZZTIME per target) =="
     go test -run='^$' -fuzz=FuzzParseFrame -fuzztime="$FUZZTIME" ./internal/proto
     go test -run='^$' -fuzz=FuzzParseResponseFrame -fuzztime="$FUZZTIME" ./internal/proto
+    go test -run='^$' -fuzz=FuzzScanOpcode -fuzztime="$FUZZTIME" ./internal/proto
+    go test -run='^$' -fuzz=FuzzOrderedTree -fuzztime="$FUZZTIME" ./internal/ordered
     go test -run='^$' -fuzz=FuzzSearchBatchMatchesSearchBuf -fuzztime="$FUZZTIME" ./internal/cuckoo
     go test -run='^$' -fuzz=FuzzWALReplay -fuzztime="$FUZZTIME" ./internal/wal
     go test -run='^$' -fuzz=FuzzRESPParse -fuzztime="$FUZZTIME" ./internal/frontend

@@ -30,6 +30,14 @@ type GetIntoBackend interface {
 	GetInto(key, dst []byte) ([]byte, bool)
 }
 
+// ScanBackend is an optional Backend extension for range scans. When the
+// backend provides it (as *Store does when built with StoreConfig.Ordered),
+// the server answers SCAN queries; otherwise SCANs get StatusError. ok=false
+// means the backend exists but its ordered index is disabled.
+type ScanBackend interface {
+	Scan(start, end []byte, limit int, fn func(key, value []byte) bool) (int, bool)
+}
+
 // ServerOptions tunes the fault-tolerance behavior of a Server. The zero
 // value gives production defaults.
 type ServerOptions struct {
@@ -108,6 +116,7 @@ const (
 type Server struct {
 	store   Backend
 	getInto GetIntoBackend // non-nil when store implements the fast GET path
+	scan    ScanBackend    // non-nil when store implements range scans
 	opts    ServerOptions
 
 	mu        sync.Mutex
@@ -192,6 +201,9 @@ func newServer(b Backend, opts ServerOptions) (*Server, error) {
 	}
 	if gi, ok := b.(GetIntoBackend); ok {
 		s.getInto = gi
+	}
+	if sb, ok := b.(ScanBackend); ok {
+		s.scan = sb
 	}
 	if cacheSize > 0 {
 		s.replies = newReplyCache(cacheSize)
@@ -464,10 +476,44 @@ func (s *Server) process(queries []proto.Query, sc *frameScratch) []proto.Respon
 			} else {
 				resps = append(resps, proto.Response{Status: proto.StatusNotFound})
 			}
+		case proto.OpScan:
+			resps = append(resps, s.scanResponse(q, sc))
 		}
 		s.served.Inc()
 	}
 	return resps
+}
+
+// scanResponse executes one SCAN query on the per-frame path, building the
+// result block in the frame's pooled value arena. SCANs on a backend without
+// range scans (or with the ordered index disabled), and SCANs with a
+// malformed argument, answer StatusError.
+func (s *Server) scanResponse(q proto.Query, sc *frameScratch) proto.Response {
+	if s.scan == nil {
+		return proto.Response{Status: proto.StatusError}
+	}
+	limit, end, err := proto.ParseScanArg(q.Value)
+	if err != nil {
+		return proto.Response{Status: proto.StatusError}
+	}
+	blockStart := len(sc.vals)
+	dst, mark := proto.BeginScanResult(sc.vals)
+	entries := 0
+	if _, ok := s.scan.Scan(q.Key, end, limit, func(k, v []byte) bool {
+		dst = proto.AppendScanEntry(dst, k, v)
+		entries++
+		return len(dst)-blockStart < proto.MaxScanResultBytes
+	}); !ok {
+		// Ordered index disabled: sc.vals was never reassigned, so the
+		// speculative header is simply never published.
+		return proto.Response{Status: proto.StatusError}
+	}
+	proto.FinishScanResult(dst, mark, entries)
+	sc.vals = dst
+	return proto.Response{
+		Status: proto.StatusOK,
+		Value:  sc.vals[blockStart:len(sc.vals):len(sc.vals)],
+	}
 }
 
 // Addr returns the UDP frontend's bound address, or nil before Serve.
@@ -955,6 +1001,22 @@ func (c *Client) Delete(key []byte) (bool, error) {
 	return resps[0].Status == proto.StatusOK, nil
 }
 
+// Scan fetches up to limit entries with key in [start, end) in ascending key
+// order (limit <= 0 means the server default; the server clamps oversized
+// limits and truncates oversized result blocks — paginate by re-issuing with
+// start = last key + one zero byte). It fails when the server's store has no
+// ordered index.
+func (c *Client) Scan(start, end []byte, limit int) ([]ScanEntry, error) {
+	resps, err := c.Do([]proto.Query{proto.ScanQuery(start, end, limit)})
+	if err != nil {
+		return nil, err
+	}
+	if resps[0].Status != proto.StatusOK {
+		return nil, errors.New("dido: server rejected SCAN")
+	}
+	return proto.ParseScanResult(resps[0].Value)
+}
+
 // Close releases the client's socket.
 func (c *Client) Close() error { return c.conn.Close() }
 
@@ -963,6 +1025,9 @@ type Query = proto.Query
 
 // Response re-exports the wire response type.
 type Response = proto.Response
+
+// ScanEntry re-exports one decoded SCAN result entry.
+type ScanEntry = proto.ScanEntry
 
 // Op and Status re-export the wire enums alongside their constants below.
 type (
@@ -975,6 +1040,7 @@ const (
 	OpGet          = proto.OpGet
 	OpSet          = proto.OpSet
 	OpDelete       = proto.OpDelete
+	OpScan         = proto.OpScan
 	StatusOK       = proto.StatusOK
 	StatusNotFound = proto.StatusNotFound
 	StatusError    = proto.StatusError

@@ -307,7 +307,8 @@ func newLiveStore(b Backend) (pipeline.LiveStore, *store.Store) {
 		return storeLive{st.inner}, st.inner
 	}
 	gi, _ := b.(GetIntoBackend)
-	return backendLive{b: b, gi: gi}, nil
+	sb, _ := b.(ScanBackend)
+	return backendLive{b: b, gi: gi, sb: sb}, nil
 }
 
 type storeLive struct{ s *store.Store }
@@ -329,6 +330,18 @@ func (l storeLive) Set(key, value []byte) error {
 }
 
 func (l storeLive) Delete(key []byte) bool { return l.s.Delete(key) }
+
+// NewScanner satisfies pipeline.RangeScanner: one MVCC snapshot set per
+// batch, so every SCAN in the batch merges the same key-set version. The
+// typed-nil guard matters — a store without the ordered index returns a nil
+// *store.Scanner, which must surface as a nil interface so the runner
+// answers StatusError instead of calling through it.
+func (l storeLive) NewScanner() pipeline.LiveScanner {
+	if sc := l.s.NewScanner(); sc != nil {
+		return sc
+	}
+	return nil
+}
 
 // The wide batched path (pipeline.BatchReadStore) delegates straight to the
 // store's shard-grouped executors.
@@ -357,6 +370,7 @@ func (l storeLive) HotStats() (hits uint64, enabled bool) { return l.s.HotStats(
 type backendLive struct {
 	b  Backend
 	gi GetIntoBackend
+	sb ScanBackend
 }
 
 func (l backendLive) Search(_ []byte, dst []cuckoo.Location) []cuckoo.Location { return dst }
@@ -375,6 +389,24 @@ func (l backendLive) ReadCandidates(key []byte, _ []cuckoo.Location, dst []byte)
 func (l backendLive) Set(key, value []byte) error { return l.b.Set(key, value) }
 
 func (l backendLive) Delete(key []byte) bool { return l.b.Delete(key) }
+
+// backendScanner adapts a ScanBackend to the pipeline's per-batch scanner.
+// Each Scan takes its own snapshot (the wrapped backend decides), which is
+// weaker than storeLive's batch-wide snapshot but preserves the per-scan
+// contract for wrapped backends.
+type backendScanner struct{ sb ScanBackend }
+
+func (a backendScanner) Scan(start, end []byte, limit int, fn func(key, value []byte) bool) int {
+	n, _ := a.sb.Scan(start, end, limit, fn)
+	return n
+}
+
+func (l backendLive) NewScanner() pipeline.LiveScanner {
+	if l.sb == nil {
+		return nil
+	}
+	return backendScanner{sb: l.sb}
+}
 
 // LivePipelineStats re-exports the live runner's counter snapshot.
 type LivePipelineStats = pipeline.LiveStats

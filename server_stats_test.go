@@ -246,7 +246,10 @@ func TestCollectMetricsNames(t *testing.T) {
 		"dido_store_gets_total", "dido_store_sets_total", "dido_store_deletes_total",
 		"dido_store_hits_total", "dido_store_misses_total", "dido_store_evictions_total",
 		"dido_store_hot_hits_total",
-		"dido_store_live_objects", "dido_store_index_load_factor",
+		"dido_scan_requests_total", "dido_scan_entries_total",
+		"dido_scan_bytes_total", "dido_scan_fallbacks_total",
+		"dido_store_live_objects", "dido_store_ordered_keys",
+		"dido_store_index_load_factor",
 	} {
 		if !strings.Contains(got, name) {
 			t.Errorf("metric %s missing from exposition", name)

@@ -27,6 +27,11 @@ type StoreConfig struct {
 	// hundred to a few thousand slots under Zipf-skewed read traffic; 0
 	// (default) disables it with zero read-path overhead.
 	HotKeys int
+	// Ordered maintains an MVCC ordered index (a copy-on-write LLRB per
+	// shard) beside the cuckoo table, enabling Scan. Writes pay one tree
+	// upsert each; scans never block writers. False (default) keeps the
+	// point-op-only store with zero overhead.
+	Ordered bool
 }
 
 // Store is a concurrent in-memory key-value store: a cuckoo-hash index over
@@ -45,6 +50,7 @@ func NewStore(cfg StoreConfig) *Store {
 		Seed:         cfg.Seed,
 		Shards:       cfg.Shards,
 		HotKeys:      cfg.HotKeys,
+		Ordered:      cfg.Ordered,
 	})}
 }
 
@@ -75,6 +81,25 @@ func (s *Store) Delete(key []byte) bool {
 	return s.inner.Delete(key)
 }
 
+// Ordered reports whether the store was built with StoreConfig.Ordered and
+// hence supports Scan.
+func (s *Store) Ordered() bool { return s.inner.Ordered() }
+
+// Scan iterates live objects with key in [start, end) in ascending key
+// order, calling fn(key, value) until limit entries have been visited, the
+// range is exhausted, or fn returns false. A nil/empty start means the
+// smallest key; a nil/empty end means unbounded; limit <= 0 means unlimited.
+// It returns the number of entries visited and whether the store is ordered
+// (ok=false means the scan did not run — build the store with
+// StoreConfig.Ordered). The key set iterated is a per-shard MVCC snapshot
+// taken at the call; values are read live through the slab seqlock, so a
+// scan never observes torn or reclaimed bytes (see internal/store/scan.go
+// for the full contract). The slices passed to fn are reused; fn must copy
+// what it keeps.
+func (s *Store) Scan(start, end []byte, limit int, fn func(key, value []byte) bool) (int, bool) {
+	return s.inner.Scan(start, end, limit, fn)
+}
+
 // Range iterates every live object, calling fn(key, value) until it returns
 // false. Lock-free and safe alongside serving; the slices are reused across
 // calls, so fn must copy what it keeps. The durability tier's snapshotter is
@@ -89,8 +114,14 @@ type StoreStats struct {
 	Hits, Misses        uint64
 	Evictions           uint64
 	HotHits             uint64 // GETs served by the hot-key fast path
-	LiveObjects         int
-	IndexLoadFactor     float64
+	// Range-scan counters (all zero unless StoreConfig.Ordered).
+	Scans           uint64 // SCAN operations executed
+	ScanEntries     uint64 // entries returned across all scans
+	ScanBytes       uint64 // key+value bytes returned across all scans
+	ScanFallbacks   uint64 // snapshot locations gone stale, re-resolved via the index
+	LiveObjects     int
+	OrderedKeys     int // keys in the ordered index (tracks LiveObjects)
+	IndexLoadFactor float64
 }
 
 // CollectMetrics appends the store's counters to w — the store's half of the
@@ -105,7 +136,12 @@ func (s *Store) CollectMetrics(w *obs.MetricsWriter) {
 	w.Counter("dido_store_misses_total", "GETs that missed.", st.Misses)
 	w.Counter("dido_store_evictions_total", "Objects evicted to fit new SETs.", st.Evictions)
 	w.Counter("dido_store_hot_hits_total", "GETs served by the hot-key fast path before the index probe.", st.HotHits)
+	w.Counter("dido_scan_requests_total", "SCAN operations executed.", st.Scans)
+	w.Counter("dido_scan_entries_total", "Entries returned across all SCANs.", st.ScanEntries)
+	w.Counter("dido_scan_bytes_total", "Key+value bytes returned across all SCANs.", st.ScanBytes)
+	w.Counter("dido_scan_fallbacks_total", "Scan snapshot locations re-resolved through the index after going stale.", st.ScanFallbacks)
 	w.Gauge("dido_store_live_objects", "Objects currently stored.", float64(st.LiveObjects))
+	w.Gauge("dido_store_ordered_keys", "Keys in the MVCC ordered index (0 when disabled).", float64(st.OrderedKeys))
 	w.Gauge("dido_store_index_load_factor", "Cuckoo index occupancy in [0,1].", st.IndexLoadFactor)
 }
 
@@ -120,7 +156,12 @@ func (s *Store) Stats() StoreStats {
 		Misses:          st.Misses,
 		Evictions:       st.Evictions,
 		HotHits:         st.HotHits,
+		Scans:           st.Scans,
+		ScanEntries:     st.ScanEntries,
+		ScanBytes:       st.ScanBytes,
+		ScanFallbacks:   st.ScanFallbacks,
 		LiveObjects:     st.LiveObjects,
+		OrderedKeys:     st.OrderedKeys,
 		IndexLoadFactor: st.IndexLoadFactor,
 	}
 }
